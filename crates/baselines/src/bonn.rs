@@ -1,0 +1,314 @@
+//! BonnPlaceLegal-style flow legalization (Brenner, TCAD 2013).
+//!
+//! The same bin/flow formulation as 3D-Flow, restricted the way the paper
+//! characterizes BonnPlaceLegal (§III-B): per-die 2D grids (no die-to-die
+//! edges), edge costs clamped non-negative, and true Dijkstra searches —
+//! label-correcting relaxation over the whole grid with an early exit at
+//! the first absorbing bin popped. The repeated full-grid searches are
+//! what makes this approach scale poorly on large designs (Tables III/IV).
+
+use flow3d_core::assign;
+use flow3d_core::augment::realize;
+use flow3d_core::driver::{bin_widths, placerow_all, teleport_fallback};
+use flow3d_core::grid::{BinGrid, BinId, EdgeKind};
+use flow3d_core::search::{AugmentingPath, PathStep};
+use flow3d_core::selection::{select_moves, SelectionParams};
+use flow3d_core::state::FlowState;
+use flow3d_core::{LegalizeError, LegalizeOutcome, LegalizeStats, Legalizer};
+use flow3d_db::{Design, Placement3d, RowLayout};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of the Bonn-style legalizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BonnConfig {
+    /// Bin width as a multiple of the mean cell width (same default as
+    /// 3D-Flow's flow phase for comparability).
+    pub bin_width_factor: f64,
+    /// Stop each Dijkstra at the first absorbing bin popped instead of
+    /// completing the shortest-path tree. The vanilla successive-
+    /// shortest-path algorithm the paper benchmarks computes full trees
+    /// (that is what makes it slow on large designs), so this defaults to
+    /// `false`.
+    pub early_exit: bool,
+}
+
+impl Default for BonnConfig {
+    fn default() -> Self {
+        Self {
+            bin_width_factor: 10.0,
+            early_exit: false,
+        }
+    }
+}
+
+/// The BonnPlaceLegal-style legalizer.
+#[derive(Debug, Clone, Default)]
+pub struct BonnLegalizer {
+    config: BonnConfig,
+}
+
+impl BonnLegalizer {
+    /// Creates a Bonn-style legalizer.
+    pub fn new(config: BonnConfig) -> Self {
+        Self { config }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Dijkstra over the bin grid with non-negative move costs. Unlike the
+/// branch-and-bound search, labels may be corrected (a bin can be relaxed
+/// several times), and the search exits at the first absorbing bin popped
+/// — the classical shortest augmenting path.
+fn dijkstra(
+    state: &FlowState<'_>,
+    source: BinId,
+    limit: i64,
+    params: &SelectionParams,
+    early_exit: bool,
+    expanded: &mut usize,
+) -> Option<AugmentingPath> {
+    let supply = state.sup(source).min(limit);
+    if supply <= 0 {
+        return None;
+    }
+    let n = state.grid.num_bins();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(BinId, EdgeKind)>> = vec![None; n];
+    let mut inflow = vec![0i64; n];
+    let mut done = vec![false; n];
+
+    dist[source.index()] = 0.0;
+    inflow[source.index()] = supply;
+    let mut heap: BinaryHeap<Reverse<(OrdF64, BinId)>> = BinaryHeap::new();
+    heap.push(Reverse((OrdF64(0.0), source)));
+    let mut best: Option<(BinId, f64)> = None;
+
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if done[u.index()] || d > dist[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        *expanded += 1;
+
+        if u != source && inflow[u.index()] <= state.dem(u) {
+            // Pops come in nondecreasing cost order, so the first
+            // absorbing bin is the shortest augmenting path. Vanilla SSP
+            // still finishes the whole shortest-path tree before
+            // augmenting; `early_exit` skips that busywork.
+            if best.is_none() {
+                best = Some((u, dist[u.index()]));
+            }
+            if early_exit {
+                break;
+            }
+            continue;
+        }
+
+        let needed = inflow[u.index()] - state.dem(u);
+        if needed <= 0 {
+            continue;
+        }
+        for &(v, kind) in state.grid.neighbors(u) {
+            if done[v.index()] {
+                continue;
+            }
+            let Some(sel) = select_moves(state, u, v, kind, needed, params) else {
+                continue;
+            };
+            debug_assert!(sel.cost >= 0.0, "Bonn requires non-negative costs");
+            let nd = d + sel.cost;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some((u, kind));
+                inflow[v.index()] = sel.added_to_v;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    let (sink, cost) = best?;
+    let mut steps = Vec::new();
+    let mut cur = sink;
+    loop {
+        let edge = parent[cur.index()]
+            .map(|(_, k)| k)
+            .unwrap_or(EdgeKind::Horizontal);
+        steps.push(PathStep {
+            bin: cur,
+            inflow: inflow[cur.index()],
+            edge,
+        });
+        match parent[cur.index()] {
+            Some((prev, _)) => cur = prev,
+            None => break,
+        }
+    }
+    steps.reverse();
+    Some(AugmentingPath { steps, cost })
+}
+
+impl Legalizer for BonnLegalizer {
+    fn name(&self) -> &str {
+        "bonn"
+    }
+
+    fn legalize(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        let layout = RowLayout::build(design);
+        let mut dies = assign::partition_dies(design, global)?;
+        let widths = bin_widths(design, self.config.bin_width_factor);
+        // No D2D edges: each die is legalized on its own 2D grid.
+        let grid = BinGrid::build(design, &layout, &widths, false);
+        let mut state = assign::build_state(design, &layout, &grid, global, &mut dies)?;
+
+        let params = SelectionParams {
+            clamp_negative: true,
+            d2d_congestion_cost: false,
+            d2d_penalty: 0.0,
+        };
+        let mut stats = LegalizeStats::default();
+
+        let mut heap: BinaryHeap<(i64, BinId)> = state
+            .overflowed_bins()
+            .into_iter()
+            .map(|b| (state.sup(b), b))
+            .collect();
+        let mut guard = 64 * heap.len() + 4 * grid.num_bins();
+        while let Some((recorded, bin)) = heap.pop() {
+            let sup = state.sup(bin);
+            if sup == 0 {
+                continue;
+            }
+            if sup != recorded {
+                heap.push((sup, bin));
+                continue;
+            }
+            if guard == 0 {
+                return Err(LegalizeError::NoAugmentingPath {
+                    die: grid.bin(bin).die,
+                    supply: sup,
+                });
+            }
+            guard -= 1;
+
+            let mut limit = sup;
+            let mut path = None;
+            while limit > 0 {
+                if let Some(p) = dijkstra(
+                    &state,
+                    bin,
+                    limit,
+                    &params,
+                    self.config.early_exit,
+                    &mut stats.nodes_expanded,
+                ) {
+                    path = Some(p);
+                    break;
+                }
+                limit /= 2;
+            }
+            let Some(path) = path else {
+                // Macro-enclosed pocket with no 2D augmenting path: fall
+                // back to direct relocation (same-die only — Bonn never
+                // crosses dies).
+                let moved = teleport_fallback(&mut state, bin, false, &mut stats)?;
+                if moved && state.sup(bin) > 0 {
+                    heap.push((state.sup(bin), bin));
+                }
+                continue;
+            };
+            realize(&mut state, &path, &params);
+            stats.augmentations += 1;
+            // Re-queue any path bin left overfull (realization drift can
+            // overshoot an intermediate bin; see flow3d-core's flow_pass).
+            for step in &path.steps {
+                if state.sup(step.bin) > 0 {
+                    heap.push((state.sup(step.bin), step.bin));
+                }
+            }
+        }
+
+        let placement = placerow_all(&state)?;
+        stats.cross_die_moves = placement.cross_die_moves(global, design.num_dies());
+        Ok(LegalizeOutcome { placement, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_db::{CellId, DesignBuilder, DieId, DieSpec, LibCellSpec, TechnologySpec};
+    use flow3d_geom::FPoint;
+    use flow3d_metrics::{check_legal, displacement_stats};
+
+    fn design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 400, 40), 10, 1, 1.0));
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "C");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clump_is_legalized() {
+        let d = design(16);
+        let mut gp = Placement3d::new(16);
+        for i in 0..16 {
+            gp.set_pos(CellId::new(i), FPoint::new(150.0, 10.0));
+        }
+        let outcome = BonnLegalizer::default().legalize(&d, &gp).unwrap();
+        let report = check_legal(&d, &outcome.placement);
+        assert!(report.is_legal(), "{report}");
+        assert!(outcome.stats.augmentations > 0);
+    }
+
+    #[test]
+    fn never_moves_cells_across_dies() {
+        let d = design(16);
+        let mut gp = Placement3d::new(16);
+        for i in 0..16 {
+            gp.set_pos(CellId::new(i), FPoint::new(150.0, 10.0));
+            gp.set_die_affinity(CellId::new(i), if i < 8 { 0.0 } else { 1.0 });
+        }
+        let outcome = BonnLegalizer::default().legalize(&d, &gp).unwrap();
+        assert_eq!(outcome.stats.cross_die_moves, 0);
+        for i in 0..16 {
+            let expect = if i < 8 { DieId::BOTTOM } else { DieId::TOP };
+            assert_eq!(outcome.placement.die(CellId::new(i)), expect);
+        }
+    }
+
+    #[test]
+    fn sparse_placement_is_untouched() {
+        let d = design(4);
+        let mut gp = Placement3d::new(4);
+        for i in 0..4 {
+            gp.set_pos(CellId::new(i), FPoint::new(i as f64 * 80.0, 10.0));
+        }
+        let outcome = BonnLegalizer::default().legalize(&d, &gp).unwrap();
+        assert_eq!(
+            displacement_stats(&d, &gp, &outcome.placement).max_dbu,
+            0.0
+        );
+        assert_eq!(outcome.stats.augmentations, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benches for the paper's comparison tables: one benchmark
+//! group per suite (Table III = ICCAD 2022, Table IV = ICCAD 2023),
+//! timing each of the four legalizers on the same prepared input, plus
+//! the supporting pipeline stages (generation, global placement — the
+//! "file IO"-adjacent costs the paper folds into its RT column).
+//!
+//! Inputs are scaled to 10% so a full `cargo bench` stays in CI budget;
+//! the `repro` binary runs the full-size tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flow3d_bench::{prepare, standard_legalizers, Suite};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.1;
+
+/// Table III: the four legalizers on an ICCAD 2022 case.
+fn bench_legalize_2022(c: &mut Criterion) {
+    let run = prepare(Suite::Iccad2022, "case3", SCALE);
+    let mut group = c.benchmark_group("legalize_2022_case3");
+    group.sample_size(10);
+    for lg in standard_legalizers() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lg.name()),
+            &run,
+            |b, run| {
+                b.iter(|| {
+                    let outcome = lg.legalize(&run.design, &run.global).expect("legalize");
+                    black_box(outcome.placement.num_cells())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table IV: the four legalizers on an ICCAD 2023 case (with macros).
+fn bench_legalize_2023(c: &mut Criterion) {
+    let run = prepare(Suite::Iccad2023, "case2", SCALE);
+    let mut group = c.benchmark_group("legalize_2023_case2");
+    group.sample_size(10);
+    for lg in standard_legalizers() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lg.name()),
+            &run,
+            |b, run| {
+                b.iter(|| {
+                    let outcome = lg.legalize(&run.design, &run.global).expect("legalize");
+                    black_box(outcome.placement.num_cells())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Supporting pipeline stages (Table II generation + the GP substrate).
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let mut cfg = flow3d_gen::GeneratorConfig::iccad2022("case2").expect("preset");
+    cfg.scale = 1.0; // case2 is small at full size
+    c.bench_function("generate_case2_full", |b| {
+        b.iter(|| black_box(cfg.generate().expect("generate").design.num_cells()))
+    });
+
+    let generated = cfg.generate().expect("generate");
+    let placer = flow3d_gp::GlobalPlacer::new(flow3d_gp::GpConfig::default());
+    c.bench_function("global_place_case2_full", |b| {
+        b.iter(|| black_box(placer.place_from(&generated.design, &generated.natural)))
+    });
+
+    // Fig. 7 metric cost: HPWL evaluation over all nets.
+    let global = placer.place_from(&generated.design, &generated.natural);
+    c.bench_function("hpwl_case2_full", |b| {
+        b.iter(|| black_box(flow3d_metrics::hpwl_global(&generated.design, &global)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_legalize_2022,
+    bench_legalize_2023,
+    bench_pipeline_stages
+);
+criterion_main!(benches);

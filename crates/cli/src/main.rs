@@ -1,0 +1,320 @@
+//! `flow3d` — command-line driver for the 3D-Flow legalizer reproduction.
+//!
+//! ```text
+//! flow3d gen --suite 2022 --case case3 [--scale 0.25] --out case.txt [--gp gp.txt]
+//! flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt \
+//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1]
+//! flow3d check --case case.txt --legal legal.txt [--gp gp.txt]
+//! flow3d stats --case case.txt
+//! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
+//! ```
+
+use flow3d_baselines::{AbacusLegalizer, BonnLegalizer, TetrisLegalizer};
+use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
+use flow3d_db::DieId;
+use flow3d_gen::GeneratorConfig;
+use flow3d_gp::{GlobalPlacer, GpConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Minimal `--key value` / `--flag` argument map.
+#[derive(Debug)]
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument `{arg}`"))?;
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Self { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: `{v}`")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err(usage());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "legalize" => cmd_legalize(&args),
+        "check" => cmd_check(&args),
+        "stats" => cmd_stats(&args),
+        "viz" => cmd_viz(&args),
+        "--help" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     flow3d gen --suite 2022|2023 --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
+     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A]\n  \
+     flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
+     flow3d stats --case case.txt\n  \
+     flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg"
+        .to_string()
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_design(args: &Args) -> Result<flow3d_db::Design, String> {
+    let path = args.require("case")?;
+    flow3d_io::parse_case(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let suite = args.require("suite")?;
+    let case = args.require("case")?;
+    let mut cfg: GeneratorConfig = match suite {
+        "2022" => GeneratorConfig::iccad2022(case),
+        "2023" => GeneratorConfig::iccad2023(case),
+        "demo" => Some(GeneratorConfig::small_demo(1)),
+        other => return Err(format!("unknown suite `{other}` (2022, 2023, demo)")),
+    }
+    .ok_or_else(|| format!("unknown case `{case}` in suite {suite}"))?;
+    cfg.scale = args.get_f64("scale", 1.0)?;
+    if let Some(seed) = args.get("seed") {
+        cfg.seed = seed.parse().map_err(|_| "--seed: not an integer")?;
+    }
+    let generated = cfg.generate().map_err(|e| e.to_string())?;
+
+    let mut text = String::new();
+    flow3d_io::write_case(&generated.design, &mut text).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    write(out, &text)?;
+    println!(
+        "wrote {out}: {} cells, {} macros, {} nets",
+        generated.design.num_cells(),
+        generated.design.num_macros(),
+        generated.design.num_nets()
+    );
+
+    if let Some(gp_path) = args.get("gp") {
+        let placed = GlobalPlacer::new(GpConfig::default())
+            .place_from(&generated.design, &generated.natural);
+        let mut text = String::new();
+        flow3d_io::write_placement3d(&generated.design, &placed, &mut text)
+            .map_err(|e| e.to_string())?;
+        write(gp_path, &text)?;
+        println!("wrote {gp_path}: global placement");
+    }
+    Ok(())
+}
+
+fn cmd_legalize(args: &Args) -> Result<(), String> {
+    let design = load_design(args)?;
+    let gp_path = args.require("gp")?;
+    let global =
+        flow3d_io::parse_placement3d(&design, &read(gp_path)?).map_err(|e| e.to_string())?;
+
+    let algo = args.get("algo").unwrap_or("3dflow");
+    let legalizer: Box<dyn Legalizer> = match algo {
+        "tetris" => Box::new(TetrisLegalizer::default()),
+        "abacus" => Box::new(AbacusLegalizer::default()),
+        "bonn" => Box::new(BonnLegalizer::default()),
+        "3dflow" => Box::new(Flow3dLegalizer::new(Flow3dConfig {
+            alpha: args.get_f64("alpha", 0.1)?,
+            allow_d2d: !args.flag("no-d2d"),
+            post_opt: !args.flag("no-post"),
+            ..Default::default()
+        })),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    let start = std::time::Instant::now();
+    let outcome = legalizer
+        .legalize(&design, &global)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = flow3d_metrics::displacement_stats(&design, &global, &outcome.placement);
+    let dhpwl = flow3d_metrics::delta_hpwl_pct(&design, &global, &outcome.placement);
+    println!(
+        "{}: avg disp {:.3} rows, max disp {:.2} rows, dHPWL {:+.2}%, {} cross-die moves, {:.2}s",
+        legalizer.name(),
+        stats.avg,
+        stats.max,
+        dhpwl,
+        outcome.stats.cross_die_moves,
+        elapsed
+    );
+
+    let mut text = String::new();
+    flow3d_io::write_legal(&design, &outcome.placement, &mut text).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    write(out, &text)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let design = load_design(args)?;
+    let legal_path = args.require("legal")?;
+    let legal = flow3d_io::parse_legal(&design, &read(legal_path)?).map_err(|e| e.to_string())?;
+    let report = flow3d_metrics::check_legal(&design, &legal);
+    println!("{report}");
+    if let Some(gp_path) = args.get("gp") {
+        let global =
+            flow3d_io::parse_placement3d(&design, &read(gp_path)?).map_err(|e| e.to_string())?;
+        let stats = flow3d_metrics::displacement_stats(&design, &global, &legal);
+        println!(
+            "avg disp {:.3} rows, max disp {:.2} rows (cell {})",
+            stats.avg,
+            stats.max,
+            stats
+                .max_cell
+                .map(|c| design.cells()[c.index()].name.clone())
+                .unwrap_or_default()
+        );
+    }
+    if report.is_legal() {
+        Ok(())
+    } else {
+        Err("placement is not legal".into())
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let design = load_design(args)?;
+    println!("design  : {}", design.name());
+    println!("cells   : {}", design.num_cells());
+    println!("macros  : {}", design.num_macros());
+    println!("nets    : {}", design.num_nets());
+    for (idx, die) in design.dies().iter().enumerate() {
+        let die_id = DieId::new(idx);
+        println!(
+            "die {:<7}: outline {}, rows {} x {} DBU, site {}, max util {:.0}%, free area {}",
+            die.name,
+            die.outline,
+            die.num_rows(),
+            die.row_height,
+            die.site_width,
+            die.max_util * 100.0,
+            design.free_area(die_id)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_viz(args: &Args) -> Result<(), String> {
+    let design = load_design(args)?;
+    let global = flow3d_io::parse_placement3d(&design, &read(args.require("gp")?)?)
+        .map_err(|e| e.to_string())?;
+    let legal = flow3d_io::parse_legal(&design, &read(args.require("legal")?)?)
+        .map_err(|e| e.to_string())?;
+    let die = match args.get("die").unwrap_or("top") {
+        "top" => DieId::TOP,
+        "bottom" => DieId::BOTTOM,
+        other => return Err(format!("unknown die `{other}`")),
+    };
+    let svg = flow3d_viz::DisplacementPlot::new(&design, &global, &legal, die).to_svg();
+    let out = args.require("out")?;
+    write(out, &svg)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::parse(&argv(&[
+            "--case", "c.txt", "--no-d2d", "--alpha", "0.5", "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("case"), Some("c.txt"));
+        assert!(a.flag("no-d2d"));
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get_f64("alpha", 0.1).unwrap(), 0.5);
+        assert_eq!(a.get_f64("scale", 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let err = Args::parse(&argv(&["case.txt"])).unwrap_err();
+        assert!(err.contains("unexpected argument"));
+    }
+
+    #[test]
+    fn require_reports_missing_key() {
+        let a = Args::parse(&argv(&["--out", "x"])).unwrap();
+        assert!(a.require("out").is_ok());
+        assert!(a.require("case").unwrap_err().contains("--case"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(&argv(&["--alpha", "abc"])).unwrap();
+        assert!(a.get_f64("alpha", 0.1).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // A quirk of `--key value` parsing: negative numbers do not start
+        // with `--` so they parse as values.
+        let a = Args::parse(&argv(&["--dx", "-5"])).unwrap();
+        assert_eq!(a.get("dx"), Some("-5"));
+    }
+}

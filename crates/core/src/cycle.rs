@@ -1,0 +1,189 @@
+//! Post-optimization with cycle-canceling (paper §III-E).
+//!
+//! After a legal placement exists, cells whose displacement exceeds
+//! `max(5·h_r, D_max / 2)` are re-seeded at the midpoint between their
+//! current and initial positions — constructing, in flow terms, a negative
+//! cycle that moves them back toward their origin. The resulting local
+//! overflow is drained by another (incremental) flow pass on a finer bin
+//! grid (`5·w̄_c`), followed by `PlaceRow`. Passes repeat while the
+//! maximum displacement improves.
+
+use crate::assign;
+use crate::config::Flow3dConfig;
+use crate::driver::{bin_widths, flow_pass, placerow_all_with};
+use crate::error::LegalizeError;
+use crate::grid::BinGrid;
+use crate::search::SearchParams;
+use crate::state::FlowState;
+use crate::traits::LegalizeStats;
+use flow3d_db::{CellId, Design, LegalPlacement, Placement3d, RowLayout};
+
+/// Runs up to `config.post_passes` cycle-canceling passes, replacing
+/// `placement` whenever a pass reduces the maximum displacement.
+///
+/// # Errors
+///
+/// Propagates flow-pass and row-legalization failures; `placement` is
+/// left at the last accepted state.
+pub fn post_optimize(
+    design: &Design,
+    layout: &RowLayout,
+    global: &Placement3d,
+    config: &Flow3dConfig,
+    base_params: &SearchParams,
+    placement: &mut LegalPlacement,
+    stats: &mut LegalizeStats,
+) -> Result<(), LegalizeError> {
+    let n = design.num_cells();
+    if n == 0 {
+        return Ok(());
+    }
+    let anchors = assign::anchors(design, global);
+    let widths = bin_widths(design, config.post_bin_width_factor);
+    let grid = BinGrid::build(design, layout, &widths, config.allow_d2d);
+    let h_max = design
+        .dies()
+        .iter()
+        .map(|d| d.row_height)
+        .max()
+        .unwrap_or(1);
+
+    let disp = |pl: &LegalPlacement, c: CellId| {
+        let a = anchors[c.index()];
+        pl.pos(c).manhattan(a)
+    };
+    let max_disp = |pl: &LegalPlacement| (0..n).map(|i| disp(pl, CellId::new(i))).max().unwrap_or(0);
+
+    let mut current_max = max_disp(placement);
+    for _pass in 0..config.post_passes {
+        let threshold = (5 * h_max).max(current_max / 2);
+        let selected: Vec<CellId> = (0..n)
+            .map(CellId::new)
+            .filter(|&c| disp(placement, c) > threshold)
+            .collect();
+        if selected.is_empty() {
+            break;
+        }
+
+        // Re-seed: selected cells at the midpoint toward their origin,
+        // everything else at its current legal position.
+        let mut state = FlowState::new(design, layout, &grid, anchors.clone());
+        let mut is_selected = vec![false; n];
+        for &c in &selected {
+            is_selected[c.index()] = true;
+        }
+        let mut seeded = true;
+        for i in 0..n {
+            let c = CellId::new(i);
+            let die = placement.die(c);
+            let p = placement.pos(c);
+            let (x, y) = if is_selected[i] {
+                let a = anchors[i];
+                ((p.x + a.x) / 2, (p.y + a.y) / 2)
+            } else {
+                (p.x, p.y)
+            };
+            let w = design.cell_width(c, die);
+            match layout.nearest_position(design, die, x, y, w) {
+                Some((seg, sx)) => {
+                    let hint = state.grid.bin_at(seg.id, sx);
+                    state.insert_cell(c, hint, sx);
+                }
+                None => {
+                    seeded = false;
+                    break;
+                }
+            }
+        }
+        if !seeded {
+            break; // cannot re-seed (pathological layout); keep current
+        }
+
+        flow_pass(&mut state, base_params, stats)?;
+        let candidate = placerow_all_with(&state, config.row_algo)?;
+        let new_max = max_disp(&candidate);
+        if new_max < current_max {
+            *placement = candidate;
+            current_max = new_max;
+            stats.post_passes += 1;
+        } else {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Flow3dLegalizer;
+    use crate::traits::Legalizer;
+    use flow3d_db::{DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
+    use flow3d_geom::FPoint;
+    use flow3d_metrics::{check_legal, displacement_stats};
+
+    /// A narrow, crowded design where the greedy flow can strand one cell
+    /// far away; post-optimization should pull the worst cell back.
+    fn crowded() -> (Design, Placement3d) {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("W50", 50, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 300, 100), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 300, 100), 10, 1, 1.0));
+        let n = 22;
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "W50");
+        }
+        let design = b.build().unwrap();
+        let mut gp = Placement3d::new(n);
+        for i in 0..n {
+            let c = flow3d_db::CellId::new(i);
+            // All cells want the bottom-left corner of the bottom die.
+            gp.set_pos(c, FPoint::new((i % 3) as f64 * 20.0, (i % 2) as f64 * 10.0));
+            gp.set_die_affinity(c, 0.1);
+        }
+        (design, gp)
+    }
+
+    #[test]
+    fn post_opt_never_worsens_max_displacement() {
+        let (d, gp) = crowded();
+        let without = Flow3dLegalizer::new(Flow3dConfig {
+            post_opt: false,
+            ..Default::default()
+        })
+        .legalize(&d, &gp)
+        .unwrap();
+        let with = Flow3dLegalizer::default().legalize(&d, &gp).unwrap();
+        assert!(check_legal(&d, &with.placement).is_legal());
+        let s_without = displacement_stats(&d, &gp, &without.placement);
+        let s_with = displacement_stats(&d, &gp, &with.placement);
+        assert!(
+            s_with.max_dbu <= s_without.max_dbu + 1e-9,
+            "post-opt worsened max: {} -> {}",
+            s_without.max_dbu,
+            s_with.max_dbu
+        );
+    }
+
+    #[test]
+    fn post_opt_is_noop_for_small_displacements() {
+        // A sparse design where every cell lands at its anchor: nothing
+        // crosses the threshold, zero post passes run.
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("W10", 10, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 400, 40), 10, 1, 1.0));
+        for i in 0..4 {
+            b = b.cell(format!("u{i}"), "W10");
+        }
+        let d = b.build().unwrap();
+        let mut gp = Placement3d::new(4);
+        for i in 0..4 {
+            gp.set_pos(flow3d_db::CellId::new(i), FPoint::new(i as f64 * 50.0, 10.0));
+        }
+        let outcome = Flow3dLegalizer::default().legalize(&d, &gp).unwrap();
+        assert_eq!(outcome.stats.post_passes, 0);
+        let s = displacement_stats(&d, &gp, &outcome.placement);
+        assert_eq!(s.max_dbu, 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Incremental (ECO) legalization.
+//!
+//! The paper notes that "our flow-based legalizer enables incremental
+//! legalization inherently" (§III-E) — the post-optimization exploits it
+//! internally. This module exposes the capability as a public API for the
+//! classical use case: after legalization, a timing-optimization step
+//! (gate sizing, buffer insertion, small moves) perturbs a few cells, and
+//! the placement must be made legal again *with minimal disturbance to
+//! everything else*.
+//!
+//! Unperturbed cells are seeded at — and anchored to — their current
+//! legal positions, so the flow only moves them when the perturbation's
+//! overflow forces it; perturbed cells are anchored to their requested
+//! positions. A fine bin grid (the post-optimization width `5·w̄_c`) keeps
+//! the cost model precise for the localized overflow.
+
+use crate::driver::{bin_widths, flow_pass, placerow_all_with, Flow3dLegalizer};
+use crate::error::LegalizeError;
+use crate::grid::BinGrid;
+use crate::search::SearchParams;
+use crate::selection::SelectionParams;
+use crate::state::FlowState;
+use crate::traits::{LegalizeOutcome, LegalizeStats};
+use flow3d_db::{CellId, Design, DieId, LegalPlacement, RowLayout};
+use flow3d_geom::Point;
+
+/// One requested cell change in an ECO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMove {
+    /// The cell the optimization step touched.
+    pub cell: CellId,
+    /// Requested lower-left position (need not be legal; it becomes the
+    /// cell's new displacement anchor).
+    pub target: Point,
+    /// Requested die, or `None` to keep the cell's current die.
+    pub die: Option<DieId>,
+}
+
+impl Flow3dLegalizer {
+    /// Re-legalizes `base` after the engineering changes in `moves`.
+    ///
+    /// Every cell not listed in `moves` is anchored to its position in
+    /// `base`, so the result minimizes *perturbation* rather than
+    /// displacement from the original global placement. The reported
+    /// displacement stats of the outcome are therefore relative to
+    /// `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::PlacementMismatch`] if `base` has the wrong cell
+    /// count, [`LegalizeError::NoPosition`] if a requested target fits
+    /// nowhere, and the usual flow errors for infeasible overflow.
+    pub fn legalize_incremental(
+        &self,
+        design: &Design,
+        base: &LegalPlacement,
+        moves: &[CellMove],
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        let n = design.num_cells();
+        if base.num_cells() != n {
+            return Err(LegalizeError::PlacementMismatch {
+                design_cells: n,
+                placement_cells: base.num_cells(),
+            });
+        }
+        let cfg = &self.config();
+        let layout = RowLayout::build(design);
+        let widths = bin_widths(design, cfg.post_bin_width_factor);
+        let grid = BinGrid::build(design, &layout, &widths, cfg.allow_d2d);
+
+        // Anchors: base positions, overridden by the requested targets.
+        let mut anchors: Vec<Point> = (0..n).map(|i| base.pos(CellId::new(i))).collect();
+        let mut target_die: Vec<DieId> = (0..n).map(|i| base.die(CellId::new(i))).collect();
+        for mv in moves {
+            anchors[mv.cell.index()] = mv.target;
+            if let Some(die) = mv.die {
+                target_die[mv.cell.index()] = die;
+            }
+        }
+
+        let mut state = FlowState::new(design, &layout, &grid, anchors.clone());
+        for i in 0..n {
+            let cell = CellId::new(i);
+            let die = target_die[i];
+            let a = anchors[i];
+            let w = design.cell_width(cell, die);
+            let seeded = layout
+                .nearest_position(design, die, a.x, a.y, w)
+                .or_else(|| {
+                    // Requested die cannot host the cell at all: fall back
+                    // to any die (moved cells only; base positions always
+                    // resolve on their own die).
+                    (0..design.num_dies()).map(DieId::new).find_map(|d| {
+                        layout.nearest_position(design, d, a.x, a.y, design.cell_width(cell, d))
+                    })
+                });
+            match seeded {
+                Some((seg, x)) => {
+                    let hint = grid.bin_at(seg.id, x);
+                    state.insert_cell(cell, hint, x);
+                }
+                None => return Err(LegalizeError::NoPosition { cell }),
+            }
+        }
+
+        let slack = design
+            .dies()
+            .iter()
+            .map(|d| d.row_height)
+            .min()
+            .unwrap_or(1) as f64;
+        let d2d_penalty = design
+            .dies()
+            .iter()
+            .map(|d| d.row_height)
+            .max()
+            .unwrap_or(1) as f64;
+        let params = SearchParams {
+            alpha: cfg.alpha,
+            slack,
+            dijkstra: false,
+            selection: SelectionParams {
+                clamp_negative: false,
+                d2d_congestion_cost: cfg.d2d_congestion_cost,
+                d2d_penalty,
+            },
+        };
+        let mut stats = LegalizeStats::default();
+        flow_pass(&mut state, &params, &mut stats)?;
+        let placement = placerow_all_with(&state, cfg.row_algo)?;
+
+        // Cross-die counter relative to the *base* placement here.
+        stats.cross_die_moves = (0..n)
+            .filter(|&i| placement.die(CellId::new(i)) != base.die(CellId::new(i)))
+            .count();
+        Ok(LegalizeOutcome { placement, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Legalizer;
+    use flow3d_db::{DesignBuilder, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
+    use flow3d_geom::FPoint;
+    use flow3d_metrics::check_legal;
+
+    fn design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 400, 40), 10, 1, 1.0));
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "C");
+        }
+        b.build().unwrap()
+    }
+
+    fn base_placement(d: &Design) -> LegalPlacement {
+        let n = d.num_cells();
+        let mut gp = Placement3d::new(n);
+        for i in 0..n {
+            gp.set_pos(
+                CellId::new(i),
+                FPoint::new((i as f64 * 35.0) % 350.0, 10.0 * ((i / 10) as f64)),
+            );
+        }
+        Flow3dLegalizer::default().legalize(d, &gp).unwrap().placement
+    }
+
+    #[test]
+    fn noop_eco_changes_nothing() {
+        let d = design(12);
+        let base = base_placement(&d);
+        let outcome = Flow3dLegalizer::default()
+            .legalize_incremental(&d, &base, &[])
+            .unwrap();
+        assert_eq!(outcome.placement, base);
+        assert_eq!(outcome.stats.augmentations, 0);
+    }
+
+    #[test]
+    fn single_move_into_occupied_spot_perturbs_locally() {
+        let d = design(12);
+        let base = base_placement(&d);
+        // Ask cell 0 to sit exactly where cell 1 is.
+        let clash = base.pos(CellId::new(1));
+        let mv = CellMove {
+            cell: CellId::new(0),
+            target: clash,
+            die: Some(base.die(CellId::new(1))),
+        };
+        let outcome = Flow3dLegalizer::default()
+            .legalize_incremental(&d, &base, &[mv])
+            .unwrap();
+        assert!(check_legal(&d, &outcome.placement).is_legal());
+        // Cell 0 landed near its request.
+        let p0 = outcome.placement.pos(CellId::new(0));
+        assert!(p0.manhattan(clash) <= 60, "{p0} vs {clash}");
+        // Most cells did not move at all.
+        let unmoved = (0..12)
+            .filter(|&i| {
+                outcome.placement.pos(CellId::new(i)) == base.pos(CellId::new(i))
+                    && outcome.placement.die(CellId::new(i)) == base.die(CellId::new(i))
+            })
+            .count();
+        assert!(unmoved >= 8, "only {unmoved}/12 cells untouched");
+    }
+
+    #[test]
+    fn cross_die_eco_request_is_honored() {
+        let d = design(6);
+        let base = base_placement(&d);
+        let from = base.die(CellId::new(2));
+        let to = DieId::new(1 - from.index());
+        let mv = CellMove {
+            cell: CellId::new(2),
+            target: base.pos(CellId::new(2)),
+            die: Some(to),
+        };
+        let outcome = Flow3dLegalizer::default()
+            .legalize_incremental(&d, &base, &[mv])
+            .unwrap();
+        assert!(check_legal(&d, &outcome.placement).is_legal());
+        assert_eq!(outcome.placement.die(CellId::new(2)), to);
+        assert!(outcome.stats.cross_die_moves >= 1);
+    }
+
+    #[test]
+    fn mismatched_base_is_rejected() {
+        let d = design(4);
+        let wrong = LegalPlacement::new(2);
+        let err = Flow3dLegalizer::default()
+            .legalize_incremental(&d, &wrong, &[])
+            .unwrap_err();
+        assert!(matches!(err, LegalizeError::PlacementMismatch { .. }));
+    }
+}

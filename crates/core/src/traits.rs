@@ -1,0 +1,80 @@
+//! The common legalizer interface shared by 3D-Flow and the baselines.
+
+use crate::error::LegalizeError;
+use flow3d_db::{Design, LegalPlacement, Placement3d};
+
+/// Counters reported by a legalization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LegalizeStats {
+    /// Number of augmenting paths realized (flow-based legalizers).
+    pub augmentations: usize,
+    /// Search-tree nodes expanded across all path searches.
+    pub nodes_expanded: usize,
+    /// Cells whose final die differs from their nearest-die snap.
+    pub cross_die_moves: usize,
+    /// Post-optimization passes actually executed.
+    pub post_passes: usize,
+    /// Cells relocated by the direct fallback when no augmenting path
+    /// existed (macro-enclosed pockets); 0 in the common case.
+    pub fallback_moves: usize,
+}
+
+/// Result of a legalization run: the placement plus run counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalizeOutcome {
+    /// The legal placement.
+    pub placement: LegalPlacement,
+    /// Run counters.
+    pub stats: LegalizeStats,
+}
+
+/// A standard-cell legalizer: maps a continuous 3D global placement to a
+/// legal placement.
+///
+/// Implemented by [`Flow3dLegalizer`](crate::Flow3dLegalizer) and by the
+/// Tetris / Abacus / BonnPlaceLegal baselines in `flow3d-baselines`.
+pub trait Legalizer {
+    /// Short identifier for tables and logs (e.g. `"3d-flow"`).
+    fn name(&self) -> &str;
+
+    /// Legalizes `global` against `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LegalizeError`] when the placement cannot be legalized
+    /// (cells that fit nowhere, utilization overflow, or — for flow-based
+    /// methods — sources with no augmenting path).
+    fn legalize(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+    ) -> Result<LegalizeOutcome, LegalizeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must stay object-safe: harnesses hold `Box<dyn Legalizer>`.
+    #[test]
+    fn legalizer_is_object_safe() {
+        struct Noop;
+        impl Legalizer for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn legalize(
+                &self,
+                design: &Design,
+                _global: &Placement3d,
+            ) -> Result<LegalizeOutcome, LegalizeError> {
+                Ok(LegalizeOutcome {
+                    placement: LegalPlacement::new(design.num_cells()),
+                    stats: LegalizeStats::default(),
+                })
+            }
+        }
+        let boxed: Box<dyn Legalizer> = Box::new(Noop);
+        assert_eq!(boxed.name(), "noop");
+    }
+}

@@ -1,0 +1,735 @@
+//! The top-level design: instances, nets, dies and technologies.
+
+use crate::die::Die;
+use crate::error::DbError;
+use crate::ids::{CellId, DieId, LibCellId, MacroId, NetId, TechId};
+use crate::tech::{LibCell, Technology, TechnologySpec};
+use flow3d_geom::{Point, Rect};
+use std::collections::HashMap;
+
+/// A movable standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellInst {
+    /// Instance name, unique among all instances.
+    pub name: String,
+    /// Library cell; the physical width depends on the die the cell is
+    /// placed on (heterogeneous integration).
+    pub lib_cell: LibCellId,
+}
+
+/// A fixed macro instance, pre-placed on a specific die.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroInst {
+    /// Instance name, unique among all instances.
+    pub name: String,
+    /// Library cell (must have [`LibCellKind::Macro`](crate::LibCellKind)).
+    pub lib_cell: LibCellId,
+    /// Die the macro is fixed on.
+    pub die: DieId,
+    /// Lower-left corner.
+    pub pos: Point,
+}
+
+/// Reference to either a movable cell or a fixed macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstRef {
+    /// A movable standard cell.
+    Cell(CellId),
+    /// A fixed macro.
+    Macro(MacroId),
+}
+
+/// One pin connection of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinRef {
+    /// The instance the pin belongs to.
+    pub inst: InstRef,
+    /// Pin index into the instance's library cell pin table.
+    pub pin: usize,
+}
+
+/// A net connecting two or more pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name, unique among nets.
+    pub name: String,
+    /// Connected pins.
+    pub pins: Vec<PinRef>,
+}
+
+/// A complete design: the immutable netlist and floorplan a legalizer works
+/// against. Build with [`DesignBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    name: String,
+    techs: Vec<Technology>,
+    dies: Vec<Die>,
+    cells: Vec<CellInst>,
+    macros: Vec<MacroInst>,
+    nets: Vec<Net>,
+    cell_names: HashMap<String, CellId>,
+    macro_names: HashMap<String, MacroId>,
+    net_names: HashMap<String, NetId>,
+}
+
+impl Design {
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of movable standard cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of fixed macros.
+    pub fn num_macros(&self) -> usize {
+        self.macros.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of dies in the stack.
+    pub fn num_dies(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// All technologies, indexed by [`TechId`].
+    pub fn techs(&self) -> &[Technology] {
+        &self.techs
+    }
+
+    /// All dies, indexed by [`DieId`].
+    pub fn dies(&self) -> &[Die] {
+        &self.dies
+    }
+
+    /// All standard cells, indexed by [`CellId`].
+    pub fn cells(&self) -> &[CellInst] {
+        &self.cells
+    }
+
+    /// All macros, indexed by [`MacroId`].
+    pub fn macros(&self) -> &[MacroInst] {
+        &self.macros
+    }
+
+    /// All nets, indexed by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The die with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is out of range.
+    pub fn die(&self, die: DieId) -> &Die {
+        &self.dies[die.index()]
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell(&self, cell: CellId) -> &CellInst {
+        &self.cells[cell.index()]
+    }
+
+    /// Looks up a cell id by instance name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Looks up a macro id by instance name.
+    pub fn macro_by_name(&self, name: &str) -> Option<MacroId> {
+        self.macro_names.get(name).copied()
+    }
+
+    /// Looks up a net id by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// The library-cell incarnation of `cell` on `die` (width differs per
+    /// technology for heterogeneous stacks).
+    pub fn lib_cell_on(&self, lib_cell: LibCellId, die: DieId) -> &LibCell {
+        let tech = self.dies[die.index()].tech;
+        &self.techs[tech.index()].lib_cells[lib_cell.index()]
+    }
+
+    /// Width of `cell` when placed on `die` — the paper's `w_c^+` / `w_c^-`.
+    #[inline]
+    pub fn cell_width(&self, cell: CellId, die: DieId) -> i64 {
+        self.lib_cell_on(self.cells[cell.index()].lib_cell, die).width
+    }
+
+    /// Height of any standard cell on `die` (equals the die's row height).
+    #[inline]
+    pub fn cell_height(&self, die: DieId) -> i64 {
+        self.dies[die.index()].row_height
+    }
+
+    /// Mean standard-cell width on `die`, the paper's `w̄_c`, used to choose
+    /// bin widths (`w_v = 10·w̄_c` flow phase, `5·w̄_c` post-optimization).
+    ///
+    /// Returns the die's site width for a design without cells.
+    pub fn avg_cell_width(&self, die: DieId) -> f64 {
+        if self.cells.is_empty() {
+            return self.dies[die.index()].site_width as f64;
+        }
+        let total: i64 = self
+            .cells
+            .iter()
+            .map(|c| self.lib_cell_on(c.lib_cell, die).width)
+            .sum();
+        total as f64 / self.cells.len() as f64
+    }
+
+    /// Footprint of macro `m` as a rectangle on its die.
+    pub fn macro_rect(&self, m: MacroId) -> Rect {
+        let mi = &self.macros[m.index()];
+        let lc = self.lib_cell_on(mi.lib_cell, mi.die);
+        Rect::with_size(mi.pos, lc.width, lc.height)
+    }
+
+    /// Footprints of all macros fixed on `die`.
+    pub fn macro_rects_on(&self, die: DieId) -> Vec<Rect> {
+        self.macros
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.die == die)
+            .map(|(i, _)| self.macro_rect(MacroId::new(i)))
+            .collect()
+    }
+
+    /// Placeable area of `die` in DBU²: row area minus macro blockage.
+    pub fn free_area(&self, die: DieId) -> i64 {
+        let d = &self.dies[die.index()];
+        let blocked: i64 = self
+            .macro_rects_on(die)
+            .iter()
+            .map(|r| {
+                d.rows
+                    .iter()
+                    .map(|row| {
+                        let row_rect = Rect::new(row.span.lo, row.y, row.span.hi, row.y + d.row_height);
+                        row_rect.overlap_area(r)
+                    })
+                    .sum::<i64>()
+            })
+            .sum();
+        d.rows_area() - blocked
+    }
+
+    /// Pin offset of `pin` of instance `inst` when the instance sits on
+    /// `die`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin index is out of range (the builder validates all
+    /// net pins, so this only fires for hand-made [`PinRef`]s).
+    pub fn pin_offset(&self, inst: InstRef, pin: usize, die: DieId) -> Point {
+        let lib_cell = match inst {
+            InstRef::Cell(c) => self.cells[c.index()].lib_cell,
+            InstRef::Macro(m) => self.macros[m.index()].lib_cell,
+        };
+        self.lib_cell_on(lib_cell, die).pins[pin].offset
+    }
+}
+
+/// Die specification consumed by [`DesignBuilder::die`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieSpec {
+    name: String,
+    tech: String,
+    outline: Rect,
+    row_height: i64,
+    site_width: i64,
+    max_util: f64,
+}
+
+impl DieSpec {
+    /// Creates a die spec. `outline` is `(xlo, ylo, xhi, yhi)`; `max_util`
+    /// is a fraction in `(0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        tech: impl Into<String>,
+        outline: (i64, i64, i64, i64),
+        row_height: i64,
+        site_width: i64,
+        max_util: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            tech: tech.into(),
+            outline: Rect::new(outline.0, outline.1, outline.2, outline.3),
+            row_height,
+            site_width,
+            max_util,
+        }
+    }
+}
+
+/// Incrementally assembles and validates a [`Design`].
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug, Default)]
+pub struct DesignBuilder {
+    name: String,
+    techs: Vec<TechnologySpec>,
+    dies: Vec<DieSpec>,
+    cells: Vec<(String, String)>,
+    macros: Vec<(String, String, String, Point)>,
+    nets: Vec<(String, Vec<(String, usize)>)>,
+}
+
+impl DesignBuilder {
+    /// Starts a new design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a technology. The first technology defines the canonical lib
+    /// cell ordering; later technologies must define the same cells in the
+    /// same order.
+    #[must_use]
+    pub fn technology(mut self, spec: TechnologySpec) -> Self {
+        self.techs.push(spec);
+        self
+    }
+
+    /// Adds a die bound to a named technology. Dies are stacked in
+    /// insertion order: the first die is [`DieId::BOTTOM`].
+    #[must_use]
+    pub fn die(mut self, spec: DieSpec) -> Self {
+        self.dies.push(spec);
+        self
+    }
+
+    /// Adds a movable standard-cell instance of the named library cell.
+    #[must_use]
+    pub fn cell(mut self, name: impl Into<String>, lib_cell: impl Into<String>) -> Self {
+        self.cells.push((name.into(), lib_cell.into()));
+        self
+    }
+
+    /// Adds a fixed macro instance on the named die at `(x, y)`.
+    #[must_use]
+    pub fn macro_inst(
+        mut self,
+        name: impl Into<String>,
+        lib_cell: impl Into<String>,
+        die: impl Into<String>,
+        x: i64,
+        y: i64,
+    ) -> Self {
+        self.macros
+            .push((name.into(), lib_cell.into(), die.into(), Point::new(x, y)));
+        self
+    }
+
+    /// Adds a net connecting `(instance, pin_index)` pairs.
+    #[must_use]
+    pub fn net(mut self, name: impl Into<String>, pins: &[(&str, usize)]) -> Self {
+        self.nets.push((
+            name.into(),
+            pins.iter().map(|(i, p)| (i.to_string(), *p)).collect(),
+        ));
+        self
+    }
+
+    /// Validates all cross-references and produces the immutable [`Design`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] for duplicate or unknown names, misaligned
+    /// technologies, invalid dies, out-of-range pins, or macros placed
+    /// outside their die / overlapping each other.
+    pub fn build(self) -> Result<Design, DbError> {
+        if self.techs.is_empty() || self.dies.is_empty() {
+            return Err(DbError::EmptyStack);
+        }
+
+        // Technologies: unique names, aligned lib cell tables.
+        let mut techs = Vec::with_capacity(self.techs.len());
+        for spec in self.techs {
+            if techs.iter().any(|t: &Technology| t.name == spec.name) {
+                return Err(DbError::DuplicateName {
+                    kind: "technology",
+                    name: spec.name,
+                });
+            }
+            techs.push(Technology {
+                name: spec.name,
+                lib_cells: spec.lib_cells,
+            });
+        }
+        let canon = &techs[0];
+        for t in &techs[1..] {
+            if t.lib_cells.len() != canon.lib_cells.len() {
+                return Err(DbError::MisalignedTechnologies {
+                    tech: t.name.clone(),
+                    detail: format!(
+                        "{} lib cells vs {} in `{}`",
+                        t.lib_cells.len(),
+                        canon.lib_cells.len(),
+                        canon.name
+                    ),
+                });
+            }
+            for (a, b) in t.lib_cells.iter().zip(&canon.lib_cells) {
+                if a.name != b.name || a.kind != b.kind || a.pins.len() != b.pins.len() {
+                    return Err(DbError::MisalignedTechnologies {
+                        tech: t.name.clone(),
+                        detail: format!("lib cell `{}` does not match `{}`", a.name, b.name),
+                    });
+                }
+            }
+        }
+
+        // Dies.
+        let mut dies = Vec::with_capacity(self.dies.len());
+        for spec in self.dies {
+            if dies.iter().any(|d: &Die| d.name == spec.name) {
+                return Err(DbError::DuplicateName {
+                    kind: "die",
+                    name: spec.name,
+                });
+            }
+            let tech_idx = techs
+                .iter()
+                .position(|t| t.name == spec.tech)
+                .ok_or_else(|| DbError::UnknownName {
+                    kind: "technology",
+                    name: spec.tech.clone(),
+                })?;
+            if spec.row_height <= 0 || spec.site_width <= 0 {
+                return Err(DbError::InvalidDie {
+                    die: spec.name,
+                    detail: "non-positive row height or site width".into(),
+                });
+            }
+            if !(0.0..=1.0).contains(&spec.max_util) || spec.max_util == 0.0 {
+                return Err(DbError::InvalidDie {
+                    die: spec.name,
+                    detail: format!("max_util {} outside (0, 1]", spec.max_util),
+                });
+            }
+            dies.push(Die::with_uniform_rows(
+                spec.name,
+                TechId::new(tech_idx),
+                spec.outline,
+                spec.row_height,
+                spec.site_width,
+                spec.max_util,
+            ));
+        }
+
+        // Instances.
+        let lib_cell_index = |name: &str| -> Result<LibCellId, DbError> {
+            canon
+                .lib_cell_index(name)
+                .map(LibCellId::new)
+                .ok_or_else(|| DbError::UnknownName {
+                    kind: "lib cell",
+                    name: name.to_string(),
+                })
+        };
+
+        let mut cells = Vec::with_capacity(self.cells.len());
+        let mut cell_names = HashMap::with_capacity(self.cells.len());
+        for (name, lc) in self.cells {
+            let lib_cell = lib_cell_index(&lc)?;
+            if canon.lib_cells[lib_cell.index()].is_macro() {
+                return Err(DbError::InvalidMacro {
+                    name,
+                    detail: "macro lib cell used for a movable cell instance".into(),
+                });
+            }
+            if cell_names
+                .insert(name.clone(), CellId::new(cells.len()))
+                .is_some()
+            {
+                return Err(DbError::DuplicateName { kind: "cell", name });
+            }
+            cells.push(CellInst { name, lib_cell });
+        }
+
+        let mut macros: Vec<MacroInst> = Vec::with_capacity(self.macros.len());
+        let mut macro_names = HashMap::with_capacity(self.macros.len());
+        for (name, lc, die_name, pos) in self.macros {
+            let lib_cell = lib_cell_index(&lc)?;
+            if !canon.lib_cells[lib_cell.index()].is_macro() {
+                return Err(DbError::InvalidMacro {
+                    name,
+                    detail: "standard lib cell used for a fixed macro instance".into(),
+                });
+            }
+            let die_idx = dies
+                .iter()
+                .position(|d| d.name == die_name)
+                .ok_or_else(|| DbError::UnknownName {
+                    kind: "die",
+                    name: die_name.clone(),
+                })?;
+            if cell_names.contains_key(&name)
+                || macro_names
+                    .insert(name.clone(), MacroId::new(macros.len()))
+                    .is_some()
+            {
+                return Err(DbError::DuplicateName { kind: "instance", name });
+            }
+            macros.push(MacroInst {
+                name,
+                lib_cell,
+                die: DieId::new(die_idx),
+                pos,
+            });
+        }
+
+        // Macro placement validity: inside die, pairwise disjoint per die.
+        let rect_of = |m: &MacroInst| {
+            let tech = dies[m.die.index()].tech;
+            let lc = &techs[tech.index()].lib_cells[m.lib_cell.index()];
+            Rect::with_size(m.pos, lc.width, lc.height)
+        };
+        for (i, m) in macros.iter().enumerate() {
+            let r = rect_of(m);
+            let die = &dies[m.die.index()];
+            if !die.outline.contains_rect(&r) {
+                return Err(DbError::InvalidMacro {
+                    name: m.name.clone(),
+                    detail: format!("footprint {r} outside die outline {}", die.outline),
+                });
+            }
+            for other in &macros[..i] {
+                if other.die == m.die && rect_of(other).overlaps(&r) {
+                    return Err(DbError::InvalidMacro {
+                        name: m.name.clone(),
+                        detail: format!("overlaps macro `{}`", other.name),
+                    });
+                }
+            }
+        }
+
+        // Nets.
+        let mut nets = Vec::with_capacity(self.nets.len());
+        let mut net_names = HashMap::with_capacity(self.nets.len());
+        for (name, pins) in self.nets {
+            let mut refs = Vec::with_capacity(pins.len());
+            for (inst_name, pin) in pins {
+                let (inst, lib_cell) = if let Some(&c) = cell_names.get(&inst_name) {
+                    (InstRef::Cell(c), cells[c.index()].lib_cell)
+                } else if let Some(&m) = macro_names.get(&inst_name) {
+                    (InstRef::Macro(m), macros[m.index()].lib_cell)
+                } else {
+                    return Err(DbError::UnknownName {
+                        kind: "instance",
+                        name: inst_name,
+                    });
+                };
+                if pin >= canon.lib_cells[lib_cell.index()].pins.len() {
+                    return Err(DbError::InvalidPin {
+                        inst: inst_name,
+                        pin,
+                    });
+                }
+                refs.push(PinRef { inst, pin });
+            }
+            if net_names
+                .insert(name.clone(), NetId::new(nets.len()))
+                .is_some()
+            {
+                return Err(DbError::DuplicateName { kind: "net", name });
+            }
+            nets.push(Net { name, pins: refs });
+        }
+
+        Ok(Design {
+            name: self.name,
+            techs,
+            dies,
+            cells,
+            macros,
+            nets,
+            cell_names,
+            macro_names,
+            net_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::LibCellSpec;
+
+    fn base_builder() -> DesignBuilder {
+        DesignBuilder::new("t")
+            .technology(
+                TechnologySpec::new("TA")
+                    .lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 6).pin("Y", 9, 6))
+                    .lib_cell(LibCellSpec::macro_cell("RAM", 200, 48).pin("D", 0, 0)),
+            )
+            .technology(
+                TechnologySpec::new("TB")
+                    .lib_cell(LibCellSpec::std_cell("INV", 8, 10).pin("A", 0, 5).pin("Y", 7, 5))
+                    .lib_cell(LibCellSpec::macro_cell("RAM", 160, 40).pin("D", 0, 0)),
+            )
+            .die(DieSpec::new("bottom", "TA", (0, 0, 1000, 120), 12, 1, 0.9))
+            .die(DieSpec::new("top", "TB", (0, 0, 1000, 120), 10, 1, 0.8))
+    }
+
+    #[test]
+    fn build_valid_design() {
+        let d = base_builder()
+            .cell("u1", "INV")
+            .cell("u2", "INV")
+            .macro_inst("ram0", "RAM", "bottom", 100, 0)
+            .net("n1", &[("u1", 1), ("u2", 0), ("ram0", 0)])
+            .build()
+            .unwrap();
+        assert_eq!(d.num_cells(), 2);
+        assert_eq!(d.num_macros(), 1);
+        assert_eq!(d.num_nets(), 1);
+        let u1 = d.cell_by_name("u1").unwrap();
+        assert_eq!(d.cell_width(u1, DieId::BOTTOM), 10);
+        assert_eq!(d.cell_width(u1, DieId::TOP), 8);
+        assert_eq!(d.cell_height(DieId::TOP), 10);
+    }
+
+    #[test]
+    fn hetero_widths_differ_per_die() {
+        let d = base_builder().cell("u1", "INV").build().unwrap();
+        let u1 = d.cell_by_name("u1").unwrap();
+        assert_ne!(
+            d.cell_width(u1, DieId::BOTTOM),
+            d.cell_width(u1, DieId::TOP)
+        );
+        assert!((d.avg_cell_width(DieId::BOTTOM) - 10.0).abs() < 1e-9);
+        assert!((d.avg_cell_width(DieId::TOP) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_area_subtracts_macro_blockage() {
+        let d = base_builder()
+            .macro_inst("ram0", "RAM", "bottom", 100, 0)
+            .build()
+            .unwrap();
+        // RAM on bottom is 200 x 48 covering rows 0..4 (height 48 = 4 rows).
+        let rows_area = 1000 * 120;
+        assert_eq!(d.free_area(DieId::BOTTOM), rows_area - 200 * 48);
+        assert_eq!(d.free_area(DieId::TOP), 1000 * 120);
+    }
+
+    #[test]
+    fn duplicate_cell_name_rejected() {
+        let err = base_builder()
+            .cell("u1", "INV")
+            .cell("u1", "INV")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateName { kind: "cell", .. }));
+    }
+
+    #[test]
+    fn unknown_lib_cell_rejected() {
+        let err = base_builder().cell("u1", "NAND9").build().unwrap_err();
+        assert!(matches!(err, DbError::UnknownName { kind: "lib cell", .. }));
+    }
+
+    #[test]
+    fn misaligned_technologies_rejected() {
+        let err = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("TA").lib_cell(LibCellSpec::std_cell("INV", 1, 1)))
+            .technology(TechnologySpec::new("TB").lib_cell(LibCellSpec::std_cell("BUF", 1, 1)))
+            .die(DieSpec::new("d", "TA", (0, 0, 10, 10), 1, 1, 1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::MisalignedTechnologies { .. }));
+    }
+
+    #[test]
+    fn macro_outside_die_rejected() {
+        let err = base_builder()
+            .macro_inst("ram0", "RAM", "bottom", 900, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidMacro { .. }));
+    }
+
+    #[test]
+    fn overlapping_macros_rejected() {
+        let err = base_builder()
+            .macro_inst("ram0", "RAM", "bottom", 0, 0)
+            .macro_inst("ram1", "RAM", "bottom", 100, 24)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidMacro { .. }));
+    }
+
+    #[test]
+    fn macro_as_cell_rejected() {
+        let err = base_builder().cell("u1", "RAM").build().unwrap_err();
+        assert!(matches!(err, DbError::InvalidMacro { .. }));
+    }
+
+    #[test]
+    fn net_with_bad_pin_rejected() {
+        let err = base_builder()
+            .cell("u1", "INV")
+            .net("n1", &[("u1", 5)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidPin { .. }));
+    }
+
+    #[test]
+    fn net_with_unknown_instance_rejected() {
+        let err = base_builder()
+            .net("n1", &[("nope", 0)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::UnknownName { kind: "instance", .. }));
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        assert_eq!(DesignBuilder::new("x").build().unwrap_err(), DbError::EmptyStack);
+    }
+
+    #[test]
+    fn invalid_util_rejected() {
+        let err = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("TA").lib_cell(LibCellSpec::std_cell("INV", 1, 1)))
+            .die(DieSpec::new("d", "TA", (0, 0, 10, 10), 1, 1, 1.5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DbError::InvalidDie { .. }));
+    }
+
+    #[test]
+    fn pin_offset_depends_on_die() {
+        let d = base_builder().cell("u1", "INV").build().unwrap();
+        let u1 = d.cell_by_name("u1").unwrap();
+        assert_eq!(
+            d.pin_offset(InstRef::Cell(u1), 1, DieId::BOTTOM),
+            Point::new(9, 6)
+        );
+        assert_eq!(
+            d.pin_offset(InstRef::Cell(u1), 1, DieId::TOP),
+            Point::new(7, 5)
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for design-database construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building or validating a [`Design`](crate::Design).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// A name (instance, net, lib cell, technology, die) was defined twice.
+    DuplicateName {
+        /// Kind of entity ("cell", "net", ...).
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A reference to an undefined name.
+    UnknownName {
+        /// Kind of entity ("lib cell", "instance", ...).
+        kind: &'static str,
+        /// The unresolved name.
+        name: String,
+    },
+    /// The technologies do not define the same library cells in the same
+    /// order; heterogeneous widths require aligned tables.
+    MisalignedTechnologies {
+        /// Name of the mismatching technology.
+        tech: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// A die references rows or geometry that are inconsistent (e.g. a row
+    /// outside the outline, or a non-positive row height).
+    InvalidDie {
+        /// Name of the die.
+        die: String,
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// A pin index is out of range for the instance's library cell.
+    InvalidPin {
+        /// Instance name.
+        inst: String,
+        /// The out-of-range pin index.
+        pin: usize,
+    },
+    /// A macro is placed outside its die or overlapping another macro.
+    InvalidMacro {
+        /// Macro instance name.
+        name: String,
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// The design has no dies or no technologies.
+    EmptyStack,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            DbError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            DbError::MisalignedTechnologies { tech, detail } => {
+                write!(f, "technology `{tech}` misaligned with the first technology: {detail}")
+            }
+            DbError::InvalidDie { die, detail } => {
+                write!(f, "invalid die `{die}`: {detail}")
+            }
+            DbError::InvalidPin { inst, pin } => {
+                write!(f, "pin index {pin} out of range for instance `{inst}`")
+            }
+            DbError::InvalidMacro { name, detail } => {
+                write!(f, "invalid macro `{name}`: {detail}")
+            }
+            DbError::EmptyStack => write!(f, "design has no dies or no technologies"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DbError::UnknownName {
+            kind: "lib cell",
+            name: "INVX1".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("INVX1"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DbError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Typed index handles into the design database.
+//!
+//! Every entity in a [`Design`](crate::Design) is addressed by a small
+//! newtype around `u32`. The newtypes prevent, at compile time, mixing a
+//! cell index with a net index or a die index (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect(concat!($tag, " id overflow")))
+            }
+
+            /// The raw index, for slice addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a standard-cell instance within a design.
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifies a fixed macro instance within a design.
+    MacroId,
+    "m"
+);
+define_id!(
+    /// Identifies a net within a design.
+    NetId,
+    "n"
+);
+define_id!(
+    /// Identifies a library cell; the same id indexes the aligned
+    /// `lib_cells` tables of every technology.
+    LibCellId,
+    "lc"
+);
+define_id!(
+    /// Identifies a technology (a library characterized for one die).
+    TechId,
+    "t"
+);
+define_id!(
+    /// Identifies a row within one die (local to the die).
+    RowId,
+    "r"
+);
+define_id!(
+    /// Identifies a macro-free segment of a row within a
+    /// [`RowLayout`](crate::RowLayout).
+    SegmentId,
+    "s"
+);
+
+/// Identifies a die in the 3D stack. Die 0 is the bottom die; in the
+/// two-die F2F setting die 1 is the top die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DieId(pub u8);
+
+impl DieId {
+    /// The bottom die of an F2F stack.
+    pub const BOTTOM: DieId = DieId(0);
+    /// The top die of a two-die F2F stack.
+    pub const TOP: DieId = DieId(1);
+
+    /// Creates a die id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u8::MAX` (no realistic stack comes close).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Self(u8::try_from(index).expect("die id overflow"))
+    }
+
+    /// The raw index, for slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DieId::BOTTOM => write!(f, "bottom"),
+            DieId::TOP => write!(f, "top"),
+            DieId(n) => write!(f, "die{n}"),
+        }
+    }
+}
+
+impl From<usize> for DieId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(CellId::new(42).index(), 42);
+        assert_eq!(NetId::from(7usize).index(), 7);
+        assert_eq!(DieId::new(1), DieId::TOP);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_tagged() {
+        assert_eq!(CellId::new(3).to_string(), "c3");
+        assert_eq!(DieId::BOTTOM.to_string(), "bottom");
+        assert_eq!(DieId(4).to_string(), "die4");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert!(DieId::BOTTOM < DieId::TOP);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn die_id_overflow_panics() {
+        let _ = DieId::new(300);
+    }
+}

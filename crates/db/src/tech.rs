@@ -1,0 +1,210 @@
+//! Technologies and library cells.
+//!
+//! In heterogeneous F2F integration the two dies may be fabricated in
+//! different technology nodes, so the *same* library cell has different
+//! physical dimensions depending on the die it is placed on. We model this
+//! as one [`Technology`] per node, each holding a `lib_cells` table aligned
+//! by [`LibCellId`](crate::LibCellId): `techs[t].lib_cells[lc]` is the
+//! incarnation of lib cell `lc` in technology `t`.
+
+use flow3d_geom::Point;
+
+/// Whether a library cell is a movable standard cell or a fixed macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LibCellKind {
+    /// A standard cell: one row tall, movable by the legalizer.
+    #[default]
+    StdCell,
+    /// A macro: fixed blockage spanning multiple rows.
+    Macro,
+}
+
+/// A pin of a library cell, with its offset from the cell's lower-left
+/// corner.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PinDef {
+    /// Pin name, unique within the cell.
+    pub name: String,
+    /// Offset from the instance's lower-left corner, in DBU.
+    pub offset: Point,
+}
+
+impl PinDef {
+    /// Creates a pin definition.
+    pub fn new(name: impl Into<String>, offset: Point) -> Self {
+        Self {
+            name: name.into(),
+            offset,
+        }
+    }
+}
+
+/// One library cell as characterized in one technology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibCell {
+    /// Cell name; identical across technologies for the same
+    /// [`LibCellId`](crate::LibCellId).
+    pub name: String,
+    /// Footprint width in DBU. For standard cells this is the paper's
+    /// `w_c^+` (top-die tech) or `w_c^-` (bottom-die tech).
+    pub width: i64,
+    /// Footprint height in DBU; equals the row height for standard cells.
+    pub height: i64,
+    /// Standard cell or macro.
+    pub kind: LibCellKind,
+    /// Pin definitions, indexed by pin index.
+    pub pins: Vec<PinDef>,
+}
+
+impl LibCell {
+    /// `true` if this is a fixed macro.
+    #[inline]
+    pub fn is_macro(&self) -> bool {
+        self.kind == LibCellKind::Macro
+    }
+
+    /// Looks up a pin index by name.
+    pub fn pin_index(&self, name: &str) -> Option<usize> {
+        self.pins.iter().position(|p| p.name == name)
+    }
+
+    /// Footprint area in DBU².
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width * self.height
+    }
+}
+
+/// A library characterized for one technology node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Technology {
+    /// Technology name (e.g. `"N16"`).
+    pub name: String,
+    /// Library cells, aligned by [`LibCellId`](crate::LibCellId) across all
+    /// technologies of a design.
+    pub lib_cells: Vec<LibCell>,
+}
+
+impl Technology {
+    /// Looks up a library cell index by name.
+    pub fn lib_cell_index(&self, name: &str) -> Option<usize> {
+        self.lib_cells.iter().position(|lc| lc.name == name)
+    }
+}
+
+/// Builder-style specification of a technology, consumed by
+/// [`DesignBuilder`](crate::DesignBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_db::{LibCellSpec, TechnologySpec};
+/// let tech = TechnologySpec::new("N7")
+///     .lib_cell(LibCellSpec::std_cell("INV", 8, 12))
+///     .lib_cell(LibCellSpec::std_cell("NAND2", 12, 12).pin("A", 1, 6).pin("B", 5, 6).pin("Y", 10, 6));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechnologySpec {
+    pub(crate) name: String,
+    pub(crate) lib_cells: Vec<LibCell>,
+}
+
+impl TechnologySpec {
+    /// Starts a technology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            lib_cells: Vec::new(),
+        }
+    }
+
+    /// Adds a library cell.
+    #[must_use]
+    pub fn lib_cell(mut self, spec: LibCellSpec) -> Self {
+        self.lib_cells.push(spec.into_lib_cell());
+        self
+    }
+}
+
+/// Builder-style specification of a library cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibCellSpec {
+    cell: LibCell,
+}
+
+impl LibCellSpec {
+    /// Starts a standard-cell specification of the given footprint.
+    pub fn std_cell(name: impl Into<String>, width: i64, height: i64) -> Self {
+        Self {
+            cell: LibCell {
+                name: name.into(),
+                width,
+                height,
+                kind: LibCellKind::StdCell,
+                pins: Vec::new(),
+            },
+        }
+    }
+
+    /// Starts a macro specification of the given footprint.
+    pub fn macro_cell(name: impl Into<String>, width: i64, height: i64) -> Self {
+        Self {
+            cell: LibCell {
+                name: name.into(),
+                width,
+                height,
+                kind: LibCellKind::Macro,
+                pins: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a pin at `(dx, dy)` from the lower-left corner.
+    #[must_use]
+    pub fn pin(mut self, name: impl Into<String>, dx: i64, dy: i64) -> Self {
+        self.cell.pins.push(PinDef::new(name, Point::new(dx, dy)));
+        self
+    }
+
+    /// Finishes the specification.
+    pub(crate) fn into_lib_cell(self) -> LibCell {
+        self.cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_cell_spec_builds_std_cell_with_pins() {
+        let lc = LibCellSpec::std_cell("NAND2", 12, 12)
+            .pin("A", 1, 6)
+            .pin("Y", 10, 6)
+            .into_lib_cell();
+        assert_eq!(lc.name, "NAND2");
+        assert!(!lc.is_macro());
+        assert_eq!(lc.pin_index("Y"), Some(1));
+        assert_eq!(lc.pin_index("Z"), None);
+        assert_eq!(lc.area(), 144);
+    }
+
+    #[test]
+    fn macro_spec_sets_kind() {
+        let lc = LibCellSpec::macro_cell("RAM", 500, 300).into_lib_cell();
+        assert!(lc.is_macro());
+    }
+
+    #[test]
+    fn technology_lookup_by_name() {
+        let t = TechnologySpec::new("N7")
+            .lib_cell(LibCellSpec::std_cell("A", 1, 2))
+            .lib_cell(LibCellSpec::std_cell("B", 3, 2));
+        let tech = Technology {
+            name: t.name,
+            lib_cells: t.lib_cells,
+        };
+        assert_eq!(tech.lib_cell_index("B"), Some(1));
+        assert_eq!(tech.lib_cell_index("C"), None);
+    }
+}

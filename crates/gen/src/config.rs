@@ -1,0 +1,380 @@
+//! Generator configuration, presets, and the generation pipeline.
+
+use crate::{floorplan, library, natural, netlist};
+use flow3d_db::{DbError, Design, Placement3d};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by the generator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GenError {
+    /// The configuration is contradictory (zero cells, bad utilization...).
+    InvalidConfig {
+        /// Explanation.
+        detail: String,
+    },
+    /// The generated case could not be made feasible (cells cannot fit
+    /// under the utilization constraints even after growing the dies).
+    Infeasible {
+        /// Explanation.
+        detail: String,
+    },
+    /// The assembled design failed database validation (generator bug).
+    Db(DbError),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidConfig { detail } => write!(f, "invalid generator config: {detail}"),
+            GenError::Infeasible { detail } => write!(f, "infeasible case: {detail}"),
+            GenError::Db(e) => write!(f, "generated design rejected: {e}"),
+        }
+    }
+}
+
+impl Error for GenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for GenError {
+    fn from(e: DbError) -> Self {
+        GenError::Db(e)
+    }
+}
+
+/// A generated benchmark: the design plus the clustered *natural*
+/// placement the netlist was drawn around (used to seed global placement).
+#[derive(Debug, Clone)]
+pub struct GeneratedCase {
+    /// The validated design.
+    pub design: Design,
+    /// Clustered continuous placement with die affinities; the input to
+    /// [`flow3d-gp`](https://docs.rs/flow3d-gp) or, directly, a legalizer.
+    pub natural: Placement3d,
+}
+
+/// Configuration of one synthetic benchmark.
+///
+/// Use the presets ([`iccad2022`](Self::iccad2022),
+/// [`iccad2023`](Self::iccad2023), [`small_demo`](Self::small_demo)) or
+/// fill the fields directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Case name (becomes the design name).
+    pub name: String,
+    /// RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+    /// Number of movable standard cells.
+    pub num_cells: usize,
+    /// Number of fixed macros (0 for the 2022 suite).
+    pub num_macros: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// Row height of the top die (`h_r^+`).
+    pub row_height_top: i64,
+    /// Row height of the bottom die (`h_r^-`).
+    pub row_height_bottom: i64,
+    /// Number of distinct standard lib cells.
+    pub num_lib_cells: usize,
+    /// Natural-placement density target that sizes the dies (fraction of
+    /// free area the cells would occupy if split evenly).
+    pub target_density: f64,
+    /// Contest `TopDieMaxUtil` as a fraction.
+    pub max_util_top: f64,
+    /// Contest `BottomDieMaxUtil` as a fraction.
+    pub max_util_bottom: f64,
+    /// Number of placement hotspots in the natural placement.
+    pub num_clusters: usize,
+    /// Cluster standard deviation relative to the die width.
+    pub cluster_spread: f64,
+    /// Uniform scale factor applied to `num_cells`, `num_nets` and
+    /// `num_macros` (for quick reduced-size runs; 1.0 = full size).
+    pub scale: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            name: "case".into(),
+            seed: 1,
+            num_cells: 1000,
+            num_macros: 0,
+            num_nets: 1000,
+            row_height_top: 12,
+            row_height_bottom: 12,
+            num_lib_cells: 24,
+            target_density: 0.72,
+            max_util_top: 0.85,
+            max_util_bottom: 0.85,
+            num_clusters: 8,
+            cluster_spread: 0.12,
+            scale: 1.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A tiny case (a few hundred cells) for demos and tests.
+    pub fn small_demo(seed: u64) -> Self {
+        Self {
+            name: "demo".into(),
+            seed,
+            num_cells: 400,
+            num_macros: 2,
+            num_nets: 420,
+            row_height_top: 10,
+            row_height_bottom: 12,
+            num_lib_cells: 12,
+            num_clusters: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Preset matching one ICCAD 2022 suite row of Table II
+    /// (standard cells only). Returns `None` for unknown case names; see
+    /// [`crate::ICCAD2022_CASES`].
+    pub fn iccad2022(case: &str) -> Option<Self> {
+        // (cells, nets, h_r^+, h_r^-) from Table II.
+        let (cells, nets, ht, hb) = match case {
+            "case2" => (2_735, 2_644, 176, 252),
+            "case2h" => (2_735, 2_644, 252, 252),
+            "case3" => (44_764, 44_360, 115, 115),
+            "case3h" => (44_764, 44_360, 92, 115),
+            "case4" => (220_845, 220_071, 92, 115),
+            "case4h" => (220_845, 220_071, 103, 115),
+            _ => return None,
+        };
+        Some(Self {
+            name: format!("iccad2022_{case}"),
+            seed: 0x2022 ^ fxhash(case),
+            num_cells: cells,
+            num_macros: 0,
+            num_nets: nets,
+            row_height_top: ht,
+            row_height_bottom: hb,
+            num_lib_cells: 32,
+            num_clusters: (cells / 2500).clamp(4, 40),
+            ..Self::default()
+        })
+    }
+
+    /// Preset matching one ICCAD 2023 suite row of Table II (mixed-size:
+    /// macros present). Returns `None` for unknown case names; see
+    /// [`crate::ICCAD2023_CASES`].
+    ///
+    /// The paper's Table II as available to us truncates the case4 rows;
+    /// their cell/net counts here are estimates consistent with the
+    /// reported runtimes (documented in `DESIGN.md`).
+    pub fn iccad2023(case: &str) -> Option<Self> {
+        let (cells, macros, nets, ht, hb) = match case {
+            "case2" => (13_901, 6, 19_547, 33, 33),
+            "case2h1" => (13_901, 6, 19_547, 33, 48),
+            "case2h2" => (13_901, 6, 19_547, 33, 48),
+            "case3" => (124_231, 34, 164_429, 33, 48),
+            "case3h" => (124_231, 34, 164_429, 33, 48),
+            // Table II rows truncated in our source; sized from runtimes.
+            "case4" => (300_000, 64, 350_000, 33, 33),
+            "case4h" => (300_000, 64, 350_000, 33, 48),
+            _ => return None,
+        };
+        Some(Self {
+            name: format!("iccad2023_{case}"),
+            seed: 0x2023 ^ fxhash(case),
+            num_cells: cells,
+            num_macros: macros,
+            num_nets: nets,
+            row_height_top: ht,
+            row_height_bottom: hb,
+            num_lib_cells: 32,
+            num_clusters: (cells / 2500).clamp(4, 48),
+            // Macro-heavy cases run a bit denser, like the contest set.
+            target_density: 0.75,
+            ..Self::default()
+        })
+    }
+
+    /// Scaled cell count after applying [`scale`](Self::scale).
+    pub fn scaled_cells(&self) -> usize {
+        ((self.num_cells as f64 * self.scale) as usize).max(1)
+    }
+
+    /// Scaled net count.
+    pub fn scaled_nets(&self) -> usize {
+        (self.num_nets as f64 * self.scale) as usize
+    }
+
+    /// Scaled macro count.
+    pub fn scaled_macros(&self) -> usize {
+        if self.num_macros == 0 {
+            0
+        } else {
+            ((self.num_macros as f64 * self.scale) as usize).max(1)
+        }
+    }
+
+    /// Runs the full generation pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::InvalidConfig`] for contradictory parameters;
+    /// [`GenError::Infeasible`] if the case cannot fit its cells under the
+    /// utilization constraints even after repeatedly growing the dies.
+    pub fn generate(&self) -> Result<GeneratedCase, GenError> {
+        self.validate()?;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        let lib = library::build(self, &mut rng);
+
+        // Grow the dies until the natural die split fits comfortably under
+        // the utilization caps.
+        let mut growth = 1.0f64;
+        for _attempt in 0..6 {
+            let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(1));
+            let plan = floorplan::build(self, &lib, growth, &mut rng)?;
+            let natural = natural::build(self, &plan, &lib, &mut rng);
+            if let Some(detail) = floorplan::infeasibility(self, &lib, &plan, &natural) {
+                growth *= 1.18;
+                let _ = detail;
+                continue;
+            }
+            let nets = netlist::build(self, &lib, &plan, &natural, &mut rng);
+            let design = crate::floorplan::assemble(self, &lib, &plan, &nets)?;
+            return Ok(GeneratedCase { design, natural });
+        }
+        Err(GenError::Infeasible {
+            detail: format!(
+                "could not fit {} cells under utilization {}/{} after growing dies",
+                self.scaled_cells(),
+                self.max_util_top,
+                self.max_util_bottom
+            ),
+        })
+    }
+
+    fn validate(&self) -> Result<(), GenError> {
+        let fail = |detail: &str| {
+            Err(GenError::InvalidConfig {
+                detail: detail.into(),
+            })
+        };
+        if self.num_cells == 0 {
+            return fail("num_cells must be positive");
+        }
+        if self.row_height_top <= 0 || self.row_height_bottom <= 0 {
+            return fail("row heights must be positive");
+        }
+        if self.num_lib_cells == 0 {
+            return fail("num_lib_cells must be positive");
+        }
+        if !(0.05..=0.98).contains(&self.target_density) {
+            return fail("target_density must be in [0.05, 0.98]");
+        }
+        for u in [self.max_util_top, self.max_util_bottom] {
+            if !(0.0..=1.0).contains(&u) || u == 0.0 {
+                return fail("max utilizations must be in (0, 1]");
+            }
+        }
+        if self.target_density > self.max_util_top.min(self.max_util_bottom) {
+            return fail("target_density exceeds the utilization caps");
+        }
+        if self.scale <= 0.0 || self.scale > 1.0 {
+            return fail("scale must be in (0, 1]");
+        }
+        if self.num_clusters == 0 {
+            return fail("num_clusters must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// Tiny deterministic string hash for preset seeds.
+fn fxhash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_all_published_cases() {
+        for c in crate::ICCAD2022_CASES {
+            assert!(GeneratorConfig::iccad2022(c).is_some(), "{c}");
+        }
+        for c in crate::ICCAD2023_CASES {
+            assert!(GeneratorConfig::iccad2023(c).is_some(), "{c}");
+        }
+        assert!(GeneratorConfig::iccad2022("case9").is_none());
+        assert!(GeneratorConfig::iccad2023("case9").is_none());
+    }
+
+    #[test]
+    fn preset_statistics_match_table2() {
+        let c = GeneratorConfig::iccad2022("case3h").unwrap();
+        assert_eq!(c.num_cells, 44_764);
+        assert_eq!(c.num_nets, 44_360);
+        assert_eq!(c.row_height_top, 92);
+        assert_eq!(c.row_height_bottom, 115);
+        assert_eq!(c.num_macros, 0);
+
+        let c = GeneratorConfig::iccad2023("case2h1").unwrap();
+        assert_eq!(c.num_cells, 13_901);
+        assert_eq!(c.num_macros, 6);
+        assert_eq!(c.num_nets, 19_547);
+        assert_eq!((c.row_height_top, c.row_height_bottom), (33, 48));
+    }
+
+    #[test]
+    fn different_cases_get_different_seeds() {
+        let a = GeneratorConfig::iccad2022("case2").unwrap().seed;
+        let b = GeneratorConfig::iccad2022("case2h").unwrap().seed;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GeneratorConfig::small_demo(1);
+        c.num_cells = 0;
+        assert!(matches!(c.generate(), Err(GenError::InvalidConfig { .. })));
+
+        let mut c = GeneratorConfig::small_demo(1);
+        c.target_density = 0.95;
+        c.max_util_top = 0.5;
+        assert!(matches!(c.generate(), Err(GenError::InvalidConfig { .. })));
+
+        let mut c = GeneratorConfig::small_demo(1);
+        c.scale = 0.0;
+        assert!(matches!(c.generate(), Err(GenError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn scaling_reduces_counts_but_keeps_macros_nonzero() {
+        let mut c = GeneratorConfig::iccad2023("case2").unwrap();
+        c.scale = 0.1;
+        assert_eq!(c.scaled_cells(), 1390);
+        assert_eq!(c.scaled_macros(), 1.max((6.0 * 0.1) as usize));
+        assert!(c.scaled_macros() >= 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GeneratorConfig::small_demo(9).generate().unwrap();
+        let b = GeneratorConfig::small_demo(9).generate().unwrap();
+        assert_eq!(a.design, b.design);
+        assert_eq!(a.natural, b.natural);
+        let c = GeneratorConfig::small_demo(10).generate().unwrap();
+        assert_ne!(a.natural, c.natural);
+    }
+}

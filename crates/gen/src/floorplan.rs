@@ -1,0 +1,346 @@
+//! Die sizing, macro placement, and final design assembly.
+
+use crate::config::{GenError, GeneratorConfig};
+use crate::library::Library;
+use crate::netlist::NetSpec;
+use flow3d_db::{Design, DesignBuilder, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
+use flow3d_geom::Rect;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A fixed macro chosen by the floorplanner.
+#[derive(Debug, Clone)]
+pub(crate) struct MacroDef {
+    pub name: String,
+    pub lib_name: String,
+    pub width: i64,
+    pub height: i64,
+    pub x: i64,
+    pub y: i64,
+    /// 0 = bottom, 1 = top.
+    pub die: usize,
+}
+
+/// The floorplan: common die outline plus placed macros.
+#[derive(Debug, Clone)]
+pub(crate) struct Plan {
+    pub width: i64,
+    pub height: i64,
+    pub macros: Vec<MacroDef>,
+}
+
+impl Plan {
+    /// Macro footprints on one die.
+    pub fn macro_rects(&self, die: usize) -> Vec<Rect> {
+        self.macros
+            .iter()
+            .filter(|m| m.die == die)
+            .map(|m| Rect::new(m.x, m.y, m.x + m.width, m.y + m.height))
+            .collect()
+    }
+}
+
+/// Sizes the dies from the instance area and places macros.
+pub(crate) fn build(
+    cfg: &GeneratorConfig,
+    lib: &Library,
+    growth: f64,
+    rng: &mut SmallRng,
+) -> Result<Plan, GenError> {
+    let area_bottom = lib.total_area_bottom(cfg.row_height_bottom) as f64;
+    let area_top = lib.total_area_top(cfg.row_height_top) as f64;
+    // Cells split roughly evenly across the two dies; size each die for
+    // half the larger-technology area at the target density.
+    let mut die_area = area_bottom.max(area_top) / 2.0 / cfg.target_density * growth;
+    // Reserve room for macro blockages (~1.2% of the die each).
+    let macros_per_die = cfg.scaled_macros().div_ceil(2) as f64;
+    die_area /= (1.0 - 0.012 * macros_per_die).max(0.5);
+
+    let side = die_area.sqrt();
+    let height = flow3d_geom::snap_up(
+        (side.max((3 * cfg.row_height_bottom.max(cfg.row_height_top)) as f64)) as i64,
+        0,
+        cfg.row_height_bottom,
+    );
+    let width_raw = (die_area / height as f64).ceil() as i64;
+    // Width on the site grid of both dies.
+    let site_step = lcm(lib.site_bottom, lib.site_top);
+    let width = flow3d_geom::snap_up(width_raw.max(site_step * 16), 0, site_step);
+
+    let mut plan = Plan {
+        width,
+        height,
+        macros: Vec::new(),
+    };
+
+    // Macros: alternating dies, rejection-sampled positions on the row/site
+    // grid of their die.
+    let num_macros = cfg.scaled_macros();
+    for k in 0..num_macros {
+        let die = k % 2;
+        let (row_h, site_w) = if die == 0 {
+            (cfg.row_height_bottom, lib.site_bottom)
+        } else {
+            (cfg.row_height_top, lib.site_top)
+        };
+        let mut frac_w = rng.random_range(0.08..0.16);
+        let mut frac_h = rng.random_range(0.06..0.14);
+        let mut placed = false;
+        'shrink: for _ in 0..6 {
+            let w = flow3d_geom::snap_up(((width as f64) * frac_w) as i64, 0, site_w).max(site_w);
+            let h = flow3d_geom::snap_up(((height as f64) * frac_h) as i64, 0, row_h).max(2 * row_h);
+            if w >= width || h >= height {
+                frac_w *= 0.7;
+                frac_h *= 0.7;
+                continue;
+            }
+            for _try in 0..500 {
+                let x = flow3d_geom::snap_down(rng.random_range(0..=(width - w)), 0, site_w);
+                let y = flow3d_geom::snap_down(rng.random_range(0..=(height - h)), 0, row_h);
+                let rect = Rect::new(x, y, x + w, y + h);
+                if plan.macro_rects(die).iter().all(|r| !r.overlaps(&rect)) {
+                    plan.macros.push(MacroDef {
+                        name: format!("m{k}"),
+                        lib_name: format!("MC{k}"),
+                        width: w,
+                        height: h,
+                        x,
+                        y,
+                        die,
+                    });
+                    placed = true;
+                    break 'shrink;
+                }
+            }
+            frac_w *= 0.8;
+            frac_h *= 0.8;
+        }
+        if !placed {
+            return Err(GenError::Infeasible {
+                detail: format!("could not place macro {k} without overlap"),
+            });
+        }
+    }
+    Ok(plan)
+}
+
+/// Checks whether the natural die split fits under the utilization caps
+/// with a safety margin; returns an explanation when it does not.
+pub(crate) fn infeasibility(
+    cfg: &GeneratorConfig,
+    lib: &Library,
+    plan: &Plan,
+    natural: &Placement3d,
+) -> Option<String> {
+    let rows_bottom = plan.height / cfg.row_height_bottom;
+    let rows_top = plan.height / cfg.row_height_top;
+    let rows_area = [
+        rows_bottom * cfg.row_height_bottom * plan.width,
+        rows_top * cfg.row_height_top * plan.width,
+    ];
+    for (die, &die_rows_area) in rows_area.iter().enumerate() {
+        let blocked: i64 = plan
+            .macro_rects(die)
+            .iter()
+            .map(|r| {
+                // Macros are snapped to rows of their die, so the blocked
+                // row area is the footprint clipped to the rows region.
+                let rows_h = die_rows_area / plan.width;
+                let clipped = Rect::new(r.xlo, r.ylo, r.xhi, r.yhi.min(rows_h));
+                clipped.area().max(0)
+            })
+            .sum();
+        let free = die_rows_area - blocked;
+        let max_util = if die == 0 {
+            cfg.max_util_bottom
+        } else {
+            cfg.max_util_top
+        };
+        let assigned: i64 = lib
+            .instance_lib
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                let aff = natural.die_affinity(flow3d_db::CellId::new(i));
+                aff.round() as usize == die
+            })
+            .map(|(_, &lc)| {
+                if die == 0 {
+                    lib.width_bottom(lc) * cfg.row_height_bottom
+                } else {
+                    lib.width_top(lc) * cfg.row_height_top
+                }
+            })
+            .sum();
+        if (assigned as f64) > 0.94 * max_util * free as f64 {
+            return Some(format!(
+                "die {die}: assigned area {assigned} exceeds 94% of cap {:.0}",
+                max_util * free as f64
+            ));
+        }
+    }
+    None
+}
+
+/// Assembles the validated [`Design`] from all pipeline outputs.
+pub(crate) fn assemble(
+    cfg: &GeneratorConfig,
+    lib: &Library,
+    plan: &Plan,
+    nets: &[NetSpec],
+) -> Result<Design, GenError> {
+    let tech_for = |name: &str, site: i64, hr: i64| {
+        let mut tech = TechnologySpec::new(name);
+        for cell in &lib.std_cells {
+            let w = cell.sites * site;
+            let mut spec = LibCellSpec::std_cell(&cell.name, w, hr);
+            for (pname, fx, fy) in &cell.pins {
+                spec = spec.pin(
+                    pname,
+                    ((w as f64 * fx) as i64).min(w - 1),
+                    ((hr as f64 * fy) as i64).min(hr - 1),
+                );
+            }
+            tech = tech.lib_cell(spec);
+        }
+        for m in &plan.macros {
+            // Macros keep one footprint in both technologies (they are
+            // fixed on a single die; the aligned table just needs the
+            // entry to exist).
+            tech = tech.lib_cell(
+                LibCellSpec::macro_cell(&m.lib_name, m.width, m.height)
+                    .pin("P0", m.width / 2, m.height / 2),
+            );
+        }
+        tech
+    };
+    let tech_bottom = tech_for("TechBottom", lib.site_bottom, cfg.row_height_bottom);
+    let tech_top = tech_for("TechTop", lib.site_top, cfg.row_height_top);
+
+    let mut builder = DesignBuilder::new(&cfg.name)
+        .technology(tech_bottom)
+        .technology(tech_top)
+        .die(DieSpec::new(
+            "bottom",
+            "TechBottom",
+            (0, 0, plan.width, plan.height),
+            cfg.row_height_bottom,
+            lib.site_bottom,
+            cfg.max_util_bottom,
+        ))
+        .die(DieSpec::new(
+            "top",
+            "TechTop",
+            (0, 0, plan.width, plan.height),
+            cfg.row_height_top,
+            lib.site_top,
+            cfg.max_util_top,
+        ));
+
+    for (i, &lc) in lib.instance_lib.iter().enumerate() {
+        builder = builder.cell(format!("c{i}"), &lib.std_cells[lc].name);
+    }
+    for m in &plan.macros {
+        builder = builder.macro_inst(
+            &m.name,
+            &m.lib_name,
+            if m.die == 0 { "bottom" } else { "top" },
+            m.x,
+            m.y,
+        );
+    }
+    for net in nets {
+        let pins: Vec<(&str, usize)> = net
+            .pins
+            .iter()
+            .map(|(name, pin)| (name.as_str(), *pin))
+            .collect();
+        builder = builder.net(&net.name, &pins);
+    }
+    Ok(builder.build()?)
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (GeneratorConfig, Library, Plan) {
+        let cfg = GeneratorConfig::small_demo(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lib = library::build(&cfg, &mut rng);
+        let plan = build(&cfg, &lib, 1.0, &mut rng).unwrap();
+        (cfg, lib, plan)
+    }
+
+    #[test]
+    fn dies_are_row_and_site_aligned() {
+        let (cfg, lib, plan) = setup(5);
+        assert_eq!(plan.height % cfg.row_height_bottom, 0);
+        assert_eq!(plan.width % lib.site_bottom, 0);
+        assert_eq!(plan.width % lib.site_top, 0);
+        assert!(plan.width > 0 && plan.height > 0);
+    }
+
+    #[test]
+    fn macros_land_on_grid_without_overlap() {
+        let (cfg, lib, plan) = setup(6);
+        assert_eq!(plan.macros.len(), cfg.scaled_macros());
+        for m in &plan.macros {
+            let (row_h, site_w) = if m.die == 0 {
+                (cfg.row_height_bottom, lib.site_bottom)
+            } else {
+                (cfg.row_height_top, lib.site_top)
+            };
+            assert_eq!(m.x % site_w, 0);
+            assert_eq!(m.y % row_h, 0);
+            assert!(m.x + m.width <= plan.width);
+            assert!(m.y + m.height <= plan.height);
+        }
+        for die in 0..2 {
+            let rects = plan.macro_rects(die);
+            for i in 0..rects.len() {
+                for j in 0..i {
+                    assert!(!rects[i].overlaps(&rects[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn growth_enlarges_the_die() {
+        let cfg = GeneratorConfig::small_demo(7);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let lib = library::build(&cfg, &mut rng);
+        let mut rng1 = SmallRng::seed_from_u64(8);
+        let small = build(&cfg, &lib, 1.0, &mut rng1).unwrap();
+        let mut rng2 = SmallRng::seed_from_u64(8);
+        let big = build(&cfg, &lib, 2.0, &mut rng2).unwrap();
+        assert!(
+            big.width as i128 * big.height as i128 > small.width as i128 * small.height as i128
+        );
+    }
+
+    #[test]
+    fn die_area_tracks_target_density() {
+        let (cfg, lib, plan) = setup(8);
+        let cell_area = lib.total_area_bottom(cfg.row_height_bottom) as f64;
+        let die_area = (plan.width * plan.height) as f64;
+        // Each die holds about half the cells at target density, so the
+        // die must be at least that large (plus macro slack).
+        assert!(die_area >= cell_area / 2.0 / cfg.target_density * 0.95);
+    }
+}

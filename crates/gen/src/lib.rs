@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Synthetic benchmark generator.
+//!
+//! The paper evaluates on the ICCAD 2022/2023 contest benchmarks, which are
+//! not redistributable. This crate generates cases with the *same published
+//! statistics* (Table II: cell/macro/net counts, per-die row heights,
+//! homogeneous vs heterogeneous technology pairs) and the same structural
+//! character: realistic cell-width mixes, spatially clustered "natural"
+//! placements that netlists are drawn from with locality, and fixed macro
+//! blockages for the 2023 suite.
+//!
+//! Everything is deterministic given the seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use flow3d_gen::GeneratorConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let case = GeneratorConfig::small_demo(7).generate()?;
+//! assert!(case.design.num_cells() > 0);
+//! assert_eq!(case.natural.num_cells(), case.design.num_cells());
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod floorplan;
+mod library;
+mod natural;
+mod netlist;
+
+pub use config::{GenError, GeneratedCase, GeneratorConfig};
+
+/// Names of the ICCAD 2022 suite cases reproduced from Table II.
+pub const ICCAD2022_CASES: [&str; 6] = ["case2", "case2h", "case3", "case3h", "case4", "case4h"];
+
+/// Names of the ICCAD 2023 suite cases reproduced from Table II.
+pub const ICCAD2023_CASES: [&str; 7] = [
+    "case2", "case2h1", "case2h2", "case3", "case3h", "case4", "case4h",
+];

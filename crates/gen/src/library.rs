@@ -1,0 +1,197 @@
+//! Standard-cell library synthesis and instance mix selection.
+
+use crate::config::GeneratorConfig;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One synthesized standard lib cell (technology-independent part).
+#[derive(Debug, Clone)]
+pub(crate) struct StdCellDef {
+    pub name: String,
+    /// Width in sites; the per-tech DBU width is `sites * site_width`.
+    pub sites: i64,
+    /// Pin offsets as fractions of the footprint, shared across techs.
+    pub pins: Vec<(String, f64, f64)>,
+}
+
+/// The synthesized library plus the per-instance lib cell choice.
+#[derive(Debug, Clone)]
+pub(crate) struct Library {
+    pub std_cells: Vec<StdCellDef>,
+    /// Lib cell index per cell instance (`c{i}`).
+    pub instance_lib: Vec<usize>,
+    /// Site width of the bottom die in DBU.
+    pub site_bottom: i64,
+    /// Site width of the top die in DBU.
+    pub site_top: i64,
+}
+
+impl Library {
+    /// DBU width of lib cell `lc` on the bottom die.
+    pub fn width_bottom(&self, lc: usize) -> i64 {
+        self.std_cells[lc].sites * self.site_bottom
+    }
+
+    /// DBU width of lib cell `lc` on the top die.
+    pub fn width_top(&self, lc: usize) -> i64 {
+        self.std_cells[lc].sites * self.site_top
+    }
+
+    /// Total instance area if every cell sat on the bottom die.
+    pub fn total_area_bottom(&self, row_height: i64) -> i64 {
+        self.instance_lib
+            .iter()
+            .map(|&lc| self.width_bottom(lc) * row_height)
+            .sum()
+    }
+
+    /// Total instance area if every cell sat on the top die.
+    pub fn total_area_top(&self, row_height: i64) -> i64 {
+        self.instance_lib
+            .iter()
+            .map(|&lc| self.width_top(lc) * row_height)
+            .sum()
+    }
+
+    /// Number of pins of lib cell `lc`.
+    pub fn pin_count(&self, lc: usize) -> usize {
+        self.std_cells[lc].pins.len()
+    }
+}
+
+/// Derives the site width from a row height: roughly an eighth of the row,
+/// matching typical standard-cell aspect ratios.
+pub(crate) fn site_width(row_height: i64) -> i64 {
+    (row_height / 8).max(1)
+}
+
+/// Synthesizes the library and the per-instance lib cell mix.
+///
+/// Widths follow a skewed mix: most instances are small (1–2 sites), a
+/// tail is medium (3–6) and a few are wide (7–16), mirroring real designs
+/// where inverters/buffers dominate.
+pub(crate) fn build(cfg: &GeneratorConfig, rng: &mut SmallRng) -> Library {
+    let n_lib = cfg.num_lib_cells;
+    let mut std_cells = Vec::with_capacity(n_lib);
+    for i in 0..n_lib {
+        // Spread lib cell widths over the three bands.
+        let sites = match i % 5 {
+            0 | 1 => 1 + (i as i64 % 2),               // 1-2 sites
+            2 | 3 => 3 + (i as i64 % 4),               // 3-6 sites
+            _ => 7 + ((i as i64 * 3) % 10),            // 7-16 sites
+        };
+        let num_pins = 2 + (i % 3); // 2-4 pins
+        let pins = (0..num_pins)
+            .map(|p| {
+                (
+                    format!("P{p}"),
+                    rng.random_range(0.05..0.95),
+                    rng.random_range(0.2..0.8),
+                )
+            })
+            .collect();
+        std_cells.push(StdCellDef {
+            name: format!("SC{i}"),
+            sites,
+            pins,
+        });
+    }
+
+    // Instance mix: weight small cells heavily.
+    let weights: Vec<f64> = std_cells
+        .iter()
+        .map(|c| match c.sites {
+            1..=2 => 8.0,
+            3..=6 => 3.0,
+            _ => 1.0,
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total;
+            Some(*acc)
+        })
+        .collect();
+
+    let n = cfg.scaled_cells();
+    let instance_lib = (0..n)
+        .map(|_| {
+            let r: f64 = rng.random_range(0.0..1.0);
+            cumulative.partition_point(|&c| c < r).min(n_lib - 1)
+        })
+        .collect();
+
+    Library {
+        std_cells,
+        instance_lib,
+        site_bottom: site_width(cfg.row_height_bottom),
+        site_top: site_width(cfg.row_height_top),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn lib(seed: u64) -> Library {
+        let cfg = GeneratorConfig::small_demo(seed);
+        build(&cfg, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn library_has_requested_variety_and_instances() {
+        let cfg = GeneratorConfig::small_demo(3);
+        let l = lib(3);
+        assert_eq!(l.std_cells.len(), cfg.num_lib_cells);
+        assert_eq!(l.instance_lib.len(), cfg.scaled_cells());
+        assert!(l.instance_lib.iter().all(|&i| i < cfg.num_lib_cells));
+    }
+
+    #[test]
+    fn widths_scale_with_site_width() {
+        let l = lib(1);
+        // demo: bottom h=12 -> site 1; top h=10 -> site 1.
+        for i in 0..l.std_cells.len() {
+            assert_eq!(l.width_bottom(i), l.std_cells[i].sites * l.site_bottom);
+            assert!(l.width_bottom(i) > 0);
+            assert!(l.width_top(i) > 0);
+        }
+    }
+
+    #[test]
+    fn site_width_floor_is_one() {
+        assert_eq!(site_width(4), 1);
+        assert_eq!(site_width(33), 4);
+        assert_eq!(site_width(252), 31);
+    }
+
+    #[test]
+    fn small_cells_dominate_the_mix() {
+        let l = lib(2);
+        let small = l
+            .instance_lib
+            .iter()
+            .filter(|&&i| l.std_cells[i].sites <= 2)
+            .count();
+        assert!(
+            small * 2 > l.instance_lib.len(),
+            "small cells are {small}/{}",
+            l.instance_lib.len()
+        );
+    }
+
+    #[test]
+    fn pin_fractions_are_interior() {
+        let l = lib(4);
+        for c in &l.std_cells {
+            assert!(!c.pins.is_empty());
+            for (_, fx, fy) in &c.pins {
+                assert!((0.0..1.0).contains(fx));
+                assert!((0.0..1.0).contains(fy));
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Locality-driven netlist synthesis.
+//!
+//! Real netlists are local: a net's pins sit near each other after global
+//! placement (that is what the placer optimizes). We synthesize nets by
+//! seeding each at a random cell and drawing its remaining pins from a
+//! spatial neighbourhood of the seed in the natural placement, so HPWL
+//! comparisons between legalizers are meaningful.
+
+use crate::config::GeneratorConfig;
+use crate::floorplan::Plan;
+use crate::library::Library;
+use flow3d_db::{CellId, Placement3d};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One synthesized net: name plus `(instance_name, pin_index)` pairs.
+#[derive(Debug, Clone)]
+pub(crate) struct NetSpec {
+    pub name: String,
+    pub pins: Vec<(String, usize)>,
+}
+
+/// Uniform spatial hash over the natural placement.
+struct SpatialGrid {
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SpatialGrid {
+    fn build(plan: &Plan, natural: &Placement3d, n: usize) -> Self {
+        // Aim for ~24 cells per bucket.
+        let target_buckets = (n / 24).clamp(1, 1 << 16);
+        let cols = (target_buckets as f64).sqrt().ceil() as usize;
+        let rows = cols;
+        let cell_w = plan.width as f64 / cols as f64;
+        let cell_h = plan.height as f64 / rows as f64;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for i in 0..n {
+            let p = natural.pos(CellId::new(i));
+            let cx = ((p.x / cell_w) as usize).min(cols - 1);
+            let cy = ((p.y / cell_h) as usize).min(rows - 1);
+            buckets[cy * cols + cx].push(i as u32);
+        }
+        Self {
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            buckets,
+        }
+    }
+
+    /// Collects cells in rings of buckets around `(x, y)` until at least
+    /// `want` candidates are found (or the whole grid is exhausted).
+    fn neighbourhood(&self, x: f64, y: f64, want: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let cx = ((x / self.cell_w) as usize).min(self.cols - 1) as i64;
+        let cy = ((y / self.cell_h) as usize).min(self.rows - 1) as i64;
+        let max_ring = self.cols.max(self.rows) as i64;
+        for ring in 0..=max_ring {
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // only the ring boundary
+                    }
+                    let bx = cx + dx;
+                    let by = cy + dy;
+                    if bx < 0 || by < 0 || bx >= self.cols as i64 || by >= self.rows as i64 {
+                        continue;
+                    }
+                    out.extend(&self.buckets[by as usize * self.cols + bx as usize]);
+                }
+            }
+            if out.len() >= want {
+                return;
+            }
+        }
+    }
+}
+
+/// Synthesizes the netlist.
+pub(crate) fn build(
+    cfg: &GeneratorConfig,
+    lib: &Library,
+    plan: &Plan,
+    natural: &Placement3d,
+    rng: &mut SmallRng,
+) -> Vec<NetSpec> {
+    let n = lib.instance_lib.len();
+    let grid = SpatialGrid::build(plan, natural, n);
+    let num_nets = cfg.scaled_nets();
+    let mut nets = Vec::with_capacity(num_nets);
+    let mut candidates: Vec<u32> = Vec::new();
+
+    for net_idx in 0..num_nets {
+        // Degree: 2 + geometric tail, mean ≈ 3.3, capped at 8.
+        let mut degree = 2;
+        while degree < 8 && rng.random_range(0.0..1.0) < 0.42 {
+            degree += 1;
+        }
+        let seed = rng.random_range(0..n);
+        let seed_pos = natural.pos(CellId::new(seed));
+        grid.neighbourhood(seed_pos.x, seed_pos.y, degree * 6, &mut candidates);
+
+        let mut members = Vec::with_capacity(degree);
+        members.push(seed as u32);
+        let mut guard = 0;
+        while members.len() < degree && guard < 64 {
+            guard += 1;
+            let pick = candidates[rng.random_range(0..candidates.len())];
+            if !members.contains(&pick) {
+                members.push(pick);
+            }
+        }
+
+        let mut pins: Vec<(String, usize)> = members
+            .iter()
+            .map(|&c| {
+                let pin = rng.random_range(0..lib.pin_count(lib.instance_lib[c as usize]));
+                (format!("c{c}"), pin)
+            })
+            .collect();
+
+        // Sprinkle macro connectivity: ~2% of nets gain a macro pin.
+        if !plan.macros.is_empty() && rng.random_range(0.0..1.0) < 0.02 {
+            let m = &plan.macros[rng.random_range(0..plan.macros.len())];
+            pins.push((m.name.clone(), 0));
+        }
+
+        nets.push(NetSpec {
+            name: format!("n{net_idx}"),
+            pins,
+        });
+    }
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{floorplan, library, natural};
+    use rand::SeedableRng;
+
+    fn nets(seed: u64) -> (GeneratorConfig, Library, Plan, Placement3d, Vec<NetSpec>) {
+        let cfg = GeneratorConfig::small_demo(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lib = library::build(&cfg, &mut rng);
+        let plan = floorplan::build(&cfg, &lib, 1.0, &mut rng).unwrap();
+        let nat = natural::build(&cfg, &plan, &lib, &mut rng);
+        let nets = build(&cfg, &lib, &plan, &nat, &mut rng);
+        (cfg, lib, plan, nat, nets)
+    }
+
+    #[test]
+    fn net_count_and_degrees_match_config() {
+        let (cfg, _, _, _, nets) = nets(21);
+        assert_eq!(nets.len(), cfg.scaled_nets());
+        for net in &nets {
+            assert!(net.pins.len() >= 2, "{} has {} pins", net.name, net.pins.len());
+            assert!(net.pins.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn nets_have_no_duplicate_cells() {
+        let (_, _, _, _, nets) = nets(22);
+        for net in &nets {
+            let cells: Vec<&str> = net
+                .pins
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .filter(|n| n.starts_with('c'))
+                .collect();
+            let mut dedup = cells.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(cells.len(), dedup.len(), "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn nets_are_spatially_local() {
+        let (_, _, plan, nat, nets) = nets(23);
+        // Mean net bounding-box half-perimeter should be far below the die
+        // half-perimeter (locality), for cell pins at natural positions.
+        let mut total = 0.0;
+        for net in &nets {
+            let pts: Vec<_> = net
+                .pins
+                .iter()
+                .filter_map(|(name, _)| {
+                    name.strip_prefix('c')
+                        .and_then(|i| i.parse::<usize>().ok())
+                        .map(|i| nat.pos(CellId::new(i)))
+                })
+                .collect();
+            let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+            let bbox = (xs.iter().cloned().fold(f64::MIN, f64::max)
+                - xs.iter().cloned().fold(f64::MAX, f64::min))
+                + (ys.iter().cloned().fold(f64::MIN, f64::max)
+                    - ys.iter().cloned().fold(f64::MAX, f64::min));
+            total += bbox;
+        }
+        let mean = total / nets.len() as f64;
+        let die_half_perim = (plan.width + plan.height) as f64;
+        assert!(
+            mean < die_half_perim * 0.6,
+            "mean net bbox {mean} vs die {die_half_perim}"
+        );
+    }
+
+    #[test]
+    fn macro_pins_reference_existing_macros() {
+        let (_, _, plan, _, nets) = nets(24);
+        let macro_names: Vec<&str> = plan.macros.iter().map(|m| m.name.as_str()).collect();
+        for net in &nets {
+            for (name, pin) in &net.pins {
+                if name.starts_with('m') {
+                    assert!(macro_names.contains(&name.as_str()));
+                    assert_eq!(*pin, 0);
+                }
+            }
+        }
+    }
+}

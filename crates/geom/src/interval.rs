@@ -1,0 +1,243 @@
+//! Half-open 1D integer intervals.
+
+use std::fmt;
+
+/// A half-open interval `[lo, hi)` in database units.
+///
+/// Intervals model the horizontal extent of rows, segments, bins, and placed
+/// cells. The half-open convention makes abutting objects (`[0,10)` and
+/// `[10,20)`) non-overlapping, matching legal abutment of standard cells.
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_geom::Interval;
+/// let seg = Interval::new(0, 100);
+/// assert_eq!(seg.len(), 100);
+/// assert!(seg.contains_point(0));
+/// assert!(!seg.contains_point(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Exclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`; an empty interval (`lo == hi`) is
+    /// allowed.
+    #[inline]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        debug_assert!(lo <= hi, "Interval::new: lo {lo} > hi {hi}");
+        Self { lo, hi }
+    }
+
+    /// Creates an interval from a start position and a non-negative length.
+    #[inline]
+    pub fn with_len(lo: i64, len: i64) -> Self {
+        debug_assert!(len >= 0, "Interval::with_len: negative length {len}");
+        Self { lo, hi: lo + len }
+    }
+
+    /// Length (`hi - lo`).
+    #[inline]
+    pub fn len(&self) -> i64 {
+        self.hi - self.lo
+    }
+
+    /// `true` if the interval contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// `true` if `x` lies inside `[lo, hi)`.
+    #[inline]
+    pub fn contains_point(&self, x: i64) -> bool {
+        self.lo <= x && x < self.hi
+    }
+
+    /// `true` if `other` is entirely inside `self` (both half-open).
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` if the interiors of the intervals intersect.
+    ///
+    /// Empty intervals overlap nothing, even when positioned inside another
+    /// interval.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo.max(other.lo) < self.hi.min(other.hi)
+    }
+
+    /// Intersection of the two intervals, or `None` if they are disjoint
+    /// (abutting intervals are disjoint).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flow3d_geom::Interval;
+    /// let a = Interval::new(0, 10);
+    /// assert_eq!(a.intersection(&Interval::new(5, 20)), Some(Interval::new(5, 10)));
+    /// assert_eq!(a.intersection(&Interval::new(10, 20)), None);
+    /// ```
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Length of the overlap between the two intervals (0 if disjoint).
+    #[inline]
+    pub fn overlap_len(&self, other: &Interval) -> i64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0)
+    }
+
+    /// Distance from `x` to the nearest point of the closed hull `[lo, hi]`
+    /// (0 if `x` is inside).
+    #[inline]
+    pub fn distance_to_point(&self, x: i64) -> i64 {
+        if x < self.lo {
+            self.lo - x
+        } else if x > self.hi {
+            x - self.hi
+        } else {
+            0
+        }
+    }
+
+    /// Clamps `x` into the closed hull `[lo, hi]`.
+    #[inline]
+    pub fn clamp_point(&self, x: i64) -> i64 {
+        crate::clamp_i64(x, self.lo, self.hi)
+    }
+
+    /// The nearest start position for an object of width `w` placed inside
+    /// this interval so that `[pos, pos + w)` fits, given a desired start
+    /// `x`. Returns `None` if `w > len()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flow3d_geom::Interval;
+    /// let seg = Interval::new(10, 100);
+    /// assert_eq!(seg.nearest_fit(0, 20), Some(10));
+    /// assert_eq!(seg.nearest_fit(95, 20), Some(80));
+    /// assert_eq!(seg.nearest_fit(50, 20), Some(50));
+    /// assert_eq!(seg.nearest_fit(50, 200), None);
+    /// ```
+    #[inline]
+    pub fn nearest_fit(&self, x: i64, w: i64) -> Option<i64> {
+        if w > self.len() {
+            return None;
+        }
+        Some(crate::clamp_i64(x, self.lo, self.hi - w))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn abutting_intervals_do_not_overlap() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(10, 20);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.overlap_len(&b), 0);
+    }
+
+    #[test]
+    fn empty_interval_properties() {
+        let e = Interval::new(5, 5);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains_point(5));
+        assert!(!e.overlaps(&Interval::new(0, 10)));
+    }
+
+    #[test]
+    fn contains_is_reflexive() {
+        let a = Interval::new(-4, 17);
+        assert!(a.contains(&a));
+    }
+
+    #[test]
+    fn distance_to_point_zero_inside() {
+        let a = Interval::new(0, 10);
+        assert_eq!(a.distance_to_point(5), 0);
+        assert_eq!(a.distance_to_point(10), 0); // closed hull boundary
+        assert_eq!(a.distance_to_point(-3), 3);
+        assert_eq!(a.distance_to_point(13), 3);
+    }
+
+    #[test]
+    fn nearest_fit_exact_width() {
+        let seg = Interval::new(0, 10);
+        assert_eq!(seg.nearest_fit(3, 10), Some(0));
+        assert_eq!(seg.nearest_fit(3, 11), None);
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_is_commutative(a_lo in -100i64..100, a_len in 0i64..100,
+                                       b_lo in -100i64..100, b_len in 0i64..100) {
+            let a = Interval::with_len(a_lo, a_len);
+            let b = Interval::with_len(b_lo, b_len);
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+            prop_assert_eq!(a.overlap_len(&b), b.overlap_len(&a));
+        }
+
+        #[test]
+        fn intersection_contained_in_both(a_lo in -100i64..100, a_len in 0i64..100,
+                                          b_lo in -100i64..100, b_len in 0i64..100) {
+            let a = Interval::with_len(a_lo, a_len);
+            let b = Interval::with_len(b_lo, b_len);
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+                prop_assert_eq!(i.len(), a.overlap_len(&b));
+            } else {
+                prop_assert_eq!(a.overlap_len(&b), 0);
+            }
+        }
+
+        #[test]
+        fn nearest_fit_result_fits_and_is_nearest(lo in -100i64..100, len in 0i64..200,
+                                                  x in -300i64..300, w in 0i64..200) {
+            let seg = Interval::with_len(lo, len);
+            match seg.nearest_fit(x, w) {
+                Some(pos) => {
+                    prop_assert!(seg.contains(&Interval::with_len(pos, w)));
+                    // nearest: any other feasible pos is at least as far from x
+                    for cand in [seg.lo, seg.hi - w, x] {
+                        if cand >= seg.lo && cand + w <= seg.hi {
+                            prop_assert!((pos - x).abs() <= (cand - x).abs());
+                        }
+                    }
+                }
+                None => prop_assert!(w > seg.len()),
+            }
+        }
+    }
+}

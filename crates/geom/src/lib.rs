@@ -1,0 +1,193 @@
+#![warn(missing_docs)]
+//! Integer (database-unit) geometry primitives for the 3D-Flow legalizer.
+//!
+//! All physical coordinates in the workspace are expressed in database units
+//! (DBU) as [`i64`]. This crate provides the small set of geometric types the
+//! rest of the workspace builds on: [`Point`], [`FPoint`] (for continuous
+//! global-placement coordinates), half-open [`Interval`]s, axis-aligned
+//! [`Rect`]angles, and Manhattan-distance helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use flow3d_geom::{Interval, Point, Rect};
+//!
+//! let row = Rect::new(0, 0, 1_000, 12);
+//! let cell = Rect::new(40, 0, 100, 12);
+//! assert!(row.contains_rect(&cell));
+//!
+//! let a = Interval::new(0, 50);
+//! let b = Interval::new(30, 80);
+//! assert_eq!(a.intersection(&b), Some(Interval::new(30, 50)));
+//!
+//! let p = Point::new(3, 4);
+//! assert_eq!(p.manhattan(Point::new(0, 0)), 7);
+//! ```
+
+pub mod interval;
+pub mod point;
+pub mod rect;
+
+pub use interval::Interval;
+pub use point::{FPoint, Point};
+pub use rect::Rect;
+
+/// Clamps `x` to the inclusive range `[lo, hi]`.
+///
+/// This is the snapping operation used when a cell's global-placement
+/// x-coordinate is projected into a bin or segment: the nearest in-range
+/// position to an out-of-range coordinate is the closest boundary.
+///
+/// # Panics
+///
+/// Panics in debug builds if `lo > hi`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flow3d_geom::clamp_i64(5, 0, 10), 5);
+/// assert_eq!(flow3d_geom::clamp_i64(-3, 0, 10), 0);
+/// assert_eq!(flow3d_geom::clamp_i64(42, 0, 10), 10);
+/// ```
+#[inline]
+pub fn clamp_i64(x: i64, lo: i64, hi: i64) -> i64 {
+    debug_assert!(lo <= hi, "clamp_i64: lo {lo} > hi {hi}");
+    x.max(lo).min(hi)
+}
+
+/// Rounds `x` down to the nearest multiple of `step` relative to `origin`.
+///
+/// Used to align positions to placement sites: sites start at `origin` and
+/// repeat every `step` DBU.
+///
+/// # Panics
+///
+/// Panics if `step <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flow3d_geom::snap_down(17, 0, 5), 15);
+/// assert_eq!(flow3d_geom::snap_down(17, 2, 5), 17);
+/// assert_eq!(flow3d_geom::snap_down(-3, 0, 5), -5);
+/// ```
+#[inline]
+pub fn snap_down(x: i64, origin: i64, step: i64) -> i64 {
+    assert!(step > 0, "snap_down: non-positive step {step}");
+    origin + (x - origin).div_euclid(step) * step
+}
+
+/// Rounds `x` up to the nearest multiple of `step` relative to `origin`.
+///
+/// # Panics
+///
+/// Panics if `step <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flow3d_geom::snap_up(17, 0, 5), 20);
+/// assert_eq!(flow3d_geom::snap_up(15, 0, 5), 15);
+/// ```
+#[inline]
+pub fn snap_up(x: i64, origin: i64, step: i64) -> i64 {
+    assert!(step > 0, "snap_up: non-positive step {step}");
+    origin + (x - origin + step - 1).div_euclid(step) * step
+}
+
+/// Rounds `x` to the nearest multiple of `step` relative to `origin`,
+/// breaking ties toward negative infinity.
+///
+/// # Panics
+///
+/// Panics if `step <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flow3d_geom::snap_nearest(17, 0, 5), 15);
+/// assert_eq!(flow3d_geom::snap_nearest(18, 0, 5), 20);
+/// ```
+#[inline]
+pub fn snap_nearest(x: i64, origin: i64, step: i64) -> i64 {
+    assert!(step > 0, "snap_nearest: non-positive step {step}");
+    let down = snap_down(x, origin, step);
+    let up = down + step;
+    if x - down <= up - x {
+        down
+    } else {
+        up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clamp_inside_range_is_identity() {
+        for x in -5..=5 {
+            assert_eq!(clamp_i64(x, -5, 5), x);
+        }
+    }
+
+    #[test]
+    fn clamp_saturates_at_bounds() {
+        assert_eq!(clamp_i64(i64::MIN, -1, 1), -1);
+        assert_eq!(clamp_i64(i64::MAX, -1, 1), 1);
+    }
+
+    #[test]
+    fn snap_down_negative_coordinates() {
+        assert_eq!(snap_down(-1, 0, 10), -10);
+        assert_eq!(snap_down(-10, 0, 10), -10);
+        assert_eq!(snap_down(-11, 0, 10), -20);
+    }
+
+    #[test]
+    fn snap_up_matches_snap_down_on_multiples() {
+        for k in -4..4 {
+            let x = k * 7 + 3; // origin 3, step 7 multiples
+            assert_eq!(snap_up(x, 3, 7), x);
+            assert_eq!(snap_down(x, 3, 7), x);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn snap_down_rejects_zero_step() {
+        let _ = snap_down(1, 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn snap_down_is_lower_bound(x in -1_000_000i64..1_000_000, origin in -100i64..100, step in 1i64..1000) {
+            let s = snap_down(x, origin, step);
+            prop_assert!(s <= x);
+            prop_assert!(x - s < step);
+            prop_assert_eq!((s - origin).rem_euclid(step), 0);
+        }
+
+        #[test]
+        fn snap_up_is_upper_bound(x in -1_000_000i64..1_000_000, origin in -100i64..100, step in 1i64..1000) {
+            let s = snap_up(x, origin, step);
+            prop_assert!(s >= x);
+            prop_assert!(s - x < step);
+            prop_assert_eq!((s - origin).rem_euclid(step), 0);
+        }
+
+        #[test]
+        fn snap_nearest_within_half_step(x in -1_000_000i64..1_000_000, origin in -100i64..100, step in 1i64..1000) {
+            let s = snap_nearest(x, origin, step);
+            prop_assert!((s - x).abs() * 2 <= step);
+        }
+
+        #[test]
+        fn clamp_is_idempotent(x in any::<i64>(), lo in -1000i64..0, hi in 0i64..1000) {
+            let once = clamp_i64(x, lo, hi);
+            prop_assert_eq!(clamp_i64(once, lo, hi), once);
+            prop_assert!(once >= lo && once <= hi);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Integer and floating-point 2D points.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A 2D point in database units.
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_geom::Point;
+/// let p = Point::new(10, 20) + Point::new(1, 2);
+/// assert_eq!(p, Point::new(11, 22));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate in DBU.
+    pub x: i64,
+    /// Vertical coordinate in DBU.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// This is the displacement measure of Eq. (4) in the paper:
+    /// `|x - x'| + |y - y'|`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flow3d_geom::Point;
+    /// assert_eq!(Point::new(1, 2).manhattan(Point::new(4, -2)), 7);
+    /// ```
+    #[inline]
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Converts to a floating-point point.
+    #[inline]
+    pub fn to_fpoint(self) -> FPoint {
+        FPoint::new(self.x as f64, self.y as f64)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A 2D point with floating-point coordinates.
+///
+/// Used for continuous global-placement positions before they are snapped to
+/// rows and sites.
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_geom::FPoint;
+/// let p = FPoint::new(1.5, 2.0);
+/// assert_eq!(p.round(), flow3d_geom::Point::new(2, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FPoint {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl FPoint {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub fn manhattan(self, other: FPoint) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn euclid(self, other: FPoint) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Rounds each coordinate to the nearest integer DBU.
+    #[inline]
+    pub fn round(self) -> Point {
+        Point::new(self.x.round() as i64, self.y.round() as i64)
+    }
+}
+
+impl Add for FPoint {
+    type Output = FPoint;
+    #[inline]
+    fn add(self, rhs: FPoint) -> FPoint {
+        FPoint::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for FPoint {
+    type Output = FPoint;
+    #[inline]
+    fn sub(self, rhs: FPoint) -> FPoint {
+        FPoint::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for FPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<Point> for FPoint {
+    #[inline]
+    fn from(p: Point) -> Self {
+        p.to_fpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(-3, 9);
+        let b = Point::new(12, -4);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality() {
+        let a = Point::new(0, 0);
+        let b = Point::new(5, 5);
+        let c = Point::new(10, -2);
+        assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point::new(7, -2);
+        let b = Point::new(-3, 11);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn fpoint_round_half_away_from_zero() {
+        assert_eq!(FPoint::new(0.5, -0.5).round(), Point::new(1, -1));
+    }
+
+    #[test]
+    fn fpoint_euclid_matches_pythagoras() {
+        let d = FPoint::new(0.0, 0.0).euclid(FPoint::new(3.0, 4.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

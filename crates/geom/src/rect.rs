@@ -1,0 +1,221 @@
+//! Axis-aligned integer rectangles.
+
+use crate::{Interval, Point};
+use std::fmt;
+
+/// An axis-aligned rectangle `[xlo, xhi) × [ylo, yhi)` in database units.
+///
+/// Rectangles model die outlines, macro blockages, placed cell footprints,
+/// and bin extents. Like [`Interval`], the bounds are half-open so abutting
+/// rectangles do not overlap.
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_geom::Rect;
+/// let die = Rect::new(0, 0, 1000, 500);
+/// let mac = Rect::new(100, 100, 300, 220);
+/// assert!(die.contains_rect(&mac));
+/// assert_eq!(mac.area(), 200 * 120);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rect {
+    /// Inclusive left edge.
+    pub xlo: i64,
+    /// Inclusive bottom edge.
+    pub ylo: i64,
+    /// Exclusive right edge.
+    pub xhi: i64,
+    /// Exclusive top edge.
+    pub yhi: i64,
+}
+
+impl Rect {
+    /// Creates the rectangle `[xlo, xhi) × [ylo, yhi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the bounds are inverted.
+    #[inline]
+    pub fn new(xlo: i64, ylo: i64, xhi: i64, yhi: i64) -> Self {
+        debug_assert!(
+            xlo <= xhi && ylo <= yhi,
+            "Rect::new: inverted bounds ({xlo},{ylo})-({xhi},{yhi})"
+        );
+        Self { xlo, ylo, xhi, yhi }
+    }
+
+    /// Creates a rectangle from its lower-left corner and size.
+    #[inline]
+    pub fn with_size(ll: Point, w: i64, h: i64) -> Self {
+        debug_assert!(w >= 0 && h >= 0);
+        Self::new(ll.x, ll.y, ll.x + w, ll.y + h)
+    }
+
+    /// Width (`xhi - xlo`).
+    #[inline]
+    pub fn width(&self) -> i64 {
+        self.xhi - self.xlo
+    }
+
+    /// Height (`yhi - ylo`).
+    #[inline]
+    pub fn height(&self) -> i64 {
+        self.yhi - self.ylo
+    }
+
+    /// Area in DBU².
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// `true` if the rectangle encloses no area.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xlo >= self.xhi || self.ylo >= self.yhi
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.xlo, self.ylo)
+    }
+
+    /// Center point, rounded toward negative infinity.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.xlo + self.width() / 2,
+            self.ylo + self.height() / 2,
+        )
+    }
+
+    /// Horizontal span as an [`Interval`].
+    #[inline]
+    pub fn x_span(&self) -> Interval {
+        Interval::new(self.xlo, self.xhi)
+    }
+
+    /// Vertical span as an [`Interval`].
+    #[inline]
+    pub fn y_span(&self) -> Interval {
+        Interval::new(self.ylo, self.yhi)
+    }
+
+    /// `true` if point `p` lies inside the half-open extents.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.x_span().contains_point(p.x) && self.y_span().contains_point(p.y)
+    }
+
+    /// `true` if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_span().contains(&other.x_span()) && self.y_span().contains(&other.y_span())
+    }
+
+    /// `true` if the interiors of the rectangles intersect.
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_span().overlaps(&other.x_span()) && self.y_span().overlaps(&other.y_span())
+    }
+
+    /// Intersection, or `None` if the interiors are disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x_span().intersection(&other.x_span())?;
+        let y = self.y_span().intersection(&other.y_span())?;
+        Some(Rect::new(x.lo, y.lo, x.hi, y.hi))
+    }
+
+    /// Area of the overlap with `other` (0 if disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> i64 {
+        self.x_span().overlap_len(&other.x_span()) * self.y_span().overlap_len(&other.y_span())
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.xlo.min(other.xlo),
+            self.ylo.min(other.ylo),
+            self.xhi.max(other.xhi),
+            self.yhi.max(other.yhi),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})-({},{})", self.xlo, self.ylo, self.xhi, self.yhi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn abutting_rects_do_not_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.overlap_area(&b), 0);
+    }
+
+    #[test]
+    fn contains_point_half_open() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert!(r.contains_point(Point::new(0, 0)));
+        assert!(!r.contains_point(Point::new(10, 0)));
+        assert!(!r.contains_point(Point::new(0, 10)));
+    }
+
+    #[test]
+    fn empty_rect_is_empty() {
+        assert!(Rect::new(5, 5, 5, 10).is_empty());
+        assert!(Rect::new(5, 5, 10, 5).is_empty());
+        assert!(!Rect::new(5, 5, 6, 6).is_empty());
+    }
+
+    #[test]
+    fn center_of_unit_rect() {
+        assert_eq!(Rect::new(0, 0, 1, 1).center(), Point::new(0, 0));
+        assert_eq!(Rect::new(0, 0, 2, 2).center(), Point::new(1, 1));
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (-100i64..100, -100i64..100, 0i64..100, 0i64..100)
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_area_matches_overlap_area(a in arb_rect(), b in arb_rect()) {
+            match a.intersection(&b) {
+                Some(i) => {
+                    prop_assert_eq!(i.area(), a.overlap_area(&b));
+                    prop_assert!(a.contains_rect(&i));
+                    prop_assert!(b.contains_rect(&i));
+                }
+                None => prop_assert_eq!(a.overlap_area(&b), 0),
+            }
+        }
+
+        #[test]
+        fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn overlap_is_symmetric(a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            prop_assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
+        }
+    }
+}

@@ -1,0 +1,420 @@
+#![warn(missing_docs)]
+//! Analytical 3D global-placement substrate.
+//!
+//! The paper legalizes global placements produced by true-3D analytical
+//! placers (\[18], \[19]) that optimize cell positions *and* a continuous
+//! die assignment simultaneously. Those tools are unavailable, so this
+//! crate provides a compact stand-in with the same output contract: a
+//! [`Placement3d`] with continuous positions, locally dense hotspots, and
+//! a soft die affinity `z ∈ [0, 1]`.
+//!
+//! The optimizer alternates two forces for a fixed number of iterations:
+//!
+//! * **Wirelength**: a star-model pull of every cell toward the centroid
+//!   of each net it belongs to (the gradient of the quadratic star
+//!   wirelength).
+//! * **Density**: each die is rasterized into a bin grid (macro blockage
+//!   included); cells in overfilled bins are pushed down the local
+//!   density gradient, and the die affinity drifts toward the die with
+//!   more local headroom.
+//!
+//! The result intentionally keeps local overflow (bins above the target
+//! density): removing it *is the legalizer's job*, and the contests'
+//! placers behave the same way.
+//!
+//! # Examples
+//!
+//! ```
+//! use flow3d_gen::GeneratorConfig;
+//! use flow3d_gp::{GlobalPlacer, GpConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let case = GeneratorConfig::small_demo(5).generate()?;
+//! let placer = GlobalPlacer::new(GpConfig::default());
+//! let placement = placer.place_from(&case.design, &case.natural);
+//! assert_eq!(placement.num_cells(), case.design.num_cells());
+//! # Ok(())
+//! # }
+//! ```
+
+use flow3d_db::{CellId, Design, DieId, InstRef, Placement3d};
+use flow3d_geom::FPoint;
+
+/// Configuration of the global placer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Optimization iterations.
+    pub iterations: usize,
+    /// Density-grid resolution per axis.
+    pub grid: usize,
+    /// Target bin density in `(0, 1]`; bins above it push cells away.
+    pub target_density: f64,
+    /// Initial step size as a fraction of the die diagonal.
+    pub step: f64,
+    /// Relative weight of the density force vs the wirelength force.
+    pub density_weight: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 40,
+            grid: 24,
+            target_density: 1.0,
+            step: 0.02,
+            density_weight: 1.0,
+        }
+    }
+}
+
+/// The analytical 3D global placer.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlacer {
+    config: GpConfig,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: GpConfig) -> Self {
+        Self { config }
+    }
+
+    /// Places `design` starting from a deterministic spiral scatter over
+    /// the die (used when no natural placement exists).
+    pub fn place(&self, design: &Design) -> Placement3d {
+        let n = design.num_cells();
+        let outline = design.die(DieId::BOTTOM).outline;
+        let (w, h) = (outline.width() as f64, outline.height() as f64);
+        let mut init = Placement3d::new(n);
+        // Deterministic low-discrepancy scatter (Kronecker sequence).
+        const PHI: f64 = 0.618_033_988_749_894_9;
+        const PSI: f64 = 0.754_877_666_246_693;
+        for i in 0..n {
+            let c = CellId::new(i);
+            let fx = (i as f64 * PHI).fract();
+            let fy = (i as f64 * PSI).fract();
+            init.set_pos(
+                c,
+                FPoint::new(outline.xlo as f64 + fx * w, outline.ylo as f64 + fy * h),
+            );
+            init.set_die_affinity(c, if i % 2 == 0 { 0.25 } else { 0.75 });
+        }
+        self.place_from(design, &init)
+    }
+
+    /// Places `design` starting from `init` (typically the generator's
+    /// natural placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` does not have one entry per design cell.
+    pub fn place_from(&self, design: &Design, init: &Placement3d) -> Placement3d {
+        assert_eq!(init.num_cells(), design.num_cells(), "placement mismatch");
+        let cfg = &self.config;
+        let n = design.num_cells();
+        if n == 0 {
+            return init.clone();
+        }
+        let outline = design.die(DieId::BOTTOM).outline;
+        let (w, h) = (outline.width() as f64, outline.height() as f64);
+        let diag = (w * w + h * h).sqrt();
+
+        let mut pos: Vec<FPoint> = (0..n).map(|i| init.pos(CellId::new(i))).collect();
+        let mut z: Vec<f64> = (0..n).map(|i| init.die_affinity(CellId::new(i))).collect();
+
+        let mut grids = DensityGrids::new(design, cfg.grid);
+        let areas: Vec<[f64; 2]> = (0..n)
+            .map(|i| {
+                let c = CellId::new(i);
+                [
+                    (design.cell_width(c, DieId::BOTTOM) * design.cell_height(DieId::BOTTOM))
+                        as f64,
+                    (design.cell_width(c, DieId::TOP) * design.cell_height(DieId::TOP)) as f64,
+                ]
+            })
+            .collect();
+
+        for iter in 0..cfg.iterations {
+            let step = cfg.step * diag * (1.0 - 0.8 * iter as f64 / cfg.iterations as f64);
+
+            // Wirelength force: star model centroid pull.
+            let mut force: Vec<FPoint> = vec![FPoint::default(); n];
+            for net in design.nets() {
+                if net.pins.len() < 2 {
+                    continue;
+                }
+                let mut cx = 0.0;
+                let mut cy = 0.0;
+                let mut cells = Vec::with_capacity(net.pins.len());
+                for pin in &net.pins {
+                    match pin.inst {
+                        InstRef::Cell(c) => {
+                            let p = pos[c.index()];
+                            cx += p.x;
+                            cy += p.y;
+                            cells.push(c.index());
+                        }
+                        InstRef::Macro(m) => {
+                            let r = design.macro_rect(m);
+                            let cen = r.center();
+                            cx += cen.x as f64;
+                            cy += cen.y as f64;
+                        }
+                    }
+                }
+                let k = net.pins.len() as f64;
+                let (cx, cy) = (cx / k, cy / k);
+                let pull = 1.0 / k;
+                for &i in &cells {
+                    force[i].x += (cx - pos[i].x) * pull;
+                    force[i].y += (cy - pos[i].y) * pull;
+                }
+            }
+
+            // Density force: rasterize, then push cells in overfilled
+            // bins toward the lower-density neighbour.
+            grids.rasterize(design, &pos, &z, &areas);
+            for i in 0..n {
+                let die_split = [1.0 - z[i], z[i]];
+                let mut dx = 0.0;
+                let mut dy = 0.0;
+                for (die, &split) in die_split.iter().enumerate() {
+                    let (gx, gy) = grids.gradient(die, pos[i], cfg.target_density);
+                    dx += gx * split;
+                    dy += gy * split;
+                }
+                force[i].x += dx * cfg.density_weight;
+                force[i].y += dy * cfg.density_weight;
+
+                // Die affinity drifts toward local headroom.
+                let d_bot = grids.local_density(0, pos[i]);
+                let d_top = grids.local_density(1, pos[i]);
+                z[i] = (z[i] + 0.08 * (d_bot - d_top)).clamp(0.0, 1.0);
+            }
+
+            // Apply with normalized step and clamp into the outline.
+            for i in 0..n {
+                let f = force[i];
+                let norm = (f.x * f.x + f.y * f.y).sqrt().max(1e-9);
+                let scale = (step / norm).min(1.0);
+                let nx = (pos[i].x + f.x * scale)
+                    .clamp(outline.xlo as f64, (outline.xhi - 1) as f64);
+                let ny = (pos[i].y + f.y * scale)
+                    .clamp(outline.ylo as f64, (outline.yhi - 1) as f64);
+                pos[i] = FPoint::new(nx, ny);
+            }
+        }
+
+        Placement3d::from_parts(pos, z)
+    }
+}
+
+/// Per-die density rasters.
+#[derive(Debug)]
+struct DensityGrids {
+    grid: usize,
+    bin_w: f64,
+    bin_h: f64,
+    x0: f64,
+    y0: f64,
+    /// Per die: bin utilization in [0, inf) relative to free bin area.
+    density: [Vec<f64>; 2],
+    /// Per die: fraction of each bin blocked by macros.
+    blocked: [Vec<f64>; 2],
+    /// Free area per bin (computed from blockage).
+    bin_area: f64,
+}
+
+impl DensityGrids {
+    fn new(design: &Design, grid: usize) -> Self {
+        let outline = design.die(DieId::BOTTOM).outline;
+        let bin_w = outline.width() as f64 / grid as f64;
+        let bin_h = outline.height() as f64 / grid as f64;
+        let mut blocked = [vec![0.0; grid * grid], vec![0.0; grid * grid]];
+        for (die, blocked_die) in blocked.iter_mut().enumerate() {
+            for rect in design.macro_rects_on(DieId::new(die)) {
+                // Rasterize the macro footprint.
+                let gx0 = (((rect.xlo - outline.xlo) as f64 / bin_w) as usize).min(grid - 1);
+                let gx1 = (((rect.xhi - outline.xlo) as f64 / bin_w).ceil() as usize).min(grid);
+                let gy0 = (((rect.ylo - outline.ylo) as f64 / bin_h) as usize).min(grid - 1);
+                let gy1 = (((rect.yhi - outline.ylo) as f64 / bin_h).ceil() as usize).min(grid);
+                for gy in gy0..gy1 {
+                    for gx in gx0..gx1 {
+                        let bin = flow3d_geom::Rect::new(
+                            outline.xlo + (gx as f64 * bin_w) as i64,
+                            outline.ylo + (gy as f64 * bin_h) as i64,
+                            outline.xlo + ((gx + 1) as f64 * bin_w) as i64,
+                            outline.ylo + ((gy + 1) as f64 * bin_h) as i64,
+                        );
+                        let overlap = bin.overlap_area(&rect) as f64;
+                        blocked_die[gy * grid + gx] += overlap / (bin_w * bin_h).max(1.0);
+                    }
+                }
+            }
+        }
+        Self {
+            grid,
+            bin_w,
+            bin_h,
+            x0: outline.xlo as f64,
+            y0: outline.ylo as f64,
+            density: [vec![0.0; grid * grid], vec![0.0; grid * grid]],
+            blocked,
+            bin_area: bin_w * bin_h,
+        }
+    }
+
+    fn bin_of(&self, p: FPoint) -> (usize, usize) {
+        let gx = (((p.x - self.x0) / self.bin_w) as usize).min(self.grid - 1);
+        let gy = (((p.y - self.y0) / self.bin_h) as usize).min(self.grid - 1);
+        (gx, gy)
+    }
+
+    fn rasterize(&mut self, _design: &Design, pos: &[FPoint], z: &[f64], areas: &[[f64; 2]]) {
+        for die in 0..2 {
+            self.density[die].fill(0.0);
+        }
+        for i in 0..pos.len() {
+            let (gx, gy) = self.bin_of(pos[i]);
+            let idx = gy * self.grid + gx;
+            self.density[0][idx] += areas[i][0] * (1.0 - z[i]) / self.bin_area;
+            self.density[1][idx] += areas[i][1] * z[i] / self.bin_area;
+        }
+        // Add macro blockage so blocked bins read as full.
+        for die in 0..2 {
+            for idx in 0..self.grid * self.grid {
+                self.density[die][idx] += self.blocked[die][idx];
+            }
+        }
+    }
+
+    /// Effective density around `p` on `die`.
+    fn local_density(&self, die: usize, p: FPoint) -> f64 {
+        let (gx, gy) = self.bin_of(p);
+        self.density[die][gy * self.grid + gx]
+    }
+
+    /// Unit-ish gradient pushing away from overfilled bins toward the
+    /// least-dense 4-neighbour; zero when the bin is under target.
+    fn gradient(&self, die: usize, p: FPoint, target: f64) -> (f64, f64) {
+        let (gx, gy) = self.bin_of(p);
+        let here = self.density[die][gy * self.grid + gx];
+        if here <= target {
+            return (0.0, 0.0);
+        }
+        let mut best = (0.0, 0.0);
+        let mut best_d = here;
+        let g = self.grid as i64;
+        for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+            let nx = gx as i64 + dx;
+            let ny = gy as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= g || ny >= g {
+                continue;
+            }
+            let d = self.density[die][(ny * g + nx) as usize];
+            if d < best_d {
+                best_d = d;
+                best = (dx as f64, dy as f64);
+            }
+        }
+        let strength = (here - best_d).min(4.0);
+        (best.0 * strength, best.1 * strength)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_gen::GeneratorConfig;
+
+    fn case() -> flow3d_gen::GeneratedCase {
+        GeneratorConfig::small_demo(31).generate().unwrap()
+    }
+
+    #[test]
+    fn positions_stay_in_outline() {
+        let case = case();
+        let gp = GlobalPlacer::default().place_from(&case.design, &case.natural);
+        let outline = case.design.die(DieId::BOTTOM).outline;
+        for i in 0..gp.num_cells() {
+            let p = gp.pos(CellId::new(i));
+            assert!(p.x >= outline.xlo as f64 && p.x < outline.xhi as f64);
+            assert!(p.y >= outline.ylo as f64 && p.y < outline.yhi as f64);
+            let z = gp.die_affinity(CellId::new(i));
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn placement_improves_wirelength_over_scatter() {
+        let case = case();
+        let placer = GlobalPlacer::default();
+        let scattered = placer.place(&case.design);
+        let before = flow3d_metrics::hpwl_global(&case.design, &scattered);
+        // Optimize from the scatter: HPWL must come down.
+        let after_p = placer.place_from(&case.design, &scattered);
+        let after = flow3d_metrics::hpwl_global(&case.design, &after_p);
+        assert!(
+            after < before,
+            "HPWL did not improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn density_spreading_reduces_worst_bin() {
+        let case = case();
+        let cfg = GpConfig::default();
+        let n = case.design.num_cells();
+        let areas: Vec<[f64; 2]> = (0..n)
+            .map(|i| {
+                let c = CellId::new(i);
+                let d = &case.design;
+                [
+                    (d.cell_width(c, DieId::BOTTOM) * d.cell_height(DieId::BOTTOM)) as f64,
+                    (d.cell_width(c, DieId::TOP) * d.cell_height(DieId::TOP)) as f64,
+                ]
+            })
+            .collect();
+        let worst = |p: &Placement3d| {
+            let mut g = DensityGrids::new(&case.design, cfg.grid);
+            let pos: Vec<FPoint> = (0..n).map(|i| p.pos(CellId::new(i))).collect();
+            let z: Vec<f64> = (0..n).map(|i| p.die_affinity(CellId::new(i))).collect();
+            g.rasterize(&case.design, &pos, &z, &areas);
+            g.density
+                .iter()
+                .flat_map(|d| d.iter())
+                .cloned()
+                .fold(0.0f64, f64::max)
+        };
+        let before = worst(&case.natural);
+        let placed = GlobalPlacer::new(cfg.clone()).place_from(&case.design, &case.natural);
+        let after = worst(&placed);
+        assert!(
+            after <= before,
+            "worst bin density rose: {before:.2} -> {after:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let case = case();
+        let a = GlobalPlacer::default().place_from(&case.design, &case.natural);
+        let b = GlobalPlacer::default().place_from(&case.design, &case.natural);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_design_is_fine() {
+        let d = flow3d_db::DesignBuilder::new("e")
+            .technology(
+                flow3d_db::TechnologySpec::new("T")
+                    .lib_cell(flow3d_db::LibCellSpec::std_cell("C", 1, 1)),
+            )
+            .die(flow3d_db::DieSpec::new("bottom", "T", (0, 0, 10, 10), 1, 1, 1.0))
+            .die(flow3d_db::DieSpec::new("top", "T", (0, 0, 10, 10), 1, 1, 1.0))
+            .build()
+            .unwrap();
+        let p = GlobalPlacer::default().place(&d);
+        assert_eq!(p.num_cells(), 0);
+    }
+}

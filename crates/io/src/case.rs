@@ -1,0 +1,511 @@
+//! Case file format: the full design description.
+
+use crate::error::IoError;
+use crate::reader::LineReader;
+use flow3d_db::{Design, DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Parses a case file into a validated [`Design`].
+///
+/// See the [crate-level documentation](crate) for the grammar. The
+/// optional `TopDieSiteWidth` / `BottomDieSiteWidth` lines (default 1)
+/// extend the contest grammar with an explicit site grid.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] with a line number for syntax errors and
+/// [`IoError::Db`] if the file describes an inconsistent design.
+pub fn parse_case(text: &str) -> Result<Design, IoError> {
+    let mut r = LineReader::new(text);
+
+    // --- Optional design name, then technologies --------------------------
+    let mut toks = r.expect_line("DesignName or NumTechnologies")?;
+    let mut design_name = String::from("case");
+    if toks.first() == Some(&"DesignName") {
+        design_name = r.field(&toks, 1, "design name")?;
+        toks = r.expect_line("NumTechnologies")?;
+    }
+    r.expect_keyword(&toks, "NumTechnologies")?;
+    let num_techs: usize = r.field(&toks, 1, "technology count")?;
+
+    let mut tech_specs = Vec::with_capacity(num_techs);
+    // lib cell name -> pin names (from the first tech) for net resolution.
+    let mut pin_names: HashMap<String, Vec<String>> = HashMap::new();
+    // lib cell name -> is_macro
+    let mut is_macro: HashMap<String, bool> = HashMap::new();
+
+    for t in 0..num_techs {
+        let toks = r.expect_line("Tech")?;
+        r.expect_keyword(&toks, "Tech")?;
+        let tech_name: String = r.field(&toks, 1, "technology name")?;
+        let num_cells: usize = r.field(&toks, 2, "lib cell count")?;
+        let mut spec = TechnologySpec::new(&tech_name);
+        for _ in 0..num_cells {
+            let toks = r.expect_line("LibCell")?;
+            r.expect_keyword(&toks, "LibCell")?;
+            r.expect_len(&toks, 6)?;
+            let macro_flag = match toks[1] {
+                "Y" => true,
+                "N" => false,
+                other => {
+                    return Err(IoError::parse(
+                        r.line_no,
+                        format!("macro flag must be Y or N, found `{other}`"),
+                    ))
+                }
+            };
+            let name: String = r.field(&toks, 2, "lib cell name")?;
+            let sx: i64 = r.field(&toks, 3, "sizeX")?;
+            let sy: i64 = r.field(&toks, 4, "sizeY")?;
+            let num_pins: usize = r.field(&toks, 5, "pin count")?;
+            let mut cell = if macro_flag {
+                LibCellSpec::macro_cell(&name, sx, sy)
+            } else {
+                LibCellSpec::std_cell(&name, sx, sy)
+            };
+            let mut names = Vec::with_capacity(num_pins);
+            for _ in 0..num_pins {
+                let toks = r.expect_line("Pin")?;
+                r.expect_keyword(&toks, "Pin")?;
+                r.expect_len(&toks, 4)?;
+                let pname: String = r.field(&toks, 1, "pin name")?;
+                let dx: i64 = r.field(&toks, 2, "pin offsetX")?;
+                let dy: i64 = r.field(&toks, 3, "pin offsetY")?;
+                cell = cell.pin(&pname, dx, dy);
+                names.push(pname);
+            }
+            if t == 0 {
+                pin_names.insert(name.clone(), names);
+                is_macro.insert(name.clone(), macro_flag);
+            }
+            spec = spec.lib_cell(cell);
+        }
+        tech_specs.push(spec);
+    }
+
+    // --- Die description ---------------------------------------------------
+    let toks = r.expect_line("DieSize")?;
+    r.expect_keyword(&toks, "DieSize")?;
+    let _die: (i64, i64, i64, i64) = (
+        r.field(&toks, 1, "die xlo")?,
+        r.field(&toks, 2, "die ylo")?,
+        r.field(&toks, 3, "die xhi")?,
+        r.field(&toks, 4, "die yhi")?,
+    );
+
+    let mut top_util = 100.0f64;
+    let mut bottom_util = 100.0f64;
+    let mut top_rows: Option<(i64, i64, i64, i64, i64)> = None;
+    let mut bottom_rows: Option<(i64, i64, i64, i64, i64)> = None;
+    let mut top_tech: Option<String> = None;
+    let mut bottom_tech: Option<String> = None;
+    let mut top_site = 1i64;
+    let mut bottom_site = 1i64;
+
+    let num_instances = loop {
+        let toks = r.expect_line("die description or NumInstances")?;
+        match toks[0] {
+            "TopDieMaxUtil" => top_util = r.field(&toks, 1, "top utilization")?,
+            "BottomDieMaxUtil" => bottom_util = r.field(&toks, 1, "bottom utilization")?,
+            "TopDieRows" | "BottomDieRows" => {
+                let rows = (
+                    r.field(&toks, 1, "row startX")?,
+                    r.field(&toks, 2, "row startY")?,
+                    r.field(&toks, 3, "row length")?,
+                    r.field(&toks, 4, "row height")?,
+                    r.field(&toks, 5, "row repeat")?,
+                );
+                if toks[0] == "TopDieRows" {
+                    top_rows = Some(rows);
+                } else {
+                    bottom_rows = Some(rows);
+                }
+            }
+            "TopDieTech" => top_tech = Some(r.field(&toks, 1, "top technology")?),
+            "BottomDieTech" => bottom_tech = Some(r.field(&toks, 1, "bottom technology")?),
+            "TopDieSiteWidth" => top_site = r.field(&toks, 1, "top site width")?,
+            "BottomDieSiteWidth" => bottom_site = r.field(&toks, 1, "bottom site width")?,
+            "TerminalSize" | "TerminalSpacing" | "TerminalCost" => {
+                // Hybrid-bonding terminal parameters: accepted, not used by
+                // the legalizer (terminal assignment is a separate problem).
+            }
+            "NumInstances" => break r.field::<usize>(&toks, 1, "instance count")?,
+            other => {
+                return Err(IoError::parse(
+                    r.line_no,
+                    format!("unexpected keyword `{other}` in die description"),
+                ))
+            }
+        }
+    };
+
+    let line_no = r.line_no;
+    let missing = |what: &str| IoError::parse(line_no, format!("missing {what} before NumInstances"));
+    let top_rows = top_rows.ok_or_else(|| missing("TopDieRows"))?;
+    let bottom_rows = bottom_rows.ok_or_else(|| missing("BottomDieRows"))?;
+    let top_tech = top_tech.ok_or_else(|| missing("TopDieTech"))?;
+    let bottom_tech = bottom_tech.ok_or_else(|| missing("BottomDieTech"))?;
+
+    let die_spec = |name: &str, tech: &str, rows: (i64, i64, i64, i64, i64), site: i64, util: f64| {
+        let (sx, sy, len, h, rep) = rows;
+        DieSpec::new(
+            name,
+            tech,
+            (sx, sy, sx + len, sy + h * rep),
+            h,
+            site,
+            util / 100.0,
+        )
+    };
+
+    let mut builder = DesignBuilder::new(design_name);
+    for spec in tech_specs {
+        builder = builder.technology(spec);
+    }
+    // Die 0 = bottom, die 1 = top.
+    builder = builder
+        .die(die_spec("bottom", &bottom_tech, bottom_rows, bottom_site, bottom_util))
+        .die(die_spec("top", &top_tech, top_rows, top_site, top_util));
+
+    // --- Instances ----------------------------------------------------------
+    // Split std cells from macros; macro positions arrive later.
+    let mut inst_lib: HashMap<String, String> = HashMap::new();
+    let mut macro_insts: Vec<String> = Vec::new();
+    for _ in 0..num_instances {
+        let toks = r.expect_line("Inst")?;
+        r.expect_keyword(&toks, "Inst")?;
+        r.expect_len(&toks, 3)?;
+        let name: String = r.field(&toks, 1, "instance name")?;
+        let lib: String = r.field(&toks, 2, "lib cell name")?;
+        let mac = *is_macro.get(&lib).ok_or_else(|| {
+            IoError::parse(r.line_no, format!("unknown lib cell `{lib}`"))
+        })?;
+        if mac {
+            macro_insts.push(name.clone());
+        } else {
+            builder = builder.cell(&name, &lib);
+        }
+        inst_lib.insert(name, lib);
+    }
+
+    // --- Nets ----------------------------------------------------------------
+    let toks = r.expect_line("NumNets")?;
+    r.expect_keyword(&toks, "NumNets")?;
+    let num_nets: usize = r.field(&toks, 1, "net count")?;
+    for _ in 0..num_nets {
+        let toks = r.expect_line("Net")?;
+        r.expect_keyword(&toks, "Net")?;
+        let net_name: String = r.field(&toks, 1, "net name")?;
+        let num_pins: usize = r.field(&toks, 2, "net pin count")?;
+        let mut pins: Vec<(String, usize)> = Vec::with_capacity(num_pins);
+        for _ in 0..num_pins {
+            let toks = r.expect_line("Pin")?;
+            r.expect_keyword(&toks, "Pin")?;
+            r.expect_len(&toks, 2)?;
+            let spec = toks[1];
+            let (inst, pin_name) = spec.split_once('/').ok_or_else(|| {
+                IoError::parse(r.line_no, format!("pin `{spec}` missing `/` separator"))
+            })?;
+            let lib = inst_lib.get(inst).ok_or_else(|| {
+                IoError::parse(r.line_no, format!("pin references unknown instance `{inst}`"))
+            })?;
+            let idx = pin_names[lib]
+                .iter()
+                .position(|p| p == pin_name)
+                .ok_or_else(|| {
+                    IoError::parse(
+                        r.line_no,
+                        format!("lib cell `{lib}` has no pin `{pin_name}`"),
+                    )
+                })?;
+            pins.push((inst.to_string(), idx));
+        }
+        let pin_refs: Vec<(&str, usize)> = pins.iter().map(|(s, i)| (s.as_str(), *i)).collect();
+        builder = builder.net(&net_name, &pin_refs);
+    }
+
+    // --- Fixed macro positions (extension section) ----------------------------
+    let mut placed: HashMap<String, (i64, i64, String)> = HashMap::new();
+    if let Some(toks) = r.next_line() {
+        r.expect_keyword(&toks, "NumMacroPositions")?;
+        let n: usize = r.field(&toks, 1, "macro position count")?;
+        for _ in 0..n {
+            let toks = r.expect_line("MacroPos")?;
+            r.expect_keyword(&toks, "MacroPos")?;
+            r.expect_len(&toks, 5)?;
+            let name: String = r.field(&toks, 1, "macro name")?;
+            let x: i64 = r.field(&toks, 2, "macro x")?;
+            let y: i64 = r.field(&toks, 3, "macro y")?;
+            let die: String = r.field(&toks, 4, "macro die")?;
+            if die != "top" && die != "bottom" {
+                return Err(IoError::parse(
+                    r.line_no,
+                    format!("macro die must be `top` or `bottom`, found `{die}`"),
+                ));
+            }
+            placed.insert(name, (x, y, die));
+        }
+    }
+    for name in macro_insts {
+        let (x, y, die) = placed.remove(&name).ok_or_else(|| {
+            IoError::parse(
+                r.line_no,
+                format!("macro instance `{name}` has no MacroPos entry"),
+            )
+        })?;
+        let lib = inst_lib[&name].clone();
+        builder = builder.macro_inst(&name, &lib, &die, x, y);
+    }
+    if let Some(name) = placed.keys().next() {
+        return Err(IoError::parse(
+            r.line_no,
+            format!("MacroPos for unknown macro `{name}`"),
+        ));
+    }
+
+    Ok(builder.build()?)
+}
+
+/// Writes `design` as a case file that [`parse_case`] round-trips.
+///
+/// # Errors
+///
+/// Only fails if the underlying [`Write`] sink fails.
+pub fn write_case(design: &Design, out: &mut impl Write) -> Result<(), IoError> {
+    writeln!(out, "DesignName {}", design.name())?;
+    writeln!(out, "NumTechnologies {}", design.techs().len())?;
+    for tech in design.techs() {
+        writeln!(out, "Tech {} {}", tech.name, tech.lib_cells.len())?;
+        for lc in &tech.lib_cells {
+            writeln!(
+                out,
+                "LibCell {} {} {} {} {}",
+                if lc.is_macro() { "Y" } else { "N" },
+                lc.name,
+                lc.width,
+                lc.height,
+                lc.pins.len()
+            )?;
+            for p in &lc.pins {
+                writeln!(out, "Pin {} {} {}", p.name, p.offset.x, p.offset.y)?;
+            }
+        }
+    }
+
+    let bottom = design.die(flow3d_db::DieId::BOTTOM);
+    let top = design.die(flow3d_db::DieId::TOP);
+    let union = bottom.outline.union(&top.outline);
+    writeln!(
+        out,
+        "DieSize {} {} {} {}",
+        union.xlo, union.ylo, union.xhi, union.yhi
+    )?;
+    let fmt_util = |u: f64| {
+        let pct = u * 100.0;
+        if (pct - pct.round()).abs() < 1e-9 {
+            format!("{}", pct.round() as i64)
+        } else {
+            format!("{pct:.2}")
+        }
+    };
+    writeln!(out, "TopDieMaxUtil {}", fmt_util(top.max_util))?;
+    writeln!(out, "BottomDieMaxUtil {}", fmt_util(bottom.max_util))?;
+    for (kw, die) in [("TopDieRows", top), ("BottomDieRows", bottom)] {
+        writeln!(
+            out,
+            "{kw} {} {} {} {} {}",
+            die.outline.xlo,
+            die.outline.ylo,
+            die.outline.width(),
+            die.row_height,
+            die.num_rows()
+        )?;
+    }
+    writeln!(out, "TopDieTech {}", design.techs()[top.tech.index()].name)?;
+    writeln!(out, "BottomDieTech {}", design.techs()[bottom.tech.index()].name)?;
+    if top.site_width != 1 {
+        writeln!(out, "TopDieSiteWidth {}", top.site_width)?;
+    }
+    if bottom.site_width != 1 {
+        writeln!(out, "BottomDieSiteWidth {}", bottom.site_width)?;
+    }
+    writeln!(out, "TerminalSize 1 1")?;
+    writeln!(out, "TerminalSpacing 1")?;
+
+    writeln!(
+        out,
+        "NumInstances {}",
+        design.num_cells() + design.num_macros()
+    )?;
+    let lib_name = |id: flow3d_db::LibCellId| &design.techs()[0].lib_cells[id.index()].name;
+    for c in design.cells() {
+        writeln!(out, "Inst {} {}", c.name, lib_name(c.lib_cell))?;
+    }
+    for m in design.macros() {
+        writeln!(out, "Inst {} {}", m.name, lib_name(m.lib_cell))?;
+    }
+
+    writeln!(out, "NumNets {}", design.num_nets())?;
+    for net in design.nets() {
+        writeln!(out, "Net {} {}", net.name, net.pins.len())?;
+        for pin in &net.pins {
+            let (inst_name, lib_cell) = match pin.inst {
+                flow3d_db::InstRef::Cell(c) => {
+                    let ci = &design.cells()[c.index()];
+                    (&ci.name, ci.lib_cell)
+                }
+                flow3d_db::InstRef::Macro(m) => {
+                    let mi = &design.macros()[m.index()];
+                    (&mi.name, mi.lib_cell)
+                }
+            };
+            let pin_name = &design.techs()[0].lib_cells[lib_cell.index()].pins[pin.pin].name;
+            writeln!(out, "Pin {inst_name}/{pin_name}")?;
+        }
+    }
+
+    writeln!(out, "NumMacroPositions {}", design.num_macros())?;
+    for m in design.macros() {
+        writeln!(
+            out,
+            "MacroPos {} {} {} {}",
+            m.name, m.pos.x, m.pos.y, m.die
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_db::DieId;
+
+    const CASE: &str = "\
+# demo case
+NumTechnologies 2
+Tech TA 2
+LibCell N INV 10 12 2
+Pin A 0 6
+Pin Y 9 6
+LibCell Y RAM 200 24 1
+Pin D 100 12
+Tech TB 2
+LibCell N INV 8 10 2
+Pin A 0 5
+Pin Y 7 5
+LibCell Y RAM 200 20 1
+Pin D 100 10
+DieSize 0 0 1000 120
+TopDieMaxUtil 80
+BottomDieMaxUtil 90
+TopDieRows 0 0 1000 10 12
+BottomDieRows 0 0 1000 12 10
+TopDieTech TB
+BottomDieTech TA
+TerminalSize 4 4
+TerminalSpacing 2
+NumInstances 3
+Inst u0 INV
+Inst u1 INV
+Inst mc0 RAM
+NumNets 2
+Net n1 2
+Pin u0/Y
+Pin u1/A
+Net n2 2
+Pin u1/Y
+Pin mc0/D
+NumMacroPositions 1
+MacroPos mc0 400 0 bottom
+";
+
+    #[test]
+    fn parses_full_case() {
+        let d = parse_case(CASE).unwrap();
+        assert_eq!(d.num_cells(), 2);
+        assert_eq!(d.num_macros(), 1);
+        assert_eq!(d.num_nets(), 2);
+        assert_eq!(d.num_dies(), 2);
+        let bottom = d.die(DieId::BOTTOM);
+        assert_eq!(bottom.row_height, 12);
+        assert_eq!(bottom.num_rows(), 10);
+        assert!((bottom.max_util - 0.9).abs() < 1e-12);
+        let top = d.die(DieId::TOP);
+        assert_eq!(top.row_height, 10);
+        assert_eq!(top.num_rows(), 12);
+        // Hetero widths.
+        let u0 = d.cell_by_name("u0").unwrap();
+        assert_eq!(d.cell_width(u0, DieId::BOTTOM), 10);
+        assert_eq!(d.cell_width(u0, DieId::TOP), 8);
+        // Macro position.
+        let m = d.macro_by_name("mc0").unwrap();
+        assert_eq!(d.macros()[m.index()].pos, flow3d_geom::Point::new(400, 0));
+    }
+
+    #[test]
+    fn roundtrips_through_writer() {
+        let d = parse_case(CASE).unwrap();
+        let mut text = String::new();
+        write_case(&d, &mut text).unwrap();
+        assert!(text.starts_with("DesignName case"));
+        let d2 = parse_case(&text).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn design_name_keyword_is_parsed() {
+        let named = format!("DesignName mychip\n{CASE}");
+        let d = parse_case(&named).unwrap();
+        assert_eq!(d.name(), "mychip");
+    }
+
+    #[test]
+    fn error_on_unknown_pin() {
+        let bad = CASE.replace("Pin u0/Y", "Pin u0/Q");
+        let err = parse_case(&bad).unwrap_err();
+        assert!(err.to_string().contains("no pin `Q`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_missing_macro_position() {
+        let bad = CASE
+            .replace("NumMacroPositions 1\nMacroPos mc0 400 0 bottom\n", "");
+        let err = parse_case(&bad).unwrap_err();
+        assert!(err.to_string().contains("MacroPos"), "{err}");
+    }
+
+    #[test]
+    fn error_on_bad_macro_flag() {
+        let bad = CASE.replace("LibCell N INV 10 12 2", "LibCell X INV 10 12 2");
+        let err = parse_case(&bad).unwrap_err();
+        assert!(err.to_string().contains("macro flag"), "{err}");
+    }
+
+    #[test]
+    fn error_on_truncated_file() {
+        let head: String = CASE.lines().take(5).map(|l| format!("{l}\n")).collect();
+        let err = parse_case(&head).unwrap_err();
+        assert!(err.to_string().contains("end of file"), "{err}");
+    }
+
+    #[test]
+    fn error_mentions_line_number() {
+        let bad = CASE.replace("Inst u1 INV", "Inst u1 NAND99");
+        let err = parse_case(&bad).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert!(line > 20, "line {line}"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn fractional_utilization_roundtrips() {
+        let with_frac = CASE.replace("TopDieMaxUtil 80", "TopDieMaxUtil 72.50");
+        let d = parse_case(&with_frac).unwrap();
+        assert!((d.die(DieId::TOP).max_util - 0.725).abs() < 1e-9);
+        let mut text = String::new();
+        write_case(&d, &mut text).unwrap();
+        assert!(text.contains("TopDieMaxUtil 72.50"));
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+//! File formats for the 3D-Flow legalizer reproduction.
+//!
+//! Three line-oriented text formats modeled on the ICCAD 2022/2023 contest
+//! Problem B grammar (see `DESIGN.md` for the substitution rationale):
+//!
+//! * **Case files** ([`parse_case`], [`write_case`]) describe a complete
+//!   design: technologies with per-tech lib cell sizes, the shared die
+//!   outline, per-die rows / utilization / technology binding, instances,
+//!   nets, and fixed macro positions.
+//! * **Global placement files** ([`parse_placement3d`],
+//!   [`write_placement3d`]) carry continuous `(x, y, z)` positions per
+//!   cell, `z` being the die affinity.
+//! * **Legal placement files** ([`parse_legal`], [`write_legal`]) carry
+//!   the legalizer output: integer position and die per cell.
+//!
+//! # Case grammar
+//!
+//! ```text
+//! DesignName <name>                                # optional
+//! NumTechnologies <n>
+//! Tech <name> <numLibCells>
+//! LibCell <N|Y> <name> <sizeX> <sizeY> <numPins>   # Y marks a macro
+//! Pin <name> <offsetX> <offsetY>
+//! DieSize <xlo> <ylo> <xhi> <yhi>
+//! TopDieMaxUtil <percent>
+//! BottomDieMaxUtil <percent>
+//! TopDieRows <startX> <startY> <rowLength> <rowHeight> <repeat>
+//! BottomDieRows <startX> <startY> <rowLength> <rowHeight> <repeat>
+//! TopDieTech <techName>
+//! BottomDieTech <techName>
+//! TerminalSize <sizeX> <sizeY>
+//! TerminalSpacing <spacing>
+//! NumInstances <n>
+//! Inst <instName> <libCellName>
+//! NumNets <n>
+//! Net <netName> <numPins>
+//! Pin <instName>/<libPinName>
+//! NumMacroPositions <n>                            # extension: fixed macros
+//! MacroPos <instName> <x> <y> <top|bottom>
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "\
+//! NumTechnologies 1
+//! Tech T 1
+//! LibCell N INV 10 12 1
+//! Pin A 0 6
+//! DieSize 0 0 100 24
+//! TopDieMaxUtil 90
+//! BottomDieMaxUtil 90
+//! TopDieRows 0 0 100 12 2
+//! BottomDieRows 0 0 100 12 2
+//! TopDieTech T
+//! BottomDieTech T
+//! TerminalSize 2 2
+//! TerminalSpacing 1
+//! NumInstances 1
+//! Inst u0 INV
+//! NumNets 0
+//! ";
+//! let design = flow3d_io::parse_case(text)?;
+//! assert_eq!(design.num_cells(), 1);
+//! let mut out = String::new();
+//! flow3d_io::write_case(&design, &mut out)?;
+//! let reparsed = flow3d_io::parse_case(&out)?;
+//! assert_eq!(reparsed.num_cells(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod case;
+mod error;
+mod placement;
+mod reader;
+
+pub use case::{parse_case, write_case};
+pub use error::IoError;
+pub use placement::{parse_legal, parse_placement3d, write_legal, write_placement3d};

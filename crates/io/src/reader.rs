@@ -1,0 +1,108 @@
+//! Line-oriented token reader shared by all parsers.
+
+use crate::error::IoError;
+use std::str::FromStr;
+
+/// Iterates non-empty, non-comment lines of a file, tracking line numbers
+/// and splitting each line into whitespace-separated tokens.
+pub(crate) struct LineReader<'a> {
+    lines: std::str::Lines<'a>,
+    /// 1-based number of the line most recently returned.
+    pub line_no: usize,
+}
+
+impl<'a> LineReader<'a> {
+    pub fn new(text: &'a str) -> Self {
+        Self {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    /// Next significant line as tokens, or `None` at end of input.
+    /// Lines starting with `#` are comments.
+    pub fn next_line(&mut self) -> Option<Vec<&'a str>> {
+        loop {
+            let line = self.lines.next()?;
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(trimmed.split_whitespace().collect());
+        }
+    }
+
+    /// Next line, or a parse error mentioning `expected`.
+    pub fn expect_line(&mut self, expected: &str) -> Result<Vec<&'a str>, IoError> {
+        self.next_line()
+            .ok_or_else(|| IoError::parse(self.line_no + 1, format!("expected {expected}, found end of file")))
+    }
+
+    /// Asserts the first token of `tokens` equals `keyword`.
+    pub fn expect_keyword(&self, tokens: &[&str], keyword: &str) -> Result<(), IoError> {
+        if tokens.first() != Some(&keyword) {
+            return Err(IoError::parse(
+                self.line_no,
+                format!(
+                    "expected `{keyword}`, found `{}`",
+                    tokens.first().unwrap_or(&"")
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Parses token `idx` of `tokens` as `T`.
+    pub fn field<T: FromStr>(&self, tokens: &[&str], idx: usize, what: &str) -> Result<T, IoError> {
+        let tok = tokens.get(idx).ok_or_else(|| {
+            IoError::parse(self.line_no, format!("missing {what} (field {idx})"))
+        })?;
+        tok.parse().map_err(|_| {
+            IoError::parse(self.line_no, format!("cannot parse {what} from `{tok}`"))
+        })
+    }
+
+    /// Checks the line has exactly `n` tokens.
+    pub fn expect_len(&self, tokens: &[&str], n: usize) -> Result<(), IoError> {
+        if tokens.len() != n {
+            return Err(IoError::parse(
+                self.line_no,
+                format!("expected {n} fields, found {}", tokens.len()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let mut r = LineReader::new("\n# comment\n  a b \n\nc\n");
+        assert_eq!(r.next_line(), Some(vec!["a", "b"]));
+        assert_eq!(r.line_no, 3);
+        assert_eq!(r.next_line(), Some(vec!["c"]));
+        assert_eq!(r.next_line(), None);
+    }
+
+    #[test]
+    fn field_errors_carry_line_numbers() {
+        let mut r = LineReader::new("Inst u0\n");
+        let toks = r.next_line().unwrap();
+        let err = r.field::<i64>(&toks, 1, "x").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = r.field::<i64>(&toks, 5, "x").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn expect_keyword_mismatch() {
+        let mut r = LineReader::new("Foo 1\n");
+        let toks = r.next_line().unwrap();
+        assert!(r.expect_keyword(&toks, "Bar").is_err());
+        assert!(r.expect_keyword(&toks, "Foo").is_ok());
+    }
+}

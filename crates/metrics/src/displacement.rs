@@ -1,0 +1,160 @@
+//! Cell displacement between a global and a legal placement.
+
+use flow3d_db::{CellId, Design, LegalPlacement, Placement3d};
+
+/// Aggregate displacement statistics over all cells of a design.
+///
+/// Displacement of a cell is the Manhattan distance between its
+/// global-placement position and its legal position (Eq. 4). The paper
+/// reports values *normalized by the row height*; for heterogeneous stacks
+/// we normalize each cell by the row height of the die its global placement
+/// snaps to (its origin die).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DisplacementStats {
+    /// Mean normalized displacement (the paper's "Avg. Disp.").
+    pub avg: f64,
+    /// Maximum normalized displacement (the paper's "Max. Disp.").
+    pub max: f64,
+    /// Mean displacement in DBU, unnormalized.
+    pub avg_dbu: f64,
+    /// Maximum displacement in DBU, unnormalized.
+    pub max_dbu: f64,
+    /// Id of the cell attaining the maximum, if any cells exist.
+    pub max_cell: Option<CellId>,
+    /// Number of cells measured.
+    pub num_cells: usize,
+}
+
+/// Manhattan displacement (in DBU) of one cell between its global and
+/// legal positions.
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_db::{CellId, LegalPlacement, Placement3d};
+/// use flow3d_geom::{FPoint, Point};
+///
+/// let mut gp = Placement3d::new(1);
+/// gp.set_pos(CellId::new(0), FPoint::new(10.0, 0.0));
+/// let mut lp = LegalPlacement::new(1);
+/// lp.place(CellId::new(0), Point::new(13, 4), flow3d_db::DieId::BOTTOM);
+/// assert_eq!(flow3d_metrics::displacement_of(&gp, &lp, CellId::new(0)), 7.0);
+/// ```
+pub fn displacement_of(global: &Placement3d, legal: &LegalPlacement, cell: CellId) -> f64 {
+    let g = global.pos(cell);
+    let l = legal.pos(cell);
+    (g.x - l.x as f64).abs() + (g.y - l.y as f64).abs()
+}
+
+/// Computes [`DisplacementStats`] for every cell of `design`.
+///
+/// Returns the default (all-zero) stats for a design without cells.
+pub fn displacement_stats(
+    design: &Design,
+    global: &Placement3d,
+    legal: &LegalPlacement,
+) -> DisplacementStats {
+    let n = design.num_cells();
+    if n == 0 {
+        return DisplacementStats::default();
+    }
+    let mut sum = 0.0;
+    let mut sum_norm = 0.0;
+    let mut max = f64::MIN;
+    let mut max_norm = f64::MIN;
+    let mut max_cell = CellId::new(0);
+    for i in 0..n {
+        let c = CellId::new(i);
+        let d = displacement_of(global, legal, c);
+        let origin_die = global.nearest_die(c, design.num_dies());
+        let hr = design.die(origin_die).row_height as f64;
+        let dn = d / hr;
+        sum += d;
+        sum_norm += dn;
+        if dn > max_norm {
+            max_norm = dn;
+            max = d;
+            max_cell = c;
+        }
+    }
+    DisplacementStats {
+        avg: sum_norm / n as f64,
+        max: max_norm,
+        avg_dbu: sum / n as f64,
+        max_dbu: max,
+        max_cell: Some(max_cell),
+        num_cells: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_db::{DesignBuilder, DieId, DieSpec, LibCellSpec, TechnologySpec};
+    use flow3d_geom::{FPoint, Point};
+
+    fn two_die_design(n_cells: usize) -> Design {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("TA").lib_cell(LibCellSpec::std_cell("INV", 10, 12)))
+            .technology(TechnologySpec::new("TB").lib_cell(LibCellSpec::std_cell("INV", 8, 24)))
+            .die(DieSpec::new("bottom", "TA", (0, 0, 1000, 120), 12, 1, 1.0))
+            .die(DieSpec::new("top", "TB", (0, 0, 1000, 120), 24, 1, 1.0));
+        for i in 0..n_cells {
+            b = b.cell(format!("u{i}"), "INV");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_design_yields_default() {
+        let d = two_die_design(0);
+        let s = displacement_stats(&d, &Placement3d::new(0), &LegalPlacement::new(0));
+        assert_eq!(s, DisplacementStats::default());
+    }
+
+    #[test]
+    fn normalization_uses_origin_die_row_height() {
+        let d = two_die_design(2);
+        let mut gp = Placement3d::new(2);
+        // Cell 0 originates on the bottom die (h_r = 12).
+        gp.set_pos(CellId::new(0), FPoint::new(0.0, 0.0));
+        gp.set_die_affinity(CellId::new(0), 0.0);
+        // Cell 1 originates on the top die (h_r = 24).
+        gp.set_pos(CellId::new(1), FPoint::new(0.0, 0.0));
+        gp.set_die_affinity(CellId::new(1), 1.0);
+        let mut lp = LegalPlacement::new(2);
+        lp.place(CellId::new(0), Point::new(24, 0), DieId::BOTTOM);
+        lp.place(CellId::new(1), Point::new(24, 0), DieId::TOP);
+        let s = displacement_stats(&d, &gp, &lp);
+        // Same 24-DBU move normalizes to 2.0 on bottom, 1.0 on top.
+        assert!((s.avg - 1.5).abs() < 1e-12);
+        assert!((s.max - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_cell, Some(CellId::new(0)));
+        assert_eq!(s.avg_dbu, 24.0);
+    }
+
+    #[test]
+    fn zero_displacement_when_unmoved() {
+        let d = two_die_design(3);
+        let mut gp = Placement3d::new(3);
+        let mut lp = LegalPlacement::new(3);
+        for i in 0..3 {
+            gp.set_pos(CellId::new(i), FPoint::new(i as f64 * 10.0, 12.0));
+            lp.place(CellId::new(i), Point::new(i as i64 * 10, 12), DieId::BOTTOM);
+        }
+        let s = displacement_stats(&d, &gp, &lp);
+        assert_eq!(s.avg, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.num_cells, 3);
+    }
+
+    #[test]
+    fn fractional_gp_positions_counted_exactly() {
+        let _d = two_die_design(1);
+        let mut gp = Placement3d::new(1);
+        gp.set_pos(CellId::new(0), FPoint::new(0.5, 0.25));
+        let mut lp = LegalPlacement::new(1);
+        lp.place(CellId::new(0), Point::new(0, 0), DieId::BOTTOM);
+        assert!((displacement_of(&gp, &lp, CellId::new(0)) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Displacement distributions and per-die breakdowns.
+//!
+//! The aggregate averages of Tables III–V hide *where* displacement goes;
+//! these helpers expose the distribution (used when analyzing the Fig. 8
+//! plots and the cycle-canceling threshold `max(5·h_r, D_max/2)`).
+
+use crate::displacement::displacement_of;
+use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d};
+
+/// A histogram of per-cell displacements, bucketed in row heights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisplacementHistogram {
+    /// `counts[k]` = cells with normalized displacement in `[k, k+1)` row
+    /// heights; the final bucket absorbs everything beyond.
+    counts: Vec<usize>,
+    /// Number of cells measured.
+    total: usize,
+}
+
+impl DisplacementHistogram {
+    /// Buckets every cell's row-height-normalized displacement into
+    /// `num_buckets` unit-wide bins (the last bucket is open-ended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets == 0`.
+    pub fn collect(
+        design: &Design,
+        global: &Placement3d,
+        legal: &LegalPlacement,
+        num_buckets: usize,
+    ) -> Self {
+        assert!(num_buckets > 0, "need at least one bucket");
+        let mut counts = vec![0usize; num_buckets];
+        let n = design.num_cells();
+        for i in 0..n {
+            let c = CellId::new(i);
+            let origin_die = global.nearest_die(c, design.num_dies());
+            let hr = design.die(origin_die).row_height as f64;
+            let d = displacement_of(global, legal, c) / hr;
+            let bucket = (d as usize).min(num_buckets - 1);
+            counts[bucket] += 1;
+        }
+        Self { counts, total: n }
+    }
+
+    /// Bucket counts (`[k, k+1)` row heights; last bucket open-ended).
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of cells measured.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of cells displaced less than `k` row heights.
+    pub fn fraction_below(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let below: usize = self.counts.iter().take(k).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The smallest bucket index `k` such that at least `q` (in `[0, 1]`)
+    /// of the cells are displaced less than `k + 1` row heights.
+    pub fn quantile_bucket(&self, q: f64) -> usize {
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as usize;
+        let mut acc = 0;
+        for (k, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return k;
+            }
+        }
+        self.counts.len().saturating_sub(1)
+    }
+}
+
+/// Per-die placement statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieStats {
+    /// The die.
+    pub die: DieId,
+    /// Cells placed on this die.
+    pub num_cells: usize,
+    /// Standard-cell area on this die in DBU².
+    pub used_area: i64,
+    /// Utilization: used area over macro-free placeable area.
+    pub utilization: f64,
+}
+
+/// Computes [`DieStats`] for every die of the stack.
+pub fn die_stats(design: &Design, legal: &LegalPlacement) -> Vec<DieStats> {
+    let mut out: Vec<DieStats> = (0..design.num_dies())
+        .map(|d| DieStats {
+            die: DieId::new(d),
+            num_cells: 0,
+            used_area: 0,
+            utilization: 0.0,
+        })
+        .collect();
+    for i in 0..design.num_cells() {
+        let c = CellId::new(i);
+        let die = legal.die(c);
+        let s = &mut out[die.index()];
+        s.num_cells += 1;
+        s.used_area += design.cell_width(c, die) * design.cell_height(die);
+    }
+    for s in &mut out {
+        let free = design.free_area(s.die);
+        s.utilization = if free > 0 {
+            s.used_area as f64 / free as f64
+        } else {
+            0.0
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_db::{DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
+    use flow3d_geom::{FPoint, Point};
+
+    fn design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 10, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 400, 40), 10, 1, 1.0));
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "C");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn histogram_buckets_by_row_height() {
+        let d = design(4);
+        let gp = Placement3d::new(4); // all anchored at origin
+        let mut lp = LegalPlacement::new(4);
+        lp.place(CellId::new(0), Point::new(0, 0), DieId::BOTTOM); // 0 rows
+        lp.place(CellId::new(1), Point::new(5, 0), DieId::BOTTOM); // 0.5
+        lp.place(CellId::new(2), Point::new(0, 10), DieId::BOTTOM); // 1.0
+        lp.place(CellId::new(3), Point::new(100, 30), DieId::BOTTOM); // 13
+        let h = DisplacementHistogram::collect(&d, &gp, &lp, 4);
+        assert_eq!(h.counts(), &[2, 1, 0, 1]); // last bucket open-ended
+        assert_eq!(h.total(), 4);
+        assert!((h.fraction_below(2) - 0.75).abs() < 1e-12);
+        assert_eq!(h.quantile_bucket(0.5), 0);
+        assert_eq!(h.quantile_bucket(1.0), 3);
+    }
+
+    #[test]
+    fn histogram_empty_design() {
+        let d = design(0);
+        let h = DisplacementHistogram::collect(
+            &d,
+            &Placement3d::new(0),
+            &LegalPlacement::new(0),
+            3,
+        );
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction_below(1), 1.0);
+    }
+
+    #[test]
+    fn die_stats_split_cells_and_area() {
+        let d = design(6);
+        let gp = Placement3d::new(6);
+        let mut lp = LegalPlacement::new(6);
+        for i in 0..6 {
+            let die = if i < 4 { DieId::BOTTOM } else { DieId::TOP };
+            lp.place(CellId::new(i), Point::new(i as i64 * 20, 0), die);
+        }
+        drop(gp);
+        let stats = die_stats(&d, &lp);
+        assert_eq!(stats[0].num_cells, 4);
+        assert_eq!(stats[1].num_cells, 2);
+        assert_eq!(stats[0].used_area, 4 * 100);
+        let free = d.free_area(DieId::BOTTOM) as f64;
+        assert!((stats[0].utilization - 400.0 / free).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_buckets_panics() {
+        let d = design(1);
+        let _ = DisplacementHistogram::collect(
+            &d,
+            &Placement3d::new(1),
+            &LegalPlacement::new(1),
+            0,
+        );
+    }
+
+    #[test]
+    fn fractional_anchor_rounds_into_bucket() {
+        let d = design(1);
+        let mut gp = Placement3d::new(1);
+        gp.set_pos(CellId::new(0), FPoint::new(0.4, 0.0));
+        let mut lp = LegalPlacement::new(1);
+        lp.place(CellId::new(0), Point::new(0, 0), DieId::BOTTOM);
+        let h = DisplacementHistogram::collect(&d, &gp, &lp, 2);
+        assert_eq!(h.counts(), &[1, 0]);
+    }
+}

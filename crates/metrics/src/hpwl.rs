@@ -1,0 +1,184 @@
+//! Half-perimeter wirelength (HPWL).
+//!
+//! F2F-bonded dies share one plan-view coordinate system, so a net's HPWL
+//! is the half-perimeter of the bounding box of all its pins regardless of
+//! which die each pin sits on (inter-die hybrid-bonding terminals sit
+//! directly between the dies and add no planar length). This matches the
+//! ΔHPWL% comparison of Fig. 7.
+
+use flow3d_db::{Design, InstRef, LegalPlacement, Placement3d};
+use flow3d_geom::FPoint;
+
+/// HPWL of one pin-position set: half-perimeter of the bounding box.
+fn bbox_half_perimeter(points: impl IntoIterator<Item = FPoint>) -> f64 {
+    let mut iter = points.into_iter();
+    let Some(first) = iter.next() else {
+        return 0.0;
+    };
+    let (mut xlo, mut xhi, mut ylo, mut yhi) = (first.x, first.x, first.y, first.y);
+    for p in iter {
+        xlo = xlo.min(p.x);
+        xhi = xhi.max(p.x);
+        ylo = ylo.min(p.y);
+        yhi = yhi.max(p.y);
+    }
+    (xhi - xlo) + (yhi - ylo)
+}
+
+/// Total HPWL of `design` with pin positions provided by `pin_pos`.
+///
+/// The closure receives each net's [`InstRef`] and pin index and returns
+/// the pin's plan-view position. Single-pin and empty nets contribute 0.
+pub fn hpwl(design: &Design, mut pin_pos: impl FnMut(InstRef, usize) -> FPoint) -> f64 {
+    design
+        .nets()
+        .iter()
+        .map(|net| bbox_half_perimeter(net.pins.iter().map(|p| pin_pos(p.inst, p.pin))))
+        .sum()
+}
+
+/// HPWL of a continuous global placement.
+///
+/// Cell pins use the pin offsets of the cell's nearest die (the die the
+/// legalizer would initially assign); macro pins are fixed.
+pub fn hpwl_global(design: &Design, global: &Placement3d) -> f64 {
+    hpwl(design, |inst, pin| match inst {
+        InstRef::Cell(c) => {
+            let die = global.nearest_die(c, design.num_dies());
+            let off = design.pin_offset(inst, pin, die);
+            let p = global.pos(c);
+            FPoint::new(p.x + off.x as f64, p.y + off.y as f64)
+        }
+        InstRef::Macro(m) => {
+            let mi = &design.macros()[m.index()];
+            let off = design.pin_offset(inst, pin, mi.die);
+            FPoint::new((mi.pos.x + off.x) as f64, (mi.pos.y + off.y) as f64)
+        }
+    })
+}
+
+/// HPWL of a legal placement.
+pub fn hpwl_legal(design: &Design, legal: &LegalPlacement) -> f64 {
+    hpwl(design, |inst, pin| match inst {
+        InstRef::Cell(c) => {
+            let die = legal.die(c);
+            let off = design.pin_offset(inst, pin, die);
+            let p = legal.pos(c);
+            FPoint::new((p.x + off.x) as f64, (p.y + off.y) as f64)
+        }
+        InstRef::Macro(m) => {
+            let mi = &design.macros()[m.index()];
+            let off = design.pin_offset(inst, pin, mi.die);
+            FPoint::new((mi.pos.x + off.x) as f64, (mi.pos.y + off.y) as f64)
+        }
+    })
+}
+
+/// Percentage HPWL increase of the legal placement over the global
+/// placement — the quantity plotted in Fig. 7.
+///
+/// Returns 0 when the global HPWL is 0 (degenerate designs).
+pub fn delta_hpwl_pct(design: &Design, global: &Placement3d, legal: &LegalPlacement) -> f64 {
+    let before = hpwl_global(design, global);
+    if before == 0.0 {
+        return 0.0;
+    }
+    let after = hpwl_legal(design, legal);
+    (after - before) / before * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_db::{CellId, DesignBuilder, DieId, DieSpec, LibCellSpec, TechnologySpec};
+    use flow3d_geom::Point;
+
+    fn design() -> Design {
+        DesignBuilder::new("t")
+            .technology(
+                TechnologySpec::new("TA")
+                    .lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 6).pin("Y", 9, 6))
+                    .lib_cell(LibCellSpec::macro_cell("RAM", 100, 24).pin("D", 50, 12)),
+            )
+            .technology(
+                TechnologySpec::new("TB")
+                    .lib_cell(LibCellSpec::std_cell("INV", 6, 12).pin("A", 0, 2).pin("Y", 5, 2))
+                    .lib_cell(LibCellSpec::macro_cell("RAM", 100, 24).pin("D", 50, 12)),
+            )
+            .die(DieSpec::new("bottom", "TA", (0, 0, 1000, 120), 12, 1, 1.0))
+            .die(DieSpec::new("top", "TB", (0, 0, 1000, 120), 12, 1, 1.0))
+            .cell("u1", "INV")
+            .cell("u2", "INV")
+            .macro_inst("ram0", "RAM", "bottom", 500, 0)
+            .net("n1", &[("u1", 1), ("u2", 0)])
+            .net("n2", &[("u2", 1), ("ram0", 0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn legal_hpwl_matches_hand_computation() {
+        let d = design();
+        let mut lp = LegalPlacement::new(2);
+        lp.place(CellId::new(0), Point::new(0, 0), DieId::BOTTOM); // Y pin at (9, 6)
+        lp.place(CellId::new(1), Point::new(100, 12), DieId::BOTTOM); // A at (100, 18), Y at (109, 18)
+        // n1: (9,6)-(100,18): 91 + 12 = 103
+        // n2: (109,18)-(550,12): 441 + 6 = 447
+        assert!((hpwl_legal(&d, &lp) - (103.0 + 447.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pin_offsets_follow_die_assignment() {
+        let d = design();
+        let mut lp = LegalPlacement::new(2);
+        // u1 on top die: Y pin offset is (5, 2) instead of (9, 6).
+        lp.place(CellId::new(0), Point::new(0, 0), DieId::TOP);
+        lp.place(CellId::new(1), Point::new(100, 12), DieId::BOTTOM);
+        // n1: (5,2)-(100,18): 95 + 16 = 111
+        // n2 unchanged: 447
+        assert!((hpwl_legal(&d, &lp) - (111.0 + 447.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_hpwl_uses_nearest_die_offsets() {
+        let d = design();
+        let mut gp = Placement3d::new(2);
+        gp.set_pos(CellId::new(0), flow3d_geom::FPoint::new(0.0, 0.0));
+        gp.set_die_affinity(CellId::new(0), 0.9); // snaps to top
+        gp.set_pos(CellId::new(1), flow3d_geom::FPoint::new(100.0, 12.0));
+        let mut lp = LegalPlacement::new(2);
+        lp.place(CellId::new(0), Point::new(0, 0), DieId::TOP);
+        lp.place(CellId::new(1), Point::new(100, 12), DieId::BOTTOM);
+        // Legal placement equals the (integral) global placement, so no
+        // HPWL change.
+        assert!(delta_hpwl_pct(&d, &gp, &lp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_pin_net_contributes_zero() {
+        let d = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 0)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 100, 24), 12, 1, 1.0))
+            .cell("u1", "INV")
+            .net("n1", &[("u1", 0)])
+            .build()
+            .unwrap();
+        let lp = LegalPlacement::new(1);
+        assert_eq!(hpwl_legal(&d, &lp), 0.0);
+    }
+
+    #[test]
+    fn delta_pct_zero_for_zero_baseline() {
+        // A design whose nets have zero HPWL (no nets at all).
+        let empty = DesignBuilder::new("e")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("INV", 10, 12)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 100, 24), 12, 1, 1.0))
+            .cell("u1", "INV")
+            .build()
+            .unwrap();
+        assert_eq!(
+            delta_hpwl_pct(&empty, &Placement3d::new(1), &LegalPlacement::new(1)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Quality metrics and the legality checker.
+//!
+//! The paper evaluates legalizers on three quantities, all provided here:
+//!
+//! * **Average / maximum cell displacement** between the global placement
+//!   and the legal placement, normalized by row height (Tables III–V) —
+//!   [`displacement_stats`].
+//! * **HPWL increase** of the legal placement over the global placement
+//!   (Fig. 7) — [`hpwl`], [`delta_hpwl_pct`].
+//! * **Legality** — [`check_legal`] verifies row/site alignment, die
+//!   outlines, macro blockages, cell overlaps and per-die utilization.
+//!
+//! # Examples
+//!
+//! ```
+//! use flow3d_db::{DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
+//! use flow3d_db::{LegalPlacement, Placement3d};
+//! use flow3d_metrics::check_legal;
+//!
+//! # fn main() -> Result<(), flow3d_db::DbError> {
+//! let design = DesignBuilder::new("demo")
+//!     .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("INV", 10, 12)))
+//!     .die(DieSpec::new("bottom", "T", (0, 0, 100, 24), 12, 1, 1.0))
+//!     .cell("u1", "INV")
+//!     .build()?;
+//! let mut legal = LegalPlacement::new(1);
+//! legal.place(0usize.into(), flow3d_geom::Point::new(10, 0), flow3d_db::DieId::BOTTOM);
+//! assert!(check_legal(&design, &legal).is_legal());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod check;
+pub mod displacement;
+pub mod histogram;
+pub mod hpwl;
+
+pub use check::{check_legal, check_legal_with_layout, LegalityReport, Violation};
+pub use displacement::{displacement_of, displacement_stats, DisplacementStats};
+pub use histogram::{die_stats, DieStats, DisplacementHistogram};
+pub use hpwl::{delta_hpwl_pct, hpwl_global, hpwl_legal};

@@ -1,0 +1,342 @@
+#![warn(missing_docs)]
+//! SVG visualization for the 3D-Flow reproduction.
+//!
+//! Two chart kinds reproduce the paper's figures:
+//!
+//! * [`DisplacementPlot`] — Fig. 8: one die in plan view with macros,
+//!   placed cells, displacement vectors, and cells arriving from the
+//!   other die highlighted.
+//! * [`BarChart`] — Fig. 7: grouped bars (ΔHPWL% per case per legalizer).
+//!
+//! The output is self-contained SVG with no external assets.
+
+use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d};
+use std::fmt::Write as _;
+
+/// Series colors shared by both chart kinds (color-blind-safe-ish).
+const COLORS: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Grouped bar chart (Fig. 7: ΔHPWL% per benchmark per legalizer).
+///
+/// # Examples
+///
+/// ```
+/// use flow3d_viz::BarChart;
+/// let svg = BarChart::new("dHPWL (%)")
+///     .group("case2", &[("tetris", 4.2), ("ours", 2.9)])
+///     .group("case3", &[("tetris", 6.0), ("ours", 4.5)])
+///     .to_svg();
+/// assert!(svg.contains("<svg"));
+/// assert!(svg.contains("case3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    groups: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl BarChart {
+    /// Starts a chart with a y-axis title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds one group (benchmark case) of `(series, value)` bars.
+    #[must_use]
+    pub fn group(mut self, label: impl Into<String>, bars: &[(&str, f64)]) -> Self {
+        self.groups.push((
+            label.into(),
+            bars.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        ));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn to_svg(&self) -> String {
+        let width = 760.0;
+        let height = 360.0;
+        let (ml, mr, mt, mb) = (60.0, 20.0, 30.0, 60.0);
+        let plot_w = width - ml - mr;
+        let plot_h = height - mt - mb;
+
+        let max_v = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter().map(|(_, v)| *v))
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let series: Vec<&str> = self
+            .groups
+            .first()
+            .map(|(_, bars)| bars.iter().map(|(n, _)| n.as_str()).collect())
+            .unwrap_or_default();
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{width}" height="{height}" fill="white"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{:.1}" font-size="12" transform="rotate(-90 14 {:.1})" text-anchor="middle">{}</text>"#,
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            esc(&self.title)
+        );
+        // Y grid: 5 lines.
+        for k in 0..=5 {
+            let v = max_v * k as f64 / 5.0;
+            let y = mt + plot_h * (1.0 - k as f64 / 5.0);
+            let _ = write!(
+                svg,
+                r##"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{v:.1}</text>"##,
+                ml + plot_w,
+                ml - 4.0,
+                y + 3.0
+            );
+        }
+        // Bars.
+        let ng = self.groups.len().max(1) as f64;
+        let group_w = plot_w / ng;
+        for (gi, (label, bars)) in self.groups.iter().enumerate() {
+            let gx = ml + group_w * gi as f64;
+            let nb = bars.len().max(1) as f64;
+            let bw = (group_w * 0.8) / nb;
+            for (bi, (_, v)) in bars.iter().enumerate() {
+                let bh = plot_h * (v / max_v).clamp(0.0, 1.0);
+                let x = gx + group_w * 0.1 + bw * bi as f64;
+                let y = mt + plot_h - bh;
+                let color = COLORS[bi % COLORS.len()];
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bh:.1}" fill="{color}"><title>{}: {v:.2}</title></rect>"#,
+                    bw * 0.9,
+                    esc(&bars[bi].0)
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"#,
+                gx + group_w / 2.0,
+                mt + plot_h + 14.0,
+                esc(label)
+            );
+        }
+        // Legend.
+        for (si, name) in series.iter().enumerate() {
+            let x = ml + 90.0 * si as f64;
+            let y = height - 18.0;
+            let color = COLORS[si % COLORS.len()];
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{:.1}" width="10" height="10" fill="{color}"/><text x="{:.1}" y="{y:.1}" font-size="10">{}</text>"#,
+                y - 9.0,
+                x + 14.0,
+                esc(name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// Plan-view displacement plot of one die (Fig. 8): macros in gray, cells
+/// as small rectangles, a line from each cell's global position to its
+/// legal position, and cells that crossed dies highlighted in blue.
+#[derive(Debug, Clone)]
+pub struct DisplacementPlot<'a> {
+    design: &'a Design,
+    global: &'a Placement3d,
+    legal: &'a LegalPlacement,
+    die: DieId,
+}
+
+impl<'a> DisplacementPlot<'a> {
+    /// Creates a plot of `die`.
+    pub fn new(
+        design: &'a Design,
+        global: &'a Placement3d,
+        legal: &'a LegalPlacement,
+        die: DieId,
+    ) -> Self {
+        Self {
+            design,
+            global,
+            legal,
+            die,
+        }
+    }
+
+    /// Renders the plot scaled to ~800 px wide.
+    pub fn to_svg(&self) -> String {
+        let outline = self.design.die(self.die).outline;
+        let scale = 800.0 / outline.width().max(1) as f64;
+        let w = outline.width() as f64 * scale;
+        let h = outline.height() as f64 * scale;
+        let px = |x: i64| (x - outline.xlo) as f64 * scale;
+        // SVG y grows downward; flip so the plot reads like the paper.
+        let py = |y: i64| h - (y - outline.ylo) as f64 * scale;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{w:.0}" height="{h:.0}" fill="white" stroke="black"/>"#
+        );
+        // Macros.
+        for rect in self.design.macro_rects_on(self.die) {
+            let _ = write!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#bbbbbb"/>"##,
+                px(rect.xlo),
+                py(rect.yhi),
+                rect.width() as f64 * scale,
+                rect.height() as f64 * scale
+            );
+        }
+        // Cells + displacement vectors.
+        let num_dies = self.design.num_dies();
+        for i in 0..self.design.num_cells() {
+            let c = CellId::new(i);
+            if self.legal.die(c) != self.die {
+                continue;
+            }
+            let p = self.legal.pos(c);
+            let cw = self.design.cell_width(c, self.die) as f64 * scale;
+            let ch = self.design.cell_height(self.die) as f64 * scale;
+            let from_other_die = self.global.nearest_die(c, num_dies) != self.die;
+            let fill = if from_other_die { "#4477aa" } else { "#dd8866" };
+            let _ = write!(
+                svg,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="0.8"/>"#,
+                px(p.x),
+                py(p.y) - ch,
+                cw.max(0.5),
+                ch.max(0.5)
+            );
+            let g = self.global.pos(c);
+            let gx = (g.x - outline.xlo as f64) * scale;
+            let gy = h - (g.y - outline.ylo as f64) * scale;
+            let _ = write!(
+                svg,
+                r#"<line x1="{gx:.1}" y1="{gy:.1}" x2="{:.1}" y2="{:.1}" stroke="black" stroke-width="0.4" stroke-opacity="0.5"/>"#,
+                px(p.x),
+                py(p.y)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow3d_gen::GeneratorConfig;
+    use flow3d_geom::Point;
+
+    #[test]
+    fn bar_chart_renders_all_groups_and_series() {
+        let svg = BarChart::new("Δ HPWL (%)")
+            .group("case2", &[("tetris", 4.0), ("abacus", 3.0), ("ours", 2.0)])
+            .group("case3", &[("tetris", 5.0), ("abacus", 4.0), ("ours", 3.0)])
+            .to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("case2") && svg.contains("case3"));
+        assert!(svg.contains("tetris") && svg.contains("ours"));
+        assert!(svg.matches("<rect").count() >= 7); // 6 bars + bg + legend
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_zero() {
+        let svg = BarChart::new("x").to_svg();
+        assert!(svg.contains("</svg>"));
+        let svg = BarChart::new("x").group("a", &[("s", 0.0)]).to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn bar_chart_escapes_labels() {
+        let svg = BarChart::new("a<b").group("c&d", &[("e>f", 1.0)]).to_svg();
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("c&amp;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn displacement_plot_draws_cells_macros_and_vectors() {
+        let case = GeneratorConfig::small_demo(8).generate().unwrap();
+        let d = &case.design;
+        let n = d.num_cells();
+        let mut legal = LegalPlacement::new(n);
+        // Synthetic legal-ish positions: row 0, spaced; half per die.
+        for i in 0..n {
+            let die = if i % 2 == 0 { DieId::BOTTOM } else { DieId::TOP };
+            legal.place(CellId::new(i), Point::new((i as i64 * 7) % 500, 0), die);
+        }
+        let svg = DisplacementPlot::new(d, &case.natural, &legal, DieId::BOTTOM).to_svg();
+        assert!(svg.contains("<line"), "vectors missing");
+        assert!(svg.matches("<rect").count() > n / 4, "cells missing");
+        if d.num_macros() > 0 && !d.macro_rects_on(DieId::BOTTOM).is_empty() {
+            assert!(svg.contains("#bbbbbb"), "macros missing");
+        }
+    }
+}
+
+/// Displacement-distribution chart: one column per row-height bucket
+/// (the data of [`flow3d-metrics`]'s `DisplacementHistogram`), rendered
+/// with the same styling as [`BarChart`].
+///
+/// # Examples
+///
+/// ```
+/// let svg = flow3d_viz::histogram_svg("cells", &[120, 40, 8, 2]);
+/// assert!(svg.contains("<svg"));
+/// assert!(svg.contains("3+"));
+/// ```
+pub fn histogram_svg(title: &str, counts: &[usize]) -> String {
+    let mut chart = BarChart::new(title);
+    for (k, &c) in counts.iter().enumerate() {
+        let label = if k + 1 == counts.len() {
+            format!("{k}+")
+        } else {
+            format!("{k}")
+        };
+        chart = chart.group(label, &[("cells", c as f64)]);
+    }
+    chart.to_svg()
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    #[test]
+    fn histogram_svg_labels_open_ended_bucket() {
+        let svg = super::histogram_svg("disp", &[5, 3, 1]);
+        assert!(svg.contains(">0<"));
+        assert!(svg.contains(">1<"));
+        assert!(svg.contains(">2+<"));
+    }
+
+    #[test]
+    fn histogram_svg_empty_is_valid() {
+        let svg = super::histogram_svg("disp", &[]);
+        assert!(svg.ends_with("</svg>"));
+    }
+}

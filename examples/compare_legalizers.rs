@@ -1,0 +1,60 @@
+//! The paper's core experiment in miniature: run all four legalizers
+//! (Tetris, Abacus, BonnPlaceLegal-style, 3D-Flow) on the same global
+//! placement and compare displacement, HPWL increase, and runtime —
+//! a small-scale Table III.
+//!
+//! ```sh
+//! cargo run --release --example compare_legalizers [case] [scale]
+//! ```
+//!
+//! `case` is an ICCAD 2022 case name (default `case3`); `scale` shrinks
+//! the instance (default `0.25`).
+
+use flow3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let case_name = args.first().map(String::as_str).unwrap_or("case3");
+    let scale: f64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+
+    let mut cfg = GeneratorConfig::iccad2022(case_name)
+        .ok_or_else(|| format!("unknown ICCAD 2022 case `{case_name}`"))?;
+    cfg.scale = scale;
+    let case = cfg.generate()?;
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+    println!(
+        "{case_name} @ scale {scale}: {} cells on two dies\n",
+        case.design.num_cells()
+    );
+
+    let legalizers: Vec<Box<dyn flow3d_core::Legalizer>> = vec![
+        Box::new(TetrisLegalizer::default()),
+        Box::new(AbacusLegalizer::default()),
+        Box::new(BonnLegalizer::default()),
+        Box::new(Flow3dLegalizer::default()),
+    ];
+
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>8} {:>7}",
+        "legalizer", "avg.disp", "max.disp", "dHPWL%", "rt(ms)", "#move"
+    );
+    for lg in &legalizers {
+        let start = std::time::Instant::now();
+        let outcome = lg.legalize(&case.design, &global)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let report = check_legal(&case.design, &outcome.placement);
+        assert!(report.is_legal(), "{}: {report}", lg.name());
+        let stats = displacement_stats(&case.design, &global, &outcome.placement);
+        let dhpwl = flow3d::metrics::delta_hpwl_pct(&case.design, &global, &outcome.placement);
+        println!(
+            "{:<14} {:>9.3} {:>9.2} {:>8.2} {:>8.1} {:>7}",
+            lg.name(),
+            stats.avg,
+            stats.max,
+            dhpwl,
+            ms,
+            outcome.stats.cross_die_moves
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Incremental (ECO) legalization: the flow formulation re-legalizes a
+//! perturbed placement with minimal disturbance — the capability the
+//! paper's post-optimization exploits internally (§III-E), exposed as an
+//! API for the classical physical-synthesis loop:
+//!
+//!   global place → legalize → timing optimization moves/sizes a few
+//!   cells → *incremental* legalize → ...
+//!
+//! ```sh
+//! cargo run --release --example eco_incremental
+//! ```
+
+use flow3d::core::CellMove;
+use flow3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Base: a legalized mid-size case.
+    let mut cfg = GeneratorConfig::iccad2022("case2").expect("preset");
+    cfg.scale = 1.0;
+    let case = cfg.generate()?;
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+    let legalizer = Flow3dLegalizer::new(Flow3dConfig::default());
+    let base = legalizer.legalize(&case.design, &global)?.placement;
+    assert!(check_legal(&case.design, &base).is_legal());
+    let n = case.design.num_cells();
+    println!("base placement: {n} cells, legal");
+
+    // "Timing optimization": pull 10 cells halfway toward the die center
+    // (think buffer relocation along critical paths).
+    let center = case.design.die(flow3d::db::DieId::BOTTOM).outline.center();
+    let moves: Vec<CellMove> = (0..10)
+        .map(|k| {
+            let cell = CellId::new(k * n / 10);
+            let p = base.pos(cell);
+            CellMove {
+                cell,
+                target: flow3d_geom::Point::new((p.x + center.x) / 2, (p.y + center.y) / 2),
+                die: None,
+            }
+        })
+        .collect();
+
+    let outcome = legalizer.legalize_incremental(&case.design, &base, &moves)?;
+    assert!(check_legal(&case.design, &outcome.placement).is_legal());
+
+    // How local was the repair?
+    let touched = (0..n)
+        .filter(|&i| {
+            let c = CellId::new(i);
+            outcome.placement.pos(c) != base.pos(c) || outcome.placement.die(c) != base.die(c)
+        })
+        .count();
+    println!(
+        "ECO moved 10 cells; incremental legalization touched {touched} of {n} cells \
+         ({} augmenting paths)",
+        outcome.stats.augmentations
+    );
+    for mv in &moves[..3] {
+        let got = outcome.placement.pos(mv.cell);
+        println!(
+            "  {}: requested {}, placed {} (|delta| = {})",
+            case.design.cells()[mv.cell.index()].name,
+            mv.target,
+            got,
+            got.manhattan(mv.target)
+        );
+    }
+    assert!(
+        touched < n / 2,
+        "incremental repair should be local, touched {touched}/{n}"
+    );
+    Ok(())
+}
+
+use flow3d::db::CellId;

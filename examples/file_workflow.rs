@@ -1,0 +1,69 @@
+//! File-based workflow: the same flow a downstream placement tool would
+//! use — write a contest-style case file and a global-placement file,
+//! parse them back, legalize, emit the contest-style legal output, and
+//! render the Fig-8-style displacement plot.
+//!
+//! ```sh
+//! cargo run --release --example file_workflow
+//! ```
+//!
+//! Artifacts land in `target/example-out/`.
+
+use flow3d::prelude::*;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from("target/example-out");
+    std::fs::create_dir_all(&dir)?;
+
+    // Produce a case with macros (ICCAD-2023-like) at small scale.
+    let mut cfg = GeneratorConfig::iccad2023("case2").expect("preset exists");
+    cfg.scale = 0.2;
+    let case = cfg.generate()?;
+
+    // --- write + re-read the case file --------------------------------
+    let case_path = dir.join("case2.txt");
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text)?;
+    std::fs::write(&case_path, &text)?;
+    let design = flow3d::io::parse_case(&std::fs::read_to_string(&case_path)?)?;
+    assert_eq!(design, case.design, "case file round-trip must be lossless");
+    println!("case file     : {}", case_path.display());
+
+    // --- global placement file -----------------------------------------
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&design, &case.natural);
+    let gp_path = dir.join("case2.gp.txt");
+    let mut text = String::new();
+    flow3d::io::write_placement3d(&design, &global, &mut text)?;
+    std::fs::write(&gp_path, &text)?;
+    let global = flow3d::io::parse_placement3d(&design, &std::fs::read_to_string(&gp_path)?)?;
+    println!("global place  : {}", gp_path.display());
+
+    // --- legalize + legal output file ----------------------------------
+    let outcome = Flow3dLegalizer::default().legalize(&design, &global)?;
+    assert!(check_legal(&design, &outcome.placement).is_legal());
+    let legal_path = dir.join("case2.legal.txt");
+    let mut text = String::new();
+    flow3d::io::write_legal(&design, &outcome.placement, &mut text)?;
+    std::fs::write(&legal_path, &text)?;
+    println!("legal output  : {}", legal_path.display());
+
+    // --- Fig-8-style plot ------------------------------------------------
+    let svg = flow3d::viz::DisplacementPlot::new(
+        &design,
+        &global,
+        &outcome.placement,
+        flow3d::db::DieId::TOP,
+    )
+    .to_svg();
+    let svg_path = dir.join("case2.top.svg");
+    std::fs::write(&svg_path, svg)?;
+    println!("displacement  : {}", svg_path.display());
+
+    let stats = displacement_stats(&design, &global, &outcome.placement);
+    println!(
+        "avg disp {:.3} rows, max {:.2} rows, {} cross-die moves",
+        stats.avg, stats.max, outcome.stats.cross_die_moves
+    );
+    Ok(())
+}

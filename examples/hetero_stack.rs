@@ -1,0 +1,104 @@
+//! Heterogeneous technology integration (paper §II-A, §III-F): the two
+//! dies use different nodes, so the *same* cell has different widths on
+//! each die (`w_c^+` vs `w_c^-`). This example builds a tiny design by
+//! hand with the database API, crowds the advanced (smaller) bottom die,
+//! and shows 3D-Flow relieving the pressure by moving cells to the top
+//! die — updating their footprints in flight and respecting the top die's
+//! utilization cap.
+//!
+//! ```sh
+//! cargo run --release --example hetero_stack
+//! ```
+
+use flow3d::db::{DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
+use flow3d::prelude::*;
+use flow3d_geom::FPoint;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bottom die: dense 8-DBU-row node. Top die: older 12-DBU-row node
+    // where every cell is 1.5x wider.
+    let mut builder = DesignBuilder::new("hetero-demo")
+        .technology(
+            TechnologySpec::new("N5")
+                .lib_cell(LibCellSpec::std_cell("INV", 8, 8).pin("A", 0, 4).pin("Y", 7, 4))
+                .lib_cell(LibCellSpec::std_cell("DFF", 24, 8).pin("D", 0, 4).pin("Q", 23, 4)),
+        )
+        .technology(
+            TechnologySpec::new("N16")
+                .lib_cell(LibCellSpec::std_cell("INV", 12, 12).pin("A", 0, 6).pin("Y", 11, 6))
+                .lib_cell(LibCellSpec::std_cell("DFF", 36, 12).pin("D", 0, 6).pin("Q", 35, 6)),
+        )
+        .die(DieSpec::new("bottom", "N5", (0, 0, 400, 64), 8, 1, 0.85))
+        .die(DieSpec::new("top", "N16", (0, 0, 400, 60), 12, 1, 0.85));
+
+    // 60 cells, all wanting the bottom die's lower-left corner.
+    let n = 60;
+    for i in 0..n {
+        let kind = if i % 5 == 0 { "DFF" } else { "INV" };
+        builder = builder.cell(format!("u{i}"), kind);
+    }
+    // A few local nets.
+    let design = {
+        let mut b = builder;
+        for i in 0..n - 1 {
+            let a = format!("u{i}");
+            let c = format!("u{}", i + 1);
+            b = b.net(format!("n{i}"), &[(a.as_str(), 1), (c.as_str(), 0)]);
+        }
+        b.build()?
+    };
+
+    let mut global = Placement3d::new(n);
+    for i in 0..n {
+        let cell = CellId::new(i);
+        global.set_pos(
+            cell,
+            FPoint::new(20.0 + (i % 6) as f64 * 9.0, 4.0 + (i % 4) as f64 * 8.0),
+        );
+        // Everything prefers the bottom die, some cells only mildly.
+        global.set_die_affinity(cell, if i % 3 == 0 { 0.35 } else { 0.1 });
+    }
+
+    let outcome = Flow3dLegalizer::new(Flow3dConfig::default()).legalize(&design, &global)?;
+    let report = check_legal(&design, &outcome.placement);
+    assert!(report.is_legal(), "{report}");
+
+    let moved: Vec<String> = (0..n)
+        .map(CellId::new)
+        .filter(|&c| outcome.placement.die(c) == DieId::TOP)
+        .map(|c| design.cells()[c.index()].name.clone())
+        .collect();
+    println!(
+        "legal placement: {} cells stayed on the bottom (N5) die, {} moved to the top (N16) die",
+        n - moved.len(),
+        moved.len()
+    );
+    for name in moved.iter().take(8) {
+        let c = design.cell_by_name(name).unwrap();
+        println!(
+            "  {name}: width {} DBU on N5 -> {} DBU on N16",
+            design.cell_width(c, DieId::BOTTOM),
+            design.cell_width(c, DieId::TOP)
+        );
+    }
+    let stats = displacement_stats(&design, &global, &outcome.placement);
+    println!(
+        "avg displacement {:.3} rows, max {:.2} rows",
+        stats.avg, stats.max
+    );
+
+    // Utilization stays under both caps.
+    for die in [DieId::BOTTOM, DieId::TOP] {
+        let used: i64 = (0..n)
+            .map(CellId::new)
+            .filter(|&c| outcome.placement.die(c) == die)
+            .map(|c| design.cell_width(c, die) * design.cell_height(die))
+            .sum();
+        let cap = (design.die(die).max_util * design.free_area(die) as f64) as i64;
+        println!("die {die}: {used} / {cap} DBU² used");
+        assert!(used <= cap);
+    }
+    Ok(())
+}
+
+use flow3d::db::{CellId, DieId, Placement3d};

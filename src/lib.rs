@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # flow3d — 3D-Flow legalization for 3D ICs
+//!
+//! Facade crate for the reproduction of *"3D-Flow: Flow-based Standard Cell
+//! Legalization for 3D ICs"* (Zhao, Liao, Yu — DAC 2025). Re-exports every
+//! workspace crate under one roof:
+//!
+//! * [`geom`] — integer geometry primitives.
+//! * [`db`] — the design database (technologies, dies, rows, cells, macros,
+//!   nets, placements).
+//! * [`mcmf`] — a generic min-cost max-flow reference solver.
+//! * [`io`] — contest-style file formats (case, global placement, legal
+//!   output).
+//! * [`gen`] — synthetic benchmark generator matching the ICCAD 2022/2023
+//!   contest statistics.
+//! * [`gp`] — an analytical 3D global-placement substrate.
+//! * [`metrics`] — displacement/HPWL metrics and the legality checker.
+//! * [`core`] — the 3D-Flow legalizer itself.
+//! * [`baselines`] — Tetris, Abacus, and BonnPlaceLegal-style reference
+//!   legalizers.
+//! * [`viz`] — SVG visualization of placements and results.
+//!
+//! # Examples
+//!
+//! Generate a benchmark, globally place it, legalize it with 3D-Flow, and
+//! measure displacement:
+//!
+//! ```
+//! use flow3d::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let case = flow3d::gen::GeneratorConfig::small_demo(42).generate()?;
+//! let global = flow3d::gp::GlobalPlacer::new(Default::default()).place(&case.design);
+//! let legalizer = flow3d::core::Flow3dLegalizer::new(Default::default());
+//! let outcome = legalizer.legalize(&case.design, &global)?;
+//! let report = flow3d::metrics::check_legal(&case.design, &outcome.placement);
+//! assert!(report.is_legal());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use flow3d_baselines as baselines;
+pub use flow3d_core as core;
+pub use flow3d_db as db;
+pub use flow3d_gen as gen;
+pub use flow3d_geom as geom;
+pub use flow3d_gp as gp;
+pub use flow3d_io as io;
+pub use flow3d_mcmf as mcmf;
+pub use flow3d_metrics as metrics;
+pub use flow3d_viz as viz;
+
+/// Convenience re-exports of the types most programs need.
+pub mod prelude {
+    pub use flow3d_baselines::{AbacusLegalizer, BonnLegalizer, TetrisLegalizer};
+    pub use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
+    pub use flow3d_db::{
+        CellId, Design, DesignBuilder, DieId, LegalPlacement, Placement3d, RowLayout,
+    };
+    pub use flow3d_gen::GeneratorConfig;
+    pub use flow3d_gp::{GlobalPlacer, GpConfig};
+    pub use flow3d_metrics::{check_legal, displacement_stats, hpwl};
+}

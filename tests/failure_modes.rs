@@ -1,0 +1,126 @@
+//! Failure injection: every legalizer must reject impossible inputs with
+//! a typed error instead of panicking or emitting an illegal placement.
+
+use flow3d::db::{DesignBuilder, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
+use flow3d::prelude::*;
+use flow3d_core::LegalizeError;
+
+fn all_legalizers() -> Vec<Box<dyn flow3d_core::Legalizer>> {
+    vec![
+        Box::new(TetrisLegalizer::default()),
+        Box::new(AbacusLegalizer::default()),
+        Box::new(BonnLegalizer::default()),
+        Box::new(Flow3dLegalizer::default()),
+    ]
+}
+
+#[test]
+fn overfull_stack_is_rejected_by_every_legalizer() {
+    // 20 cells of 100x10 = 20000 DBU² vs two dies of 200x10 = 4000 DBU².
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 100, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 200, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 200, 10), 10, 1, 1.0));
+    for i in 0..20 {
+        b = b.cell(format!("u{i}"), "C");
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(20);
+    for lg in all_legalizers() {
+        let err = lg.legalize(&design, &global).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LegalizeError::DieOverflow { .. }
+                    | LegalizeError::NoPosition { .. }
+                    | LegalizeError::NoAugmentingPath { .. }
+            ),
+            "{}: unexpected error {err}",
+            lg.name()
+        );
+    }
+}
+
+#[test]
+fn cell_wider_than_every_segment_is_rejected() {
+    // A macro chops both rows; the 150-wide cell fits in no segment.
+    let design = DesignBuilder::new("t")
+        .technology(
+            TechnologySpec::new("T")
+                .lib_cell(LibCellSpec::std_cell("WIDE", 150, 10))
+                .lib_cell(LibCellSpec::macro_cell("BLK", 100, 20)),
+        )
+        .die(DieSpec::new("bottom", "T", (0, 0, 240, 20), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 240, 20), 10, 1, 1.0))
+        .macro_inst("blk0", "BLK", "bottom", 60, 0)
+        .macro_inst("blk1", "BLK", "top", 60, 0)
+        .cell("u0", "WIDE")
+        .build()
+        .unwrap();
+    let global = Placement3d::new(1);
+    for lg in all_legalizers() {
+        let err = lg.legalize(&design, &global).unwrap_err();
+        assert!(
+            matches!(err, LegalizeError::NoPosition { .. }),
+            "{}: unexpected error {err}",
+            lg.name()
+        );
+    }
+}
+
+#[test]
+fn placement_size_mismatch_is_rejected() {
+    let design = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 10, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 100, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 100, 10), 10, 1, 1.0))
+        .cell("u0", "C")
+        .cell("u1", "C")
+        .build()
+        .unwrap();
+    let wrong = Placement3d::new(1);
+    for lg in all_legalizers() {
+        let err = lg.legalize(&design, &wrong).unwrap_err();
+        assert!(
+            matches!(err, LegalizeError::PlacementMismatch { .. }),
+            "{}: unexpected error {err}",
+            lg.name()
+        );
+    }
+}
+
+#[test]
+fn utilization_cap_is_honored_not_silently_exceeded() {
+    // Cells fit physically but exceed the 40% caps on a single die; they
+    // must end up split (3D-Flow) or be rejected (2D methods cannot split
+    // since all affinities point to the bottom die and the partitioner
+    // rebalances for everyone — so everyone succeeds and stays legal).
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 20, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 200, 20), 10, 1, 0.4))
+        .die(DieSpec::new("top", "T", (0, 0, 200, 20), 10, 1, 0.4));
+    for i in 0..12 {
+        b = b.cell(format!("u{i}"), "C"); // 12*200 = 2400 vs 1600/die cap
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(12);
+    for lg in all_legalizers() {
+        let outcome = lg.legalize(&design, &global).unwrap();
+        let report = check_legal(&design, &outcome.placement);
+        assert!(report.is_legal(), "{}: {report}", lg.name());
+    }
+}
+
+#[test]
+fn empty_design_succeeds_everywhere() {
+    let design = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 10, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 100, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 100, 10), 10, 1, 1.0))
+        .build()
+        .unwrap();
+    for lg in all_legalizers() {
+        let outcome = lg.legalize(&design, &Placement3d::new(0)).unwrap();
+        assert_eq!(outcome.placement.num_cells(), 0, "{}", lg.name());
+    }
+}

@@ -1,0 +1,74 @@
+//! File-format round-trips on generated designs, including a full
+//! legalize-from-files cycle.
+
+use flow3d::prelude::*;
+
+fn demo() -> flow3d_gen::GeneratedCase {
+    GeneratorConfig::small_demo(123).generate().unwrap()
+}
+
+#[test]
+fn case_file_roundtrip_is_lossless() {
+    let case = demo();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    let reparsed = flow3d::io::parse_case(&text).unwrap();
+    assert_eq!(reparsed, case.design);
+
+    // Idempotent: writing the reparsed design gives identical text.
+    let mut text2 = String::new();
+    flow3d::io::write_case(&reparsed, &mut text2).unwrap();
+    assert_eq!(text, text2);
+}
+
+#[test]
+fn iccad2023_case_with_macros_roundtrips() {
+    let mut cfg = GeneratorConfig::iccad2023("case2").unwrap();
+    cfg.scale = 0.1;
+    let case = cfg.generate().unwrap();
+    assert!(case.design.num_macros() > 0);
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    let reparsed = flow3d::io::parse_case(&text).unwrap();
+    assert_eq!(reparsed, case.design);
+}
+
+#[test]
+fn placement_files_roundtrip_through_legalization() {
+    let case = demo();
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+
+    // GP file round-trip (positions quantized to 1e-4 by the writer).
+    let mut gp_text = String::new();
+    flow3d::io::write_placement3d(&case.design, &global, &mut gp_text).unwrap();
+    let global2 = flow3d::io::parse_placement3d(&case.design, &gp_text).unwrap();
+    for i in 0..case.design.num_cells() {
+        let c = CellId::new(i);
+        assert!((global.pos(c).x - global2.pos(c).x).abs() < 1e-3);
+        assert!((global.die_affinity(c) - global2.die_affinity(c)).abs() < 1e-3);
+    }
+
+    // Legalize the parsed placement and round-trip the legal output.
+    let outcome = Flow3dLegalizer::default()
+        .legalize(&case.design, &global2)
+        .unwrap();
+    let mut legal_text = String::new();
+    flow3d::io::write_legal(&case.design, &outcome.placement, &mut legal_text).unwrap();
+    let legal2 = flow3d::io::parse_legal(&case.design, &legal_text).unwrap();
+    assert_eq!(legal2, outcome.placement);
+    assert!(check_legal(&case.design, &legal2).is_legal());
+}
+
+#[test]
+fn parse_errors_are_line_addressed() {
+    let case = demo();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    // Corrupt one mid-file line.
+    let corrupted = text.replace("NumNets", "NumNyets");
+    let err = flow3d::io::parse_case(&corrupted).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line"), "{msg}");
+}
+
+use flow3d::db::CellId;

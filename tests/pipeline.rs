@@ -1,0 +1,139 @@
+//! End-to-end integration: generator → global placer → all four
+//! legalizers → metrics, across homogeneous and heterogeneous cases.
+
+use flow3d::prelude::*;
+
+fn legalizers() -> Vec<Box<dyn flow3d_core::Legalizer>> {
+    vec![
+        Box::new(TetrisLegalizer::default()),
+        Box::new(AbacusLegalizer::default()),
+        Box::new(BonnLegalizer::default()),
+        Box::new(Flow3dLegalizer::default()),
+    ]
+}
+
+fn full_pipeline(case: flow3d_gen::GeneratedCase) -> Vec<(String, f64, f64)> {
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+    legalizers()
+        .iter()
+        .map(|lg| {
+            let outcome = lg
+                .legalize(&case.design, &global)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", lg.name()));
+            let report = check_legal(&case.design, &outcome.placement);
+            assert!(report.is_legal(), "{}: {report}", lg.name());
+            let stats = displacement_stats(&case.design, &global, &outcome.placement);
+            (lg.name().to_string(), stats.avg, stats.max)
+        })
+        .collect()
+}
+
+#[test]
+fn demo_case_full_pipeline() {
+    let case = GeneratorConfig::small_demo(77).generate().unwrap();
+    let results = full_pipeline(case);
+    assert_eq!(results.len(), 4);
+    for (name, avg, max) in &results {
+        assert!(*avg >= 0.0 && *max >= *avg, "{name}: avg {avg} max {max}");
+    }
+}
+
+#[test]
+fn scaled_iccad2022_homogeneous_case() {
+    let mut cfg = GeneratorConfig::iccad2022("case3").unwrap();
+    cfg.scale = 0.05;
+    let results = full_pipeline(cfg.generate().unwrap());
+    // On clumped homogeneous inputs the flow methods must not lose badly
+    // to the greedy ones (shape sanity, not a strict paper claim at this
+    // tiny scale).
+    let tetris = results[0].1;
+    let flow3d = results[3].1;
+    assert!(
+        flow3d <= tetris * 1.2,
+        "3d-flow avg {flow3d:.3} vs tetris {tetris:.3}"
+    );
+}
+
+#[test]
+fn scaled_iccad2023_case_with_macros() {
+    let mut cfg = GeneratorConfig::iccad2023("case2").unwrap();
+    cfg.scale = 0.15;
+    let generated = cfg.generate().unwrap();
+    assert!(generated.design.num_macros() > 0);
+    full_pipeline(generated);
+}
+
+#[test]
+fn hetero_row_heights_case() {
+    let mut cfg = GeneratorConfig::iccad2022("case3h").unwrap();
+    cfg.scale = 0.04;
+    let generated = cfg.generate().unwrap();
+    let d = &generated.design;
+    assert_ne!(
+        d.die(DieId::BOTTOM).row_height,
+        d.die(DieId::TOP).row_height
+    );
+    full_pipeline(generated);
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let case = GeneratorConfig::small_demo(seed).generate().unwrap();
+        let global =
+            GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+        Flow3dLegalizer::default()
+            .legalize(&case.design, &global)
+            .unwrap()
+            .placement
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn d2d_ablation_shape_on_pressured_case() {
+    // Clumped case: the 3D legalizer with D2D moves must be at least as
+    // good on max displacement as its 2D-restricted self (Table V shape).
+    let mut cfg = GeneratorConfig::iccad2022("case2").unwrap();
+    cfg.scale = 1.0;
+    let case = cfg.generate().unwrap();
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+    let with = Flow3dLegalizer::default()
+        .legalize(&case.design, &global)
+        .unwrap();
+    let without = Flow3dLegalizer::new(Flow3dConfig::without_d2d())
+        .legalize(&case.design, &global)
+        .unwrap();
+    let s_with = displacement_stats(&case.design, &global, &with.placement);
+    let s_without = displacement_stats(&case.design, &global, &without.placement);
+    assert_eq!(without.stats.cross_die_moves, 0);
+    assert!(with.stats.cross_die_moves > 0);
+    assert!(
+        s_with.avg <= s_without.avg * 1.05,
+        "D2D hurt avg displacement: {:.3} vs {:.3}",
+        s_with.avg,
+        s_without.avg
+    );
+}
+
+#[test]
+fn post_opt_reduces_or_keeps_max_displacement() {
+    let mut cfg = GeneratorConfig::iccad2022("case2").unwrap();
+    cfg.scale = 1.0;
+    let case = cfg.generate().unwrap();
+    let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+    let with = Flow3dLegalizer::default()
+        .legalize(&case.design, &global)
+        .unwrap();
+    let without = Flow3dLegalizer::new(Flow3dConfig {
+        post_opt: false,
+        ..Default::default()
+    })
+    .legalize(&case.design, &global)
+    .unwrap();
+    let s_with = displacement_stats(&case.design, &global, &with.placement);
+    let s_without = displacement_stats(&case.design, &global, &without.placement);
+    assert!(s_with.max <= s_without.max + 1e-9);
+}
+
+use flow3d::db::DieId;

@@ -1,0 +1,108 @@
+//! Cross-checks on uniform-cell-width designs, where the paper notes the
+//! legalization problem degenerates to a polynomial min-cost flow
+//! (§III-A). The generic `flow3d-mcmf` solver provides the reference
+//! optimum for hand-sized instances.
+
+use flow3d::db::{CellId, DesignBuilder, DieId, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
+use flow3d::prelude::*;
+use flow3d_geom::FPoint;
+use flow3d_mcmf::FlowNetwork;
+
+/// Single row, uniform cells, all anchored at x = 0. The optimal
+/// legalization packs them left: positions 0, w, 2w, ... with total
+/// displacement w·n·(n−1)/2.
+#[test]
+fn packed_row_matches_closed_form_optimum() {
+    let (n, w) = (5usize, 30i64);
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", w, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 200, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 200, 10), 10, 1, 1.0));
+    for i in 0..n {
+        b = b.cell(format!("u{i}"), "C");
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(n); // everything at (0, 0), bottom die
+
+    // Keep the comparison to the flow phase itself (no D2D: the planar
+    // optimum is what the closed form describes).
+    let outcome = Flow3dLegalizer::new(Flow3dConfig::without_d2d())
+        .legalize(&design, &global)
+        .unwrap();
+    assert!(check_legal(&design, &outcome.placement).is_legal());
+    let total: i64 = (0..n)
+        .map(|i| {
+            let c = CellId::new(i);
+            let p = outcome.placement.pos(c);
+            p.x.abs() + p.y.abs()
+        })
+        .sum();
+    let optimum = w * (n as i64) * (n as i64 - 1) / 2;
+    assert_eq!(total, optimum, "3D-Flow missed the packing optimum");
+}
+
+/// The same instance expressed as a transportation problem and solved by
+/// the generic min-cost flow: assigning 5 unit supplies at x=0 to slots
+/// at 0, 30, 60, 90, 120 costs exactly the closed form too.
+#[test]
+fn mcmf_reference_agrees_with_closed_form() {
+    let (n, w) = (5usize, 30i64);
+    // Node 0: source. Nodes 1..=5: slots. Node 6: sink.
+    let mut net = FlowNetwork::new(n + 2);
+    for slot in 0..n {
+        let cost = w * slot as i64; // |slot·w − 0|
+        net.add_edge(0, 1 + slot, 1, cost).unwrap();
+        net.add_edge(1 + slot, n + 1, 1, 0).unwrap();
+    }
+    // All n cells flow from the source.
+    let result = net.min_cost_flow(0, n + 1, n as i64).unwrap();
+    assert_eq!(result.flow, n as i64);
+    assert_eq!(result.cost, w * (n as i64) * (n as i64 - 1) / 2);
+    assert!(!net.residual_has_negative_cycle());
+}
+
+/// Two clumps, one per die, with room on both: no legalizer should move
+/// anything across dies, and displacement should be identical for the
+/// flow methods and the greedy ones (the instance is separable).
+#[test]
+fn separable_instance_all_legalizers_agree() {
+    let (n, w) = (4usize, 20i64);
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", w, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 400, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 400, 10), 10, 1, 1.0));
+    for i in 0..2 * n {
+        b = b.cell(format!("u{i}"), "C");
+    }
+    let design = b.build().unwrap();
+    let mut global = Placement3d::new(2 * n);
+    for i in 0..2 * n {
+        let c = CellId::new(i);
+        global.set_pos(c, FPoint::new(100.0, 0.0));
+        global.set_die_affinity(c, if i < n { 0.0 } else { 1.0 });
+    }
+
+    let all: Vec<Box<dyn flow3d_core::Legalizer>> = vec![
+        Box::new(TetrisLegalizer::default()),
+        Box::new(AbacusLegalizer::default()),
+        Box::new(BonnLegalizer::default()),
+        Box::new(Flow3dLegalizer::default()),
+    ];
+    let mut totals = Vec::new();
+    for lg in &all {
+        let outcome = lg.legalize(&design, &global).unwrap();
+        assert!(check_legal(&design, &outcome.placement).is_legal());
+        for i in 0..2 * n {
+            let c = CellId::new(i);
+            let expected = if i < n { DieId::BOTTOM } else { DieId::TOP };
+            assert_eq!(outcome.placement.die(c), expected, "{}", lg.name());
+        }
+        let stats = displacement_stats(&design, &global, &outcome.placement);
+        totals.push(stats.avg);
+    }
+    // 4 uniform cells clumped at one point in a wide row: every sane
+    // legalizer reaches the same quadratic-optimal spread.
+    for t in &totals {
+        assert!((t - totals[0]).abs() < 1e-9, "{totals:?}");
+    }
+}
