@@ -11,6 +11,7 @@ use flow3d_core::placerow::{place_row, RowItem};
 use flow3d_core::{LegalizeError, LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{CellId, Design, LegalPlacement, Placement3d, RowId, RowLayout, SegmentId};
 use flow3d_geom::Point;
+use flow3d_obs::{keys, Obs, ObsExt};
 
 /// The Abacus legalizer.
 #[derive(Debug, Clone, Default)]
@@ -119,6 +120,150 @@ impl SegState {
     }
 }
 
+/// The incremental insertion loop: each cell, in ascending anchor-x
+/// order, is trial-placed in candidate rows and committed where the
+/// clustered position is cheapest.
+fn insert_all(
+    design: &Design,
+    layout: &RowLayout,
+    dies: &[flow3d_db::DieId],
+    anchors: &[Point],
+) -> Result<Vec<SegState>, LegalizeError> {
+    let mut segs: Vec<SegState> = vec![SegState::default(); layout.num_segments()];
+
+    let mut order: Vec<usize> = (0..design.num_cells()).collect();
+    order.sort_by_key(|&i| (anchors[i].x, i));
+
+    for i in order {
+        let cell = CellId::new(i);
+        let die_id = dies[i];
+        let die = design.die(die_id);
+        let w = design.cell_width(cell, die_id);
+        let a = anchors[i];
+        let num_rows = die.num_rows();
+        if num_rows == 0 {
+            return Err(LegalizeError::NoPosition { cell });
+        }
+        let center = die
+            .nearest_row(a.y)
+            .map(|r| r.id.index() as i64)
+            .unwrap_or(0);
+
+        let mut best: Option<(f64, SegmentId, i64)> = None; // (cost, seg, desired)
+        for step in 0..2 * num_rows as i64 {
+            let offset = if step % 2 == 0 {
+                step / 2
+            } else {
+                -(step / 2 + 1)
+            };
+            let row_idx = center + offset;
+            if row_idx < 0 || row_idx >= num_rows as i64 {
+                continue;
+            }
+            let row_y = die.rows[row_idx as usize].y;
+            let dy = (row_y - a.y).abs() as f64;
+            if let Some((best_cost, _, _)) = best {
+                if dy >= best_cost {
+                    if offset > 0 {
+                        continue;
+                    }
+                    break;
+                }
+            }
+            for &sid in layout.segments_in_row(die_id, RowId::new(row_idx as usize)) {
+                let seg = layout.segment(sid);
+                let st = &segs[sid.index()];
+                if st.used + w > seg.width() {
+                    continue;
+                }
+                let desired = a.x.clamp(seg.span.lo, seg.span.hi - w);
+                let x_trial = st.trial(seg.span.lo, seg.span.hi, desired, w);
+                let cost = (x_trial - a.x as f64).abs() + dy;
+                if best.is_none_or(|(c, _, _)| cost < c) {
+                    best = Some((cost, sid, desired));
+                }
+            }
+        }
+        let Some((_, sid, desired)) = best else {
+            return Err(LegalizeError::NoPosition { cell });
+        };
+        let seg = layout.segment(sid);
+        segs[sid.index()].commit(seg.span.lo, seg.span.hi, i, desired, w);
+    }
+    Ok(segs)
+}
+
+/// Final site-aligned emission per segment. Bumps
+/// [`keys::PLACEROW_CALLS`] once per non-empty segment when `obs` is
+/// `Some`.
+fn emit(
+    design: &Design,
+    layout: &RowLayout,
+    segs: &[SegState],
+    mut obs: Obs<'_>,
+) -> Result<LegalPlacement, LegalizeError> {
+    let mut placement = LegalPlacement::new(design.num_cells());
+    for seg in layout.segments() {
+        let st = &segs[seg.id.index()];
+        if st.items.is_empty() {
+            continue;
+        }
+        obs.bump(keys::PLACEROW_CALLS, 1);
+        let items: Vec<RowItem> = st
+            .items
+            .iter()
+            .map(|&(cell, desired, width)| RowItem {
+                key: cell,
+                desired,
+                width,
+                weight: width as f64,
+            })
+            .collect();
+        let die = design.die(seg.die);
+        let placed = place_row(&items, seg.span, die.outline.xlo, die.site_width).map_err(|e| {
+            LegalizeError::SegmentOverflow {
+                die: seg.die,
+                excess: e.total_width - e.segment_width,
+            }
+        })?;
+        for (key, x) in placed {
+            placement.place(CellId::new(key), Point::new(x, seg.y), seg.die);
+        }
+    }
+    Ok(placement)
+}
+
+/// The pipeline body, wrapped in the `"legalize"` phase by
+/// [`AbacusLegalizer::legalize_observed`].
+fn run(
+    design: &Design,
+    global: &Placement3d,
+    mut obs: Obs<'_>,
+) -> Result<LegalizeOutcome, LegalizeError> {
+    obs.begin("partition");
+    let layout = RowLayout::build(design);
+    let dies = assign::partition_dies(design, global);
+    obs.end("partition");
+    let dies = dies?;
+    let anchors = assign::anchors(design, global);
+
+    obs.begin("insert");
+    let inserted = insert_all(design, &layout, &dies, &anchors);
+    obs.end("insert");
+    let segs = inserted?;
+
+    obs.begin("placerow");
+    let emitted = emit(design, &layout, &segs, obs.reborrow());
+    obs.end("placerow");
+    let placement = emitted?;
+
+    let stats = LegalizeStats {
+        cross_die_moves: placement.cross_die_moves(global, design.num_dies()),
+        ..Default::default()
+    };
+    Ok(LegalizeOutcome { placement, stats })
+}
+
 impl Legalizer for AbacusLegalizer {
     fn name(&self) -> &str {
         "abacus"
@@ -129,107 +274,25 @@ impl Legalizer for AbacusLegalizer {
         design: &Design,
         global: &Placement3d,
     ) -> Result<LegalizeOutcome, LegalizeError> {
+        self.legalize_observed(design, global, None)
+    }
+
+    fn legalize_observed(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
         if global.num_cells() != design.num_cells() {
             return Err(LegalizeError::PlacementMismatch {
                 design_cells: design.num_cells(),
                 placement_cells: global.num_cells(),
             });
         }
-        let layout = RowLayout::build(design);
-        let dies = assign::partition_dies(design, global)?;
-        let anchors = assign::anchors(design, global);
-
-        let mut segs: Vec<SegState> = vec![SegState::default(); layout.num_segments()];
-
-        let mut order: Vec<usize> = (0..design.num_cells()).collect();
-        order.sort_by_key(|&i| (anchors[i].x, i));
-
-        for i in order {
-            let cell = CellId::new(i);
-            let die_id = dies[i];
-            let die = design.die(die_id);
-            let w = design.cell_width(cell, die_id);
-            let a = anchors[i];
-            let num_rows = die.num_rows();
-            if num_rows == 0 {
-                return Err(LegalizeError::NoPosition { cell });
-            }
-            let center = die
-                .nearest_row(a.y)
-                .map(|r| r.id.index() as i64)
-                .unwrap_or(0);
-
-            let mut best: Option<(f64, SegmentId, i64)> = None; // (cost, seg, desired)
-            for step in 0..2 * num_rows as i64 {
-                let offset = if step % 2 == 0 { step / 2 } else { -(step / 2 + 1) };
-                let row_idx = center + offset;
-                if row_idx < 0 || row_idx >= num_rows as i64 {
-                    continue;
-                }
-                let row_y = die.rows[row_idx as usize].y;
-                let dy = (row_y - a.y).abs() as f64;
-                if let Some((best_cost, _, _)) = best {
-                    if dy >= best_cost {
-                        if offset > 0 {
-                            continue;
-                        }
-                        break;
-                    }
-                }
-                for &sid in layout.segments_in_row(die_id, RowId::new(row_idx as usize)) {
-                    let seg = layout.segment(sid);
-                    let st = &segs[sid.index()];
-                    if st.used + w > seg.width() {
-                        continue;
-                    }
-                    let desired = a.x.clamp(seg.span.lo, seg.span.hi - w);
-                    let x_trial = st.trial(seg.span.lo, seg.span.hi, desired, w);
-                    let cost = (x_trial - a.x as f64).abs() + dy;
-                    if best.is_none_or(|(c, _, _)| cost < c) {
-                        best = Some((cost, sid, desired));
-                    }
-                }
-            }
-            let Some((_, sid, desired)) = best else {
-                return Err(LegalizeError::NoPosition { cell });
-            };
-            let seg = layout.segment(sid);
-            segs[sid.index()].commit(seg.span.lo, seg.span.hi, i, desired, w);
-        }
-
-        // Final site-aligned emission per segment.
-        let mut placement = LegalPlacement::new(design.num_cells());
-        for seg in layout.segments() {
-            let st = &segs[seg.id.index()];
-            if st.items.is_empty() {
-                continue;
-            }
-            let items: Vec<RowItem> = st
-                .items
-                .iter()
-                .map(|&(cell, desired, width)| RowItem {
-                    key: cell,
-                    desired,
-                    width,
-                    weight: width as f64,
-                })
-                .collect();
-            let die = design.die(seg.die);
-            let placed = place_row(&items, seg.span, die.outline.xlo, die.site_width)
-                .map_err(|e| LegalizeError::SegmentOverflow {
-                    die: seg.die,
-                    excess: e.total_width - e.segment_width,
-                })?;
-            for (key, x) in placed {
-                placement.place(CellId::new(key), Point::new(x, seg.y), seg.die);
-            }
-        }
-
-        let stats = LegalizeStats {
-            cross_die_moves: placement.cross_die_moves(global, design.num_dies()),
-            ..Default::default()
-        };
-        Ok(LegalizeOutcome { placement, stats })
+        obs.begin("legalize");
+        let result = run(design, global, obs.reborrow());
+        obs.end("legalize");
+        result
     }
 }
 
@@ -271,7 +334,10 @@ mod tests {
         let d = design(4, 20);
         let mut gp = Placement3d::new(4);
         for i in 0..4 {
-            gp.set_pos(CellId::new(i), flow3d_geom::FPoint::new(i as f64 * 60.0, 10.0));
+            gp.set_pos(
+                CellId::new(i),
+                flow3d_geom::FPoint::new(i as f64 * 60.0, 10.0),
+            );
         }
         let outcome = AbacusLegalizer::new().legalize(&d, &gp).unwrap();
         assert!(check_legal(&d, &outcome.placement).is_legal());

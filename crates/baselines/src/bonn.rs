@@ -9,13 +9,15 @@
 
 use flow3d_core::assign;
 use flow3d_core::augment::realize;
-use flow3d_core::driver::{bin_widths, placerow_all, teleport_fallback};
+use flow3d_core::driver::{bin_widths, placerow_all_observed, teleport_fallback};
 use flow3d_core::grid::{BinGrid, BinId, EdgeKind};
+use flow3d_core::placerow::RowAlgo;
 use flow3d_core::search::{AugmentingPath, PathStep};
 use flow3d_core::selection::{select_moves, SelectionParams};
 use flow3d_core::state::FlowState;
 use flow3d_core::{LegalizeError, LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{Design, Placement3d, RowLayout};
+use flow3d_obs::{keys, Obs, ObsExt};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -160,36 +162,27 @@ fn dijkstra(
     Some(AugmentingPath { steps, cost })
 }
 
-impl Legalizer for BonnLegalizer {
-    fn name(&self) -> &str {
-        "bonn"
-    }
-
-    fn legalize(
+impl BonnLegalizer {
+    /// Drains every overflowed bin by successive shortest (Dijkstra)
+    /// augmenting paths. Search counters accumulate into `obs` when it is
+    /// `Some`.
+    fn drain(
         &self,
-        design: &Design,
-        global: &Placement3d,
-    ) -> Result<LegalizeOutcome, LegalizeError> {
-        let layout = RowLayout::build(design);
-        let mut dies = assign::partition_dies(design, global)?;
-        let widths = bin_widths(design, self.config.bin_width_factor);
-        // No D2D edges: each die is legalized on its own 2D grid.
-        let grid = BinGrid::build(design, &layout, &widths, false);
-        let mut state = assign::build_state(design, &layout, &grid, global, &mut dies)?;
-
-        let params = SelectionParams {
-            clamp_negative: true,
-            d2d_congestion_cost: false,
-            d2d_penalty: 0.0,
-        };
-        let mut stats = LegalizeStats::default();
+        state: &mut FlowState<'_>,
+        params: &SelectionParams,
+        stats: &mut LegalizeStats,
+        mut obs: Obs<'_>,
+    ) -> Result<(), LegalizeError> {
+        let expanded_before = stats.nodes_expanded;
+        let fallback_before = stats.fallback_moves;
+        let mut retries: usize = 0;
 
         let mut heap: BinaryHeap<(i64, BinId)> = state
             .overflowed_bins()
             .into_iter()
             .map(|b| (state.sup(b), b))
             .collect();
-        let mut guard = 64 * heap.len() + 4 * grid.num_bins();
+        let mut guard = 64 * heap.len() + 4 * state.grid.num_bins();
         while let Some((recorded, bin)) = heap.pop() {
             let sup = state.sup(bin);
             if sup == 0 {
@@ -201,7 +194,7 @@ impl Legalizer for BonnLegalizer {
             }
             if guard == 0 {
                 return Err(LegalizeError::NoAugmentingPath {
-                    die: grid.bin(bin).die,
+                    die: state.grid.bin(bin).die,
                     supply: sup,
                 });
             }
@@ -209,12 +202,14 @@ impl Legalizer for BonnLegalizer {
 
             let mut limit = sup;
             let mut path = None;
+            let mut searches_this_source: usize = 0;
             while limit > 0 {
+                searches_this_source += 1;
                 if let Some(p) = dijkstra(
-                    &state,
+                    state,
                     bin,
                     limit,
-                    &params,
+                    params,
                     self.config.early_exit,
                     &mut stats.nodes_expanded,
                 ) {
@@ -223,17 +218,18 @@ impl Legalizer for BonnLegalizer {
                 }
                 limit /= 2;
             }
+            retries += searches_this_source.saturating_sub(1);
             let Some(path) = path else {
                 // Macro-enclosed pocket with no 2D augmenting path: fall
                 // back to direct relocation (same-die only — Bonn never
                 // crosses dies).
-                let moved = teleport_fallback(&mut state, bin, false, &mut stats)?;
+                let moved = teleport_fallback(state, bin, false, stats)?;
                 if moved && state.sup(bin) > 0 {
                     heap.push((state.sup(bin), bin));
                 }
                 continue;
             };
-            realize(&mut state, &path, &params);
+            stats.cells_moved += realize(state, &path, params);
             stats.augmentations += 1;
             // Re-queue any path bin left overfull (realization drift can
             // overshoot an intermediate bin; see flow3d-core's flow_pass).
@@ -244,9 +240,87 @@ impl Legalizer for BonnLegalizer {
             }
         }
 
-        let placement = placerow_all(&state)?;
+        obs.bump(
+            keys::NODES_EXPANDED,
+            (stats.nodes_expanded - expanded_before) as u64,
+        );
+        obs.bump(keys::AUGMENTING_PATHS, stats.augmentations as u64);
+        obs.bump(keys::SEARCH_RETRIES, retries as u64);
+        obs.bump(keys::CELLS_MOVED, stats.cells_moved as u64);
+        obs.bump(
+            keys::FALLBACK_MOVES,
+            (stats.fallback_moves - fallback_before) as u64,
+        );
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        obs.begin("partition");
+        let layout = RowLayout::build(design);
+        let dies = assign::partition_dies(design, global);
+        obs.end("partition");
+        let mut dies = dies?;
+
+        obs.begin("grid_build");
+        let widths = bin_widths(design, self.config.bin_width_factor);
+        // No D2D edges: each die is legalized on its own 2D grid.
+        let grid = BinGrid::build(design, &layout, &widths, false);
+        obs.end("grid_build");
+
+        obs.begin("assign");
+        let state = assign::build_state(design, &layout, &grid, global, &mut dies);
+        obs.end("assign");
+        let mut state = state?;
+
+        let params = SelectionParams {
+            clamp_negative: true,
+            d2d_congestion_cost: false,
+            d2d_penalty: 0.0,
+        };
+        let mut stats = LegalizeStats::default();
+
+        obs.begin("flow_pass");
+        let drained = self.drain(&mut state, &params, &mut stats, obs.reborrow());
+        obs.end("flow_pass");
+        drained?;
+
+        obs.begin("placerow");
+        let placed = placerow_all_observed(&state, RowAlgo::AbacusQuadratic, obs.reborrow());
+        obs.end("placerow");
+        let placement = placed?;
         stats.cross_die_moves = placement.cross_die_moves(global, design.num_dies());
         Ok(LegalizeOutcome { placement, stats })
+    }
+}
+
+impl Legalizer for BonnLegalizer {
+    fn name(&self) -> &str {
+        "bonn"
+    }
+
+    fn legalize(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        self.legalize_observed(design, global, None)
+    }
+
+    fn legalize_observed(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        obs.begin("legalize");
+        let result = self.run(design, global, obs.reborrow());
+        obs.end("legalize");
+        result
     }
 }
 
@@ -305,10 +379,7 @@ mod tests {
             gp.set_pos(CellId::new(i), FPoint::new(i as f64 * 80.0, 10.0));
         }
         let outcome = BonnLegalizer::default().legalize(&d, &gp).unwrap();
-        assert_eq!(
-            displacement_stats(&d, &gp, &outcome.placement).max_dbu,
-            0.0
-        );
+        assert_eq!(displacement_stats(&d, &gp, &outcome.placement).max_dbu, 0.0);
         assert_eq!(outcome.stats.augmentations, 0);
     }
 }

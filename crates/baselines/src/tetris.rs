@@ -9,8 +9,9 @@
 
 use flow3d_core::assign;
 use flow3d_core::{LegalizeError, LegalizeOutcome, LegalizeStats, Legalizer};
-use flow3d_db::{CellId, Design, LegalPlacement, Placement3d, RowId, RowLayout};
+use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowId, RowLayout};
 use flow3d_geom::Point;
+use flow3d_obs::{Obs, ObsExt};
 
 /// The Tetris greedy legalizer.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +101,106 @@ impl GapList {
     }
 }
 
+/// The greedy packing loop: each cell, in ascending anchor-x order, is
+/// committed to the nearest free location on its assigned die.
+fn pack(
+    design: &Design,
+    layout: &RowLayout,
+    dies: &[DieId],
+    anchors: &[Point],
+) -> Result<LegalPlacement, LegalizeError> {
+    let mut gaps: Vec<GapList> = layout
+        .segments()
+        .iter()
+        .map(|s| GapList::new(s.span.lo, s.span.hi))
+        .collect();
+
+    // Ascending anchor x (the classical Tetris order).
+    let mut order: Vec<usize> = (0..design.num_cells()).collect();
+    order.sort_by_key(|&i| (anchors[i].x, i));
+
+    let mut placement = LegalPlacement::new(design.num_cells());
+    for i in order {
+        let cell = CellId::new(i);
+        let die_id = dies[i];
+        let die = design.die(die_id);
+        let w = design.cell_width(cell, die_id);
+        let a = anchors[i];
+        let num_rows = die.num_rows();
+        if num_rows == 0 {
+            return Err(LegalizeError::NoPosition { cell });
+        }
+        let center = die
+            .nearest_row(a.y)
+            .map(|r| r.id.index() as i64)
+            .unwrap_or(0);
+
+        let mut best: Option<(i64, usize, i64)> = None; // (cost, seg idx, x)
+        for step in 0..2 * num_rows as i64 {
+            let offset = if step % 2 == 0 {
+                step / 2
+            } else {
+                -(step / 2 + 1)
+            };
+            let row_idx = center + offset;
+            if row_idx < 0 || row_idx >= num_rows as i64 {
+                continue;
+            }
+            let row_y = die.rows[row_idx as usize].y;
+            let dy = (row_y - a.y).abs();
+            if let Some((best_cost, _, _)) = best {
+                if dy >= best_cost {
+                    if offset > 0 {
+                        continue;
+                    }
+                    break;
+                }
+            }
+            for &sid in layout.segments_in_row(die_id, RowId::new(row_idx as usize)) {
+                if let Some((x, dx)) = gaps[sid.index()].best_fit(a.x, w, |x| die.snap_to_site(x)) {
+                    let cost = dx + dy;
+                    if best.is_none_or(|(c, _, _)| cost < c) {
+                        best = Some((cost, sid.index(), x));
+                    }
+                }
+            }
+        }
+        let Some((_, seg_idx, x)) = best else {
+            return Err(LegalizeError::NoPosition { cell });
+        };
+        let seg = &layout.segments()[seg_idx];
+        placement.place(cell, Point::new(x, seg.y), die_id);
+        gaps[seg_idx].occupy(x, w);
+    }
+    Ok(placement)
+}
+
+/// The pipeline body, wrapped in the `"legalize"` phase by
+/// [`TetrisLegalizer::legalize_observed`].
+fn run(
+    design: &Design,
+    global: &Placement3d,
+    mut obs: Obs<'_>,
+) -> Result<LegalizeOutcome, LegalizeError> {
+    obs.begin("partition");
+    let layout = RowLayout::build(design);
+    let dies = assign::partition_dies(design, global);
+    obs.end("partition");
+    let dies = dies?;
+    let anchors = assign::anchors(design, global);
+
+    obs.begin("pack");
+    let packed = pack(design, &layout, &dies, &anchors);
+    obs.end("pack");
+    let placement = packed?;
+
+    let stats = LegalizeStats {
+        cross_die_moves: placement.cross_die_moves(global, design.num_dies()),
+        ..Default::default()
+    };
+    Ok(LegalizeOutcome { placement, stats })
+}
+
 impl Legalizer for TetrisLegalizer {
     fn name(&self) -> &str {
         "tetris"
@@ -110,83 +211,25 @@ impl Legalizer for TetrisLegalizer {
         design: &Design,
         global: &Placement3d,
     ) -> Result<LegalizeOutcome, LegalizeError> {
+        self.legalize_observed(design, global, None)
+    }
+
+    fn legalize_observed(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
         if global.num_cells() != design.num_cells() {
             return Err(LegalizeError::PlacementMismatch {
                 design_cells: design.num_cells(),
                 placement_cells: global.num_cells(),
             });
         }
-        let layout = RowLayout::build(design);
-        let dies = assign::partition_dies(design, global)?;
-        let anchors = assign::anchors(design, global);
-
-        let mut gaps: Vec<GapList> = layout
-            .segments()
-            .iter()
-            .map(|s| GapList::new(s.span.lo, s.span.hi))
-            .collect();
-
-        // Ascending anchor x (the classical Tetris order).
-        let mut order: Vec<usize> = (0..design.num_cells()).collect();
-        order.sort_by_key(|&i| (anchors[i].x, i));
-
-        let mut placement = LegalPlacement::new(design.num_cells());
-        for i in order {
-            let cell = CellId::new(i);
-            let die_id = dies[i];
-            let die = design.die(die_id);
-            let w = design.cell_width(cell, die_id);
-            let a = anchors[i];
-            let num_rows = die.num_rows();
-            if num_rows == 0 {
-                return Err(LegalizeError::NoPosition { cell });
-            }
-            let center = die
-                .nearest_row(a.y)
-                .map(|r| r.id.index() as i64)
-                .unwrap_or(0);
-
-            let mut best: Option<(i64, usize, i64)> = None; // (cost, seg idx, x)
-            for step in 0..2 * num_rows as i64 {
-                let offset = if step % 2 == 0 { step / 2 } else { -(step / 2 + 1) };
-                let row_idx = center + offset;
-                if row_idx < 0 || row_idx >= num_rows as i64 {
-                    continue;
-                }
-                let row_y = die.rows[row_idx as usize].y;
-                let dy = (row_y - a.y).abs();
-                if let Some((best_cost, _, _)) = best {
-                    if dy >= best_cost {
-                        if offset > 0 {
-                            continue;
-                        }
-                        break;
-                    }
-                }
-                for &sid in layout.segments_in_row(die_id, RowId::new(row_idx as usize)) {
-                    if let Some((x, dx)) =
-                        gaps[sid.index()].best_fit(a.x, w, |x| die.snap_to_site(x))
-                    {
-                        let cost = dx + dy;
-                        if best.is_none_or(|(c, _, _)| cost < c) {
-                            best = Some((cost, sid.index(), x));
-                        }
-                    }
-                }
-            }
-            let Some((_, seg_idx, x)) = best else {
-                return Err(LegalizeError::NoPosition { cell });
-            };
-            let seg = &layout.segments()[seg_idx];
-            placement.place(cell, Point::new(x, seg.y), die_id);
-            gaps[seg_idx].occupy(x, w);
-        }
-
-        let stats = LegalizeStats {
-            cross_die_moves: placement.cross_die_moves(global, design.num_dies()),
-            ..Default::default()
-        };
-        Ok(LegalizeOutcome { placement, stats })
+        obs.begin("legalize");
+        let result = run(design, global, obs.reborrow());
+        obs.end("legalize");
+        result
     }
 }
 
@@ -285,7 +328,11 @@ mod tests {
         }
         let outcome = TetrisLegalizer::new().legalize(&d, &gp).unwrap();
         for i in 0..6 {
-            let expect = if i % 2 == 0 { DieId::BOTTOM } else { DieId::TOP };
+            let expect = if i % 2 == 0 {
+                DieId::BOTTOM
+            } else {
+                DieId::TOP
+            };
             assert_eq!(outcome.placement.die(CellId::new(i)), expect);
         }
         assert_eq!(outcome.stats.cross_die_moves, 0);

@@ -19,16 +19,12 @@ fn bench_legalize_2022(c: &mut Criterion) {
     let mut group = c.benchmark_group("legalize_2022_case3");
     group.sample_size(10);
     for lg in standard_legalizers() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(lg.name()),
-            &run,
-            |b, run| {
-                b.iter(|| {
-                    let outcome = lg.legalize(&run.design, &run.global).expect("legalize");
-                    black_box(outcome.placement.num_cells())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(lg.name()), &run, |b, run| {
+            b.iter(|| {
+                let outcome = lg.legalize(&run.design, &run.global).expect("legalize");
+                black_box(outcome.placement.num_cells())
+            })
+        });
     }
     group.finish();
 }
@@ -39,16 +35,12 @@ fn bench_legalize_2023(c: &mut Criterion) {
     let mut group = c.benchmark_group("legalize_2023_case2");
     group.sample_size(10);
     for lg in standard_legalizers() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(lg.name()),
-            &run,
-            |b, run| {
-                b.iter(|| {
-                    let outcome = lg.legalize(&run.design, &run.global).expect("legalize");
-                    black_box(outcome.placement.num_cells())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(lg.name()), &run, |b, run| {
+            b.iter(|| {
+                let outcome = lg.legalize(&run.design, &run.global).expect("legalize");
+                black_box(outcome.placement.num_cells())
+            })
+        });
     }
     group.finish();
 }

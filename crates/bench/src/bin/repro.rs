@@ -11,6 +11,7 @@
 //! repro binwidth [scale]  # §III-F    — bin width sweep ablation
 //! repro rowalgo [scale]   # §III-D    — Abacus vs isotonic-L1 PlaceRow
 //! repro eco   [scale]     # §III-E    — incremental (ECO) legalization
+//! repro profile [scale]   # phase/counter profiles (+ JSON sidecars)
 //! repro all   [scale]     # everything above
 //! ```
 //!
@@ -18,8 +19,8 @@
 //! use e.g. `0.25` for a quick pass. SVG files land in `target/figures/`.
 
 use flow3d_bench::{
-    evaluate, format_case_rows, normalized_averages, prepare, standard_legalizers, table_header,
-    CaseRun, Row, Suite,
+    evaluate, evaluate_profiled, format_case_rows, normalized_averages, prepare,
+    standard_legalizers, table_header, CaseRun, Row, Suite,
 };
 use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
 use flow3d_db::DieId;
@@ -49,6 +50,7 @@ fn main() {
         "binwidth" => binwidth_sweep(scale),
         "rowalgo" => rowalgo_sweep(scale),
         "eco" => eco_experiment(scale),
+        "profile" => profile_runs(scale),
         "all" => {
             table2();
             comparison_table(Suite::Iccad2022, "Table III (ICCAD 2022)", scale);
@@ -60,10 +62,11 @@ fn main() {
             binwidth_sweep(scale);
             rowalgo_sweep(scale);
             eco_experiment(scale);
+            profile_runs(scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|all] [scale]");
+            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|all] [scale]");
             std::process::exit(2);
         }
     }
@@ -112,7 +115,10 @@ fn comparison_table(suite: Suite, title: &str, scale: f64) -> Vec<(String, Vec<R
     let mut all = Vec::new();
     for case in suite.cases() {
         let run = prepare(suite, case, scale);
-        let rows: Vec<Row> = legalizers.iter().map(|lg| evaluate(&run, lg.as_ref())).collect();
+        let rows: Vec<Row> = legalizers
+            .iter()
+            .map(|lg| evaluate(&run, lg.as_ref()))
+            .collect();
         print!("{}", format_case_rows(case, &rows));
         all.push((case.to_string(), rows));
     }
@@ -138,7 +144,11 @@ fn table5(scale: f64) {
         let ours = evaluate(&run, &Flow3dLegalizer::default());
         println!(
             "{:<10} {:>12.3} {:>12.2} {:>12.3} {:>12.2} {:>7}",
-            case, without.avg_disp, without.max_disp, ours.avg_disp, ours.max_disp,
+            case,
+            without.avg_disp,
+            without.max_disp,
+            ours.avg_disp,
+            ours.max_disp,
             ours.cross_die_moves
         );
     }
@@ -148,8 +158,10 @@ fn table5(scale: f64) {
 /// Fig. 7: dHPWL% bars for both suites (printed + SVG).
 fn fig7(scale: f64) {
     for (suite, tag) in [(Suite::Iccad2022, "2022"), (Suite::Iccad2023, "2023")] {
-        println!("== Fig 7{}: dHPWL% (ICCAD {tag}), scale {scale} ==",
-                 if tag == "2022" { "a" } else { "b" });
+        println!(
+            "== Fig 7{}: dHPWL% (ICCAD {tag}), scale {scale} ==",
+            if tag == "2022" { "a" } else { "b" }
+        );
         let legalizers = standard_legalizers();
         let mut chart = BarChart::new("dHPWL (%)");
         println!(
@@ -158,7 +170,10 @@ fn fig7(scale: f64) {
         );
         for case in suite.cases() {
             let run = prepare(suite, case, scale);
-            let rows: Vec<Row> = legalizers.iter().map(|lg| evaluate(&run, lg.as_ref())).collect();
+            let rows: Vec<Row> = legalizers
+                .iter()
+                .map(|lg| evaluate(&run, lg.as_ref()))
+                .collect();
             println!(
                 "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
                 case,
@@ -195,7 +210,8 @@ fn fig8(scale: f64) {
             .to_svg();
         let path = figures_dir().join(format!("fig8_{tag}.svg"));
         std::fs::write(&path, svg).expect("write svg");
-        let stats = flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
+        let stats =
+            flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
         let hist = flow3d_metrics::DisplacementHistogram::collect(
             &run.design,
             &run.global,
@@ -236,10 +252,15 @@ fn alpha_sweep(scale: f64) {
         let start = std::time::Instant::now();
         let outcome = lg.legalize(&run.design, &run.global).expect("failed");
         let rt = start.elapsed().as_secs_f64();
-        let stats = flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
+        let stats =
+            flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
         println!(
             "{:<10} {:>10.3} {:>10.2} {:>8.2} {:>12}",
-            if alpha.is_infinite() { "inf".to_string() } else { format!("{alpha}") },
+            if alpha.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{alpha}")
+            },
             stats.avg,
             stats.max,
             rt,
@@ -265,7 +286,8 @@ fn binwidth_sweep(scale: f64) {
         let start = std::time::Instant::now();
         let outcome = lg.legalize(&run.design, &run.global).expect("failed");
         let rt = start.elapsed().as_secs_f64();
-        let stats = flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
+        let stats =
+            flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
         println!(
             "{:<10} {:>10.3} {:>10.2} {:>8.2}",
             factor, stats.avg, stats.max, rt
@@ -339,7 +361,10 @@ fn rowalgo_sweep(scale: f64) {
     for case in ["case3", "case4h"] {
         let run = prepare(Suite::Iccad2022, case, scale);
         for (tag, algo) in [
-            ("abacus-quadratic", flow3d_core::placerow::RowAlgo::AbacusQuadratic),
+            (
+                "abacus-quadratic",
+                flow3d_core::placerow::RowAlgo::AbacusQuadratic,
+            ),
             ("isotonic-l1", flow3d_core::placerow::RowAlgo::IsotonicL1),
         ] {
             let lg = Flow3dLegalizer::new(Flow3dConfig {
@@ -354,6 +379,36 @@ fn rowalgo_sweep(scale: f64) {
             println!(
                 "{:<10} {:<18} {:>10.3} {:>10.2} {:>8.2}",
                 case, tag, stats.avg, stats.max, rt
+            );
+        }
+    }
+    println!();
+}
+
+/// Instrumented runs: every legalizer on every ICCAD 2022 case, with a
+/// JSON [`RunReport`](flow3d_obs::RunReport) sidecar per (case,
+/// legalizer) pair in `target/profiles/` and the full phase breakdown
+/// printed for case3 (the EXPERIMENTS.md example).
+fn profile_runs(scale: f64) {
+    println!("== instrumented profiles (ICCAD 2022), scale {scale} ==");
+    let dir = PathBuf::from("target/profiles");
+    std::fs::create_dir_all(&dir).expect("create target/profiles");
+    let legalizers = standard_legalizers();
+    for case in Suite::Iccad2022.cases() {
+        let run = prepare(Suite::Iccad2022, case, scale);
+        for lg in &legalizers {
+            let (row, report) = evaluate_profiled(&run, lg.as_ref());
+            let path = dir.join(format!("iccad2022_{case}_{}.json", row.legalizer));
+            std::fs::write(&path, report.to_json()).expect("write profile sidecar");
+            if *case == "case3" {
+                print!("{}", report.to_pretty());
+                println!();
+            }
+            println!(
+                "{case:<8} {:<14} {:>8.2}s  -> {}",
+                row.legalizer,
+                row.runtime_s,
+                path.display()
             );
         }
     }

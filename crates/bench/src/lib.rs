@@ -10,6 +10,7 @@ use flow3d_db::{Design, Placement3d};
 use flow3d_gen::GeneratorConfig;
 use flow3d_gp::{GlobalPlacer, GpConfig};
 use flow3d_metrics::{delta_hpwl_pct, displacement_stats};
+use flow3d_obs::{Profile, Quality, RunReport};
 use std::time::Instant;
 
 /// A prepared benchmark instance: design plus global placement.
@@ -62,8 +63,8 @@ pub fn prepare(suite: Suite, case: &str, scale: f64) -> CaseRun {
         .unwrap_or_else(|| panic!("unknown case `{case}`"));
     cfg.scale = scale;
     let generated = cfg.generate().expect("preset generation failed");
-    let global = GlobalPlacer::new(GpConfig::default())
-        .place_from(&generated.design, &generated.natural);
+    let global =
+        GlobalPlacer::new(GpConfig::default()).place_from(&generated.design, &generated.natural);
     CaseRun {
         name: case.to_string(),
         design: generated.design,
@@ -129,6 +130,46 @@ pub fn evaluate(run: &CaseRun, legalizer: &dyn Legalizer) -> Row {
     }
 }
 
+/// Like [`evaluate`], but instruments the run with a [`Profile`] and
+/// returns the table [`Row`] together with the full [`RunReport`]
+/// (phase timings, search counters, quality metrics).
+///
+/// # Panics
+///
+/// Same as [`evaluate`].
+pub fn evaluate_profiled(run: &CaseRun, legalizer: &dyn Legalizer) -> (Row, RunReport) {
+    let mut profile = Profile::new();
+    let start = Instant::now();
+    let outcome = legalizer
+        .legalize_observed(&run.design, &run.global, Some(&mut profile))
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", legalizer.name(), run.name));
+    let runtime_s = start.elapsed().as_secs_f64();
+    let report = flow3d_metrics::check_legal(&run.design, &outcome.placement);
+    assert!(
+        report.is_legal(),
+        "{} produced an illegal placement on {}: {report}",
+        legalizer.name(),
+        run.name
+    );
+    let stats = displacement_stats(&run.design, &run.global, &outcome.placement);
+    let dhpwl = delta_hpwl_pct(&run.design, &run.global, &outcome.placement);
+    let row = Row {
+        legalizer: legalizer.name().to_string(),
+        avg_disp: stats.avg,
+        max_disp: stats.max,
+        runtime_s,
+        delta_hpwl_pct: dhpwl,
+        cross_die_moves: outcome.stats.cross_die_moves,
+    };
+    let report =
+        RunReport::from_profile(&run.name, legalizer.name(), &profile).with_quality(Quality {
+            avg_disp: stats.avg_dbu,
+            max_disp: stats.max_dbu,
+            dhpwl_pct: dhpwl,
+        });
+    (row, report)
+}
+
 /// Formats a Table III/IV-style block for one case.
 pub fn format_case_rows(case: &str, rows: &[Row]) -> String {
     let mut out = String::new();
@@ -136,7 +177,12 @@ pub fn format_case_rows(case: &str, rows: &[Row]) -> String {
         let name = if i == 0 { case } else { "" };
         out.push_str(&format!(
             "{:<10} {:<14} {:>10.3} {:>10.2} {:>8.2} {:>9.2} {:>7}\n",
-            name, r.legalizer, r.avg_disp, r.max_disp, r.runtime_s, r.delta_hpwl_pct,
+            name,
+            r.legalizer,
+            r.avg_disp,
+            r.max_disp,
+            r.runtime_s,
+            r.delta_hpwl_pct,
             r.cross_die_moves
         ));
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! flow3d gen --suite 2022 --case case3 [--scale 0.25] --out case.txt [--gp gp.txt]
 //! flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt \
-//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1]
+//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1] [--profile out.json]
 //! flow3d check --case case.txt --legal legal.txt [--gp gp.txt]
 //! flow3d stats --case case.txt
 //! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
@@ -70,7 +70,9 @@ impl Args {
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not a number: `{v}`")),
         }
     }
 }
@@ -98,7 +100,7 @@ fn run() -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      flow3d gen --suite 2022|2023 --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
-     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A]\n  \
+     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A] [--profile out.json]\n  \
      flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
      flow3d stats --case case.txt\n  \
      flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg"
@@ -177,9 +179,12 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown algorithm `{other}`")),
     };
 
+    let profile_path = args.get("profile");
+    let mut profile = profile_path.map(|_| flow3d_obs::Profile::new());
+
     let start = std::time::Instant::now();
     let outcome = legalizer
-        .legalize(&design, &global)
+        .legalize_observed(&design, &global, profile.as_mut())
         .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -194,6 +199,18 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
         outcome.stats.cross_die_moves,
         elapsed
     );
+
+    if let (Some(path), Some(profile)) = (profile_path, &profile) {
+        let report = flow3d_obs::RunReport::from_profile(design.name(), legalizer.name(), profile)
+            .with_quality(flow3d_obs::Quality {
+                avg_disp: stats.avg_dbu,
+                max_disp: stats.max_dbu,
+                dhpwl_pct: dhpwl,
+            });
+        write(path, &report.to_json())?;
+        print!("{}", report.to_pretty());
+        println!("wrote {path}");
+    }
 
     let mut text = String::new();
     flow3d_io::write_legal(&design, &outcome.placement, &mut text).map_err(|e| e.to_string())?;
@@ -281,7 +298,12 @@ mod tests {
     #[test]
     fn parses_values_and_flags() {
         let a = Args::parse(&argv(&[
-            "--case", "c.txt", "--no-d2d", "--alpha", "0.5", "--verbose",
+            "--case",
+            "c.txt",
+            "--no-d2d",
+            "--alpha",
+            "0.5",
+            "--verbose",
         ]))
         .unwrap();
         assert_eq!(a.get("case"), Some("c.txt"));

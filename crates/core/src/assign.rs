@@ -24,10 +24,7 @@ pub fn anchors(design: &Design, global: &Placement3d) -> Vec<Point> {
 /// # Errors
 ///
 /// [`LegalizeError::DieOverflow`] if no rebalance fits the cells.
-pub fn partition_dies(
-    design: &Design,
-    global: &Placement3d,
-) -> Result<Vec<DieId>, LegalizeError> {
+pub fn partition_dies(design: &Design, global: &Placement3d) -> Result<Vec<DieId>, LegalizeError> {
     if global.num_cells() != design.num_cells() {
         return Err(LegalizeError::PlacementMismatch {
             design_cells: design.num_cells(),
@@ -63,10 +60,10 @@ pub fn partition_dies(
             .filter(|&i| dies[i].index() == d)
             .collect();
         candidates.sort_by(|&a, &b| {
-            let amb = |i: usize| {
-                (global.die_affinity(CellId::new(i)) - d as f64).abs()
-            };
-            amb(b).partial_cmp(&amb(a)).unwrap_or(std::cmp::Ordering::Equal)
+            let amb = |i: usize| (global.die_affinity(CellId::new(i)) - d as f64).abs();
+            amb(b)
+                .partial_cmp(&amb(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for i in candidates {
             if used[d] <= allowed[d] {
@@ -126,7 +123,11 @@ pub fn build_state<'a>(
         let mut placed = false;
         // Assigned die first, then the others.
         let mut order: Vec<DieId> = vec![dies[i]];
-        order.extend((0..design.num_dies()).map(DieId::new).filter(|&d| d != dies[i]));
+        order.extend(
+            (0..design.num_dies())
+                .map(DieId::new)
+                .filter(|&d| d != dies[i]),
+        );
         for die in order {
             let w = design.cell_width(cell, die);
             if let Some((seg, x)) = layout.nearest_position(design, die, a.x, a.y, w) {
@@ -153,7 +154,14 @@ mod tests {
     fn design(max_util: f64) -> Design {
         let mut b = DesignBuilder::new("t")
             .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("W50", 50, 12)))
-            .die(DieSpec::new("bottom", "T", (0, 0, 200, 24), 12, 1, max_util))
+            .die(DieSpec::new(
+                "bottom",
+                "T",
+                (0, 0, 200, 24),
+                12,
+                1,
+                max_util,
+            ))
             .die(DieSpec::new("top", "T", (0, 0, 200, 24), 12, 1, max_util));
         for i in 0..6 {
             b = b.cell(format!("u{i}"), "W50");

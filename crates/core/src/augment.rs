@@ -19,7 +19,11 @@ use crate::state::FlowState;
 /// to the search. Such edges are fulfilled partially or skipped — both
 /// only ever *under*-fill downstream bins, never create new overflow; any
 /// supply left at the source is re-queued by the flow pass.
-pub fn realize(state: &mut FlowState<'_>, path: &AugmentingPath, params: &SelectionParams) -> usize {
+pub fn realize(
+    state: &mut FlowState<'_>,
+    path: &AugmentingPath,
+    params: &SelectionParams,
+) -> usize {
     let mut whole_moves = 0;
     for i in (1..path.steps.len()).rev() {
         let from = path.steps[i - 1];

@@ -10,21 +10,27 @@
 
 use crate::assign;
 use crate::config::Flow3dConfig;
-use crate::driver::{bin_widths, flow_pass, placerow_all_with};
+use crate::driver::{bin_widths, flow_pass_observed, placerow_all_observed};
 use crate::error::LegalizeError;
 use crate::grid::BinGrid;
 use crate::search::SearchParams;
 use crate::state::FlowState;
 use crate::traits::LegalizeStats;
 use flow3d_db::{CellId, Design, LegalPlacement, Placement3d, RowLayout};
+use flow3d_obs::{keys, Obs, ObsExt};
 
 /// Runs up to `config.post_passes` cycle-canceling passes, replacing
 /// `placement` whenever a pass reduces the maximum displacement.
+///
+/// When `obs` is `Some`, each pass's flow and row phases nest under the
+/// caller's open scope and [`keys::CYCLE_RELEGALIZATIONS`] counts the
+/// passes whose result was accepted.
 ///
 /// # Errors
 ///
 /// Propagates flow-pass and row-legalization failures; `placement` is
 /// left at the last accepted state.
+#[allow(clippy::too_many_arguments)]
 pub fn post_optimize(
     design: &Design,
     layout: &RowLayout,
@@ -33,6 +39,7 @@ pub fn post_optimize(
     base_params: &SearchParams,
     placement: &mut LegalPlacement,
     stats: &mut LegalizeStats,
+    mut obs: Obs<'_>,
 ) -> Result<(), LegalizeError> {
     let n = design.num_cells();
     if n == 0 {
@@ -52,7 +59,8 @@ pub fn post_optimize(
         let a = anchors[c.index()];
         pl.pos(c).manhattan(a)
     };
-    let max_disp = |pl: &LegalPlacement| (0..n).map(|i| disp(pl, CellId::new(i))).max().unwrap_or(0);
+    let max_disp =
+        |pl: &LegalPlacement| (0..n).map(|i| disp(pl, CellId::new(i))).max().unwrap_or(0);
 
     let mut current_max = max_disp(placement);
     for _pass in 0..config.post_passes {
@@ -99,13 +107,20 @@ pub fn post_optimize(
             break; // cannot re-seed (pathological layout); keep current
         }
 
-        flow_pass(&mut state, base_params, stats)?;
-        let candidate = placerow_all_with(&state, config.row_algo)?;
+        obs.begin("flow_pass");
+        let flowed = flow_pass_observed(&mut state, base_params, stats, obs.reborrow());
+        obs.end("flow_pass");
+        flowed?;
+        obs.begin("placerow");
+        let placed = placerow_all_observed(&state, config.row_algo, obs.reborrow());
+        obs.end("placerow");
+        let candidate = placed?;
         let new_max = max_disp(&candidate);
         if new_max < current_max {
             *placement = candidate;
             current_max = new_max;
             stats.post_passes += 1;
+            obs.bump(keys::CYCLE_RELEGALIZATIONS, 1);
         } else {
             break;
         }
@@ -179,7 +194,10 @@ mod tests {
         let d = b.build().unwrap();
         let mut gp = Placement3d::new(4);
         for i in 0..4 {
-            gp.set_pos(flow3d_db::CellId::new(i), FPoint::new(i as f64 * 50.0, 10.0));
+            gp.set_pos(
+                flow3d_db::CellId::new(i),
+                FPoint::new(i as f64 * 50.0, 10.0),
+            );
         }
         let outcome = Flow3dLegalizer::default().legalize(&d, &gp).unwrap();
         assert_eq!(outcome.stats.post_passes, 0);

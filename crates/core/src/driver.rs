@@ -13,6 +13,7 @@ use crate::state::FlowState;
 use crate::traits::{LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout};
 use flow3d_geom::Point;
+use flow3d_obs::{keys, Obs, ObsExt};
 use std::collections::BinaryHeap;
 
 /// Per-die nominal bin widths: `factor · w̄_c(die)`, snapped up to the
@@ -41,6 +42,27 @@ pub fn flow_pass(
     params: &SearchParams,
     stats: &mut LegalizeStats,
 ) -> Result<(), LegalizeError> {
+    flow_pass_observed(state, params, stats, None)
+}
+
+/// [`flow_pass`] with an observability hook: per-pass search counters
+/// ([`keys::NODES_EXPANDED`], [`keys::BRANCHES_PRUNED`],
+/// [`keys::AUGMENTING_PATHS`], [`keys::SEARCH_RETRIES`],
+/// [`keys::CELLS_MOVED`], …) are bumped into `obs` when it is `Some`.
+///
+/// # Errors
+///
+/// Same as [`flow_pass`].
+pub fn flow_pass_observed(
+    state: &mut FlowState<'_>,
+    params: &SearchParams,
+    stats: &mut LegalizeStats,
+    mut obs: Obs<'_>,
+) -> Result<(), LegalizeError> {
+    let aug_before = stats.augmentations;
+    let moved_before = stats.cells_moved;
+    let fallback_before = stats.fallback_moves;
+    let mut retries: usize = 0;
     let mut heap: BinaryHeap<(i64, BinId)> = state
         .overflowed_bins()
         .into_iter()
@@ -73,6 +95,7 @@ pub fn flow_pass(
         // forward; on failure retry with halved flow, then once more with
         // the bound disabled, before declaring the source stuck.
         let mut path = None;
+        let mut searches_this_source: usize = 0;
         'attempts: for relaxed in [false, true] {
             if relaxed && (params.alpha.is_infinite() || params.dijkstra) {
                 break;
@@ -87,15 +110,22 @@ pub fn flow_pass(
             };
             let mut limit = sup;
             while limit > 0 {
-                if let Some(p) =
-                    find_path_limited(state, bin, limit, &attempt_params, &mut scratch, &mut counters)
-                {
+                searches_this_source += 1;
+                if let Some(p) = find_path_limited(
+                    state,
+                    bin,
+                    limit,
+                    &attempt_params,
+                    &mut scratch,
+                    &mut counters,
+                ) {
                     path = Some(p);
                     break 'attempts;
                 }
                 limit /= 2;
             }
         }
+        retries += searches_this_source.saturating_sub(1);
         let Some(path) = path else {
             // No augmenting path at all: the source sits in a region the
             // grid cannot drain (e.g. a macro-enclosed pocket). Fall back
@@ -107,7 +137,7 @@ pub fn flow_pass(
             }
             continue;
         };
-        crate::augment::realize(state, &path, &params.selection);
+        stats.cells_moved += crate::augment::realize(state, &path, &params.selection);
         stats.augmentations += 1;
         // Re-queue any path bin left (or newly pushed) overfull:
         // realization drift can overshoot an intermediate bin after its
@@ -119,6 +149,19 @@ pub fn flow_pass(
         }
     }
     stats.nodes_expanded += counters.expanded;
+    obs.bump(keys::NODES_EXPANDED, counters.expanded as u64);
+    obs.bump(keys::NODES_CREATED, counters.created as u64);
+    obs.bump(keys::BRANCHES_PRUNED, counters.pruned as u64);
+    obs.bump(
+        keys::AUGMENTING_PATHS,
+        (stats.augmentations - aug_before) as u64,
+    );
+    obs.bump(keys::SEARCH_RETRIES, retries as u64);
+    obs.bump(keys::CELLS_MOVED, (stats.cells_moved - moved_before) as u64);
+    obs.bump(
+        keys::FALLBACK_MOVES,
+        (stats.fallback_moves - fallback_before) as u64,
+    );
     Ok(())
 }
 
@@ -225,6 +268,21 @@ pub fn placerow_all_with(
     state: &FlowState<'_>,
     algo: RowAlgo,
 ) -> Result<LegalPlacement, LegalizeError> {
+    placerow_all_observed(state, algo, None)
+}
+
+/// [`placerow_all_with`] with an observability hook:
+/// [`keys::PLACEROW_CALLS`] counts one per non-empty row segment
+/// legalized when `obs` is `Some`.
+///
+/// # Errors
+///
+/// Same as [`placerow_all`].
+pub fn placerow_all_observed(
+    state: &FlowState<'_>,
+    algo: RowAlgo,
+    mut obs: Obs<'_>,
+) -> Result<LegalPlacement, LegalizeError> {
     let design = state.design;
     let mut placement = LegalPlacement::new(design.num_cells());
     let mut items: Vec<RowItem> = Vec::new();
@@ -255,12 +313,12 @@ pub fn placerow_all_with(
         if items.is_empty() {
             continue;
         }
-        let placed = place_row_with(algo, &items, seg.span, die.outline.xlo, die.site_width).map_err(
-            |e| LegalizeError::SegmentOverflow {
+        obs.bump(keys::PLACEROW_CALLS, 1);
+        let placed = place_row_with(algo, &items, seg.span, die.outline.xlo, die.site_width)
+            .map_err(|e| LegalizeError::SegmentOverflow {
                 die: seg.die,
                 excess: e.total_width - e.segment_width,
-            },
-        )?;
+            })?;
         for (key, x) in placed {
             placement.place(CellId::new(key), Point::new(x, seg.y), seg.die);
         }
@@ -303,12 +361,50 @@ impl Legalizer for Flow3dLegalizer {
         design: &Design,
         global: &Placement3d,
     ) -> Result<LegalizeOutcome, LegalizeError> {
+        self.legalize_observed(design, global, None)
+    }
+
+    fn legalize_observed(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        obs.begin("legalize");
+        let result = self.run(design, global, obs.reborrow());
+        obs.end("legalize");
+        result
+    }
+}
+
+impl Flow3dLegalizer {
+    /// The pipeline body, wrapped in the `"legalize"` phase by
+    /// [`legalize_observed`](Legalizer::legalize_observed). Fallible steps
+    /// are bound *between* `obs.begin`/`obs.end` and only `?`-propagated
+    /// after the scope closes, so an error cannot leave a phase open.
+    fn run(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
         let cfg = &self.config;
+
+        obs.begin("partition");
         let layout = RowLayout::build(design);
-        let mut dies = assign::partition_dies(design, global)?;
+        let dies = assign::partition_dies(design, global);
+        obs.end("partition");
+        let mut dies = dies?;
+
+        obs.begin("grid_build");
         let widths = bin_widths(design, cfg.bin_width_factor);
         let grid = BinGrid::build(design, &layout, &widths, cfg.allow_d2d);
-        let mut state = assign::build_state(design, &layout, &grid, global, &mut dies)?;
+        obs.end("grid_build");
+
+        obs.begin("assign");
+        let state = assign::build_state(design, &layout, &grid, global, &mut dies);
+        obs.end("assign");
+        let mut state = state?;
 
         let slack = design
             .dies()
@@ -334,11 +430,19 @@ impl Legalizer for Flow3dLegalizer {
         };
 
         let mut stats = LegalizeStats::default();
-        flow_pass(&mut state, &params, &mut stats)?;
-        let mut placement = placerow_all_with(&state, cfg.row_algo)?;
+        obs.begin("flow_pass");
+        let flowed = flow_pass_observed(&mut state, &params, &mut stats, obs.reborrow());
+        obs.end("flow_pass");
+        flowed?;
+
+        obs.begin("placerow");
+        let placed = placerow_all_observed(&state, cfg.row_algo, obs.reborrow());
+        obs.end("placerow");
+        let mut placement = placed?;
 
         if cfg.post_opt {
-            cycle::post_optimize(
+            obs.begin("post_opt");
+            let post = cycle::post_optimize(
                 design,
                 &layout,
                 global,
@@ -346,7 +450,10 @@ impl Legalizer for Flow3dLegalizer {
                 &params,
                 &mut placement,
                 &mut stats,
-            )?;
+                obs.reborrow(),
+            );
+            obs.end("post_opt");
+            post?;
         }
 
         stats.cross_die_moves = placement.cross_die_moves(global, design.num_dies());

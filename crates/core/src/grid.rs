@@ -91,11 +91,7 @@ impl BinGrid {
         bin_widths: &[i64],
         connect_d2d: bool,
     ) -> Self {
-        assert_eq!(
-            bin_widths.len(),
-            design.num_dies(),
-            "one bin width per die"
-        );
+        assert_eq!(bin_widths.len(), design.num_dies(), "one bin width per die");
         let mut bins = Vec::new();
         let mut seg_bins = vec![Vec::new(); layout.num_segments()];
 
@@ -132,10 +128,11 @@ impl BinGrid {
         }
 
         let mut adj: Vec<Vec<(BinId, EdgeKind)>> = vec![Vec::new(); bins.len()];
-        let push_edge = |a: BinId, b: BinId, kind: EdgeKind, adj: &mut Vec<Vec<(BinId, EdgeKind)>>| {
-            adj[a.index()].push((b, kind));
-            adj[b.index()].push((a, kind));
-        };
+        let push_edge =
+            |a: BinId, b: BinId, kind: EdgeKind, adj: &mut Vec<Vec<(BinId, EdgeKind)>>| {
+                adj[a.index()].push((b, kind));
+                adj[b.index()].push((a, kind));
+            };
 
         // Horizontal edges: consecutive bins within a segment.
         for ids in &seg_bins {
@@ -151,8 +148,7 @@ impl BinGrid {
             .map(|d| vec![Vec::new(); d.num_rows()])
             .collect();
         for seg in layout.segments() {
-            row_bins[seg.die.index()][seg.row.index()]
-                .extend(&seg_bins[seg.id.index()]);
+            row_bins[seg.die.index()][seg.row.index()].extend(&seg_bins[seg.id.index()]);
         }
 
         // Vertical edges: x-overlapping bins of adjacent rows, same die.

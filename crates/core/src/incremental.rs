@@ -14,7 +14,7 @@
 //! positions. A fine bin grid (the post-optimization width `5·w̄_c`) keeps
 //! the cost model precise for the localized overflow.
 
-use crate::driver::{bin_widths, flow_pass, placerow_all_with, Flow3dLegalizer};
+use crate::driver::{bin_widths, flow_pass_observed, placerow_all_observed, Flow3dLegalizer};
 use crate::error::LegalizeError;
 use crate::grid::BinGrid;
 use crate::search::SearchParams;
@@ -23,6 +23,7 @@ use crate::state::FlowState;
 use crate::traits::{LegalizeOutcome, LegalizeStats};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, RowLayout};
 use flow3d_geom::Point;
+use flow3d_obs::{Obs, ObsExt};
 
 /// One requested cell change in an ECO.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +57,24 @@ impl Flow3dLegalizer {
         base: &LegalPlacement,
         moves: &[CellMove],
     ) -> Result<LegalizeOutcome, LegalizeError> {
+        self.legalize_incremental_observed(design, base, moves, None)
+    }
+
+    /// [`legalize_incremental`](Self::legalize_incremental) with an
+    /// observability hook: records `"eco_seed"`, `"flow_pass"` and
+    /// `"placerow"` phases plus the usual search counters into `obs` when
+    /// it is `Some` (see [`flow3d_obs`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`legalize_incremental`](Self::legalize_incremental).
+    pub fn legalize_incremental_observed(
+        &self,
+        design: &Design,
+        base: &LegalPlacement,
+        moves: &[CellMove],
+        mut obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
         let n = design.num_cells();
         if base.num_cells() != n {
             return Err(LegalizeError::PlacementMismatch {
@@ -69,6 +88,7 @@ impl Flow3dLegalizer {
         let grid = BinGrid::build(design, &layout, &widths, cfg.allow_d2d);
 
         // Anchors: base positions, overridden by the requested targets.
+        obs.begin("eco_seed");
         let mut anchors: Vec<Point> = (0..n).map(|i| base.pos(CellId::new(i))).collect();
         let mut target_die: Vec<DieId> = (0..n).map(|i| base.die(CellId::new(i))).collect();
         for mv in moves {
@@ -99,9 +119,13 @@ impl Flow3dLegalizer {
                     let hint = grid.bin_at(seg.id, x);
                     state.insert_cell(cell, hint, x);
                 }
-                None => return Err(LegalizeError::NoPosition { cell }),
+                None => {
+                    obs.end("eco_seed");
+                    return Err(LegalizeError::NoPosition { cell });
+                }
             }
         }
+        obs.end("eco_seed");
 
         let slack = design
             .dies()
@@ -126,8 +150,14 @@ impl Flow3dLegalizer {
             },
         };
         let mut stats = LegalizeStats::default();
-        flow_pass(&mut state, &params, &mut stats)?;
-        let placement = placerow_all_with(&state, cfg.row_algo)?;
+        obs.begin("flow_pass");
+        let flowed = flow_pass_observed(&mut state, &params, &mut stats, obs.reborrow());
+        obs.end("flow_pass");
+        flowed?;
+        obs.begin("placerow");
+        let placed = placerow_all_observed(&state, cfg.row_algo, obs.reborrow());
+        obs.end("placerow");
+        let placement = placed?;
 
         // Cross-die counter relative to the *base* placement here.
         stats.cross_die_moves = (0..n)
@@ -165,7 +195,10 @@ mod tests {
                 FPoint::new((i as f64 * 35.0) % 350.0, 10.0 * ((i / 10) as f64)),
             );
         }
-        Flow3dLegalizer::default().legalize(d, &gp).unwrap().placement
+        Flow3dLegalizer::default()
+            .legalize(d, &gp)
+            .unwrap()
+            .placement
     }
 
     #[test]

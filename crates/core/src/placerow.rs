@@ -179,12 +179,21 @@ mod tests {
         }
     }
 
-    fn assert_legal(placed: &[(usize, i64)], items: &[RowItem], span: Interval, origin: i64, site: i64) {
+    fn assert_legal(
+        placed: &[(usize, i64)],
+        items: &[RowItem],
+        span: Interval,
+        origin: i64,
+        site: i64,
+    ) {
         let mut rects: Vec<(i64, i64)> = placed
             .iter()
             .map(|&(k, x)| {
                 let w = items.iter().find(|i| i.key == k).unwrap().width;
-                assert!(x >= span.lo && x + w <= span.hi, "key {k} at {x} outside {span}");
+                assert!(
+                    x >= span.lo && x + w <= span.hi,
+                    "key {k} at {x} outside {span}"
+                );
                 assert_eq!((x - origin).rem_euclid(site), 0, "key {k} off-site at {x}");
                 (x, x + w)
             })

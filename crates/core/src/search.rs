@@ -74,6 +74,9 @@ pub struct SearchCounters {
     pub expanded: usize,
     /// Nodes created (edges traversed with a feasible selection).
     pub created: usize,
+    /// Branches cut by the `(1 + α)·cost(p_best)` bound (Algorithm 1
+    /// line 13). Always 0 in Dijkstra mode, which never prunes.
+    pub pruned: usize,
 }
 
 /// Reusable scratch buffers: allocate once per legalization, reuse across
@@ -223,6 +226,7 @@ pub fn find_path_limited(
             let child_cost = node.cost + sel.cost;
             let best_cost = best.map(|(_, c)| c).unwrap_or(f64::INFINITY);
             if !params.dijkstra && child_cost >= bound(best_cost, params.alpha, params.slack) {
+                counters.pruned += 1;
                 continue; // pruned branch (bin stays visited, as in the paper)
             }
             let child = Node {
@@ -311,7 +315,14 @@ mod tests {
         let b0 = grid.bins_in_segment(seg(&layout, DieId::BOTTOM, 0))[0];
         let mut scratch = SearchScratch::new(grid.num_bins());
         let mut counters = SearchCounters::default();
-        assert!(find_path(&st, b0, &SearchParams::default(), &mut scratch, &mut counters).is_none());
+        assert!(find_path(
+            &st,
+            b0,
+            &SearchParams::default(),
+            &mut scratch,
+            &mut counters
+        )
+        .is_none());
     }
 
     #[test]
@@ -337,8 +348,14 @@ mod tests {
         }
         let mut scratch = SearchScratch::new(grid.num_bins());
         let mut counters = SearchCounters::default();
-        let path = find_path(&st, bins[0], &SearchParams::default(), &mut scratch, &mut counters)
-            .expect("path");
+        let path = find_path(
+            &st,
+            bins[0],
+            &SearchParams::default(),
+            &mut scratch,
+            &mut counters,
+        )
+        .expect("path");
         assert_eq!(path.steps.len(), 2);
         assert_eq!(path.steps[0].bin, bins[0]);
         assert_eq!(path.steps[0].inflow, 20);
@@ -362,8 +379,14 @@ mod tests {
         }
         let mut scratch = SearchScratch::new(grid.num_bins());
         let mut counters = SearchCounters::default();
-        let path = find_path(&st, bins[0], &SearchParams::default(), &mut scratch, &mut counters)
-            .expect("path");
+        let path = find_path(
+            &st,
+            bins[0],
+            &SearchParams::default(),
+            &mut scratch,
+            &mut counters,
+        )
+        .expect("path");
         let last = path.steps.last().unwrap();
         assert!(st.dem(last.bin) >= last.inflow);
         assert_ne!(grid.bin(last.bin).die, DieId::BOTTOM);
@@ -379,14 +402,29 @@ mod tests {
         // Fill bin0 with 3 cells (120/100) and bins 1,2 exactly full (100
         // each = 2.5 cells... use 40-wide cells: 2 cells = 80 leaves dem 20.
         // Instead use row 1 as escape: fill ALL of row 0 to capacity.
-        for (i, b) in [(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2), (7, 3)] {
+        for (i, b) in [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 1),
+            (4, 1),
+            (5, 2),
+            (6, 2),
+            (7, 3),
+        ] {
             st.insert_cell(CellId::new(i), bins[b], (b * 100) as i64);
         }
         // bin0: 120/100 sup 20; bin1: 80/100 dem 20 -> absorbed next door.
         let mut scratch = SearchScratch::new(grid.num_bins());
         let mut counters = SearchCounters::default();
-        let path = find_path(&st, bins[0], &SearchParams::default(), &mut scratch, &mut counters)
-            .expect("path");
+        let path = find_path(
+            &st,
+            bins[0],
+            &SearchParams::default(),
+            &mut scratch,
+            &mut counters,
+        )
+        .expect("path");
         assert!(path.steps.len() >= 2);
         let last = path.steps.last().unwrap();
         assert!(st.dem(last.bin) >= last.inflow);
@@ -416,12 +454,15 @@ mod tests {
         // 160 used / 120 cap: the only escape is the top die.
         let mut scratch = SearchScratch::new(grid.num_bins());
         let mut counters = SearchCounters::default();
-        let path = find_path(&st, bins[0], &SearchParams::default(), &mut scratch, &mut counters)
-            .expect("path via top die");
-        assert!(path
-            .steps
-            .iter()
-            .any(|s| grid.bin(s.bin).die == DieId::TOP));
+        let path = find_path(
+            &st,
+            bins[0],
+            &SearchParams::default(),
+            &mut scratch,
+            &mut counters,
+        )
+        .expect("path via top die");
+        assert!(path.steps.iter().any(|s| grid.bin(s.bin).die == DieId::TOP));
 
         // Without D2D edges the search must fail.
         let (layout2, grid2) = setup(&d, false);

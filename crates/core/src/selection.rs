@@ -85,9 +85,7 @@ pub fn select_moves(
     debug_assert!(needed > 0, "selection needs positive outflow");
     match kind {
         EdgeKind::Horizontal => select_fractional(state, u, v, needed, params),
-        EdgeKind::Vertical | EdgeKind::DieToDie => {
-            select_whole(state, u, v, kind, needed, params)
-        }
+        EdgeKind::Vertical | EdgeKind::DieToDie => select_whole(state, u, v, kind, needed, params),
     }
 }
 
@@ -275,7 +273,9 @@ fn select_whole(
 mod tests {
     use super::*;
     use crate::grid::BinGrid;
-    use flow3d_db::{Design, DesignBuilder, DieId, DieSpec, LibCellSpec, RowLayout, TechnologySpec};
+    use flow3d_db::{
+        Design, DesignBuilder, DieId, DieSpec, LibCellSpec, RowLayout, TechnologySpec,
+    };
     use flow3d_geom::Point;
 
     fn fixture() -> Design {
@@ -473,13 +473,27 @@ mod tests {
             },
         )
         .unwrap();
-        let with_term =
-            select_moves(&st, u, v, EdgeKind::DieToDie, 10, &SelectionParams::default()).unwrap();
+        let with_term = select_moves(
+            &st,
+            u,
+            v,
+            EdgeKind::DieToDie,
+            10,
+            &SelectionParams::default(),
+        )
+        .unwrap();
         assert!((with_term.cost - base.cost).abs() < 1e-9);
         // Congested target: the term penalizes.
         st.insert_cell(CellId::new(1), v, 0);
         st.insert_cell(CellId::new(2), v, 0);
-        let on_full = select_moves(&st, u, v, EdgeKind::DieToDie, 10, &SelectionParams::default());
+        let on_full = select_moves(
+            &st,
+            u,
+            v,
+            EdgeKind::DieToDie,
+            10,
+            &SelectionParams::default(),
+        );
         if let Some(on_full) = on_full {
             assert!(on_full.cost >= with_term.cost);
         }

@@ -279,8 +279,7 @@ impl<'a> FlowState<'a> {
 
     fn keep_frags_sorted(&mut self, cell: CellId) {
         let grid = self.grid;
-        self.cell_frags[cell.index()]
-            .sort_by_key(|&(b, _)| grid.bin(b).span.lo);
+        self.cell_frags[cell.index()].sort_by_key(|&(b, _)| grid.bin(b).span.lo);
     }
 
     /// Total overflow across all bins (0 when the flow phase is done).
@@ -305,7 +304,10 @@ impl<'a> FlowState<'a> {
         for i in 0..self.grid.num_bins() {
             let sum: i64 = self.frags[i].iter().map(|f| f.width).sum();
             if sum != self.usage[i] {
-                return Err(format!("bin {i}: usage {} != fragment sum {sum}", self.usage[i]));
+                return Err(format!(
+                    "bin {i}: usage {} != fragment sum {sum}",
+                    self.usage[i]
+                ));
             }
         }
         for c in 0..self.design.num_cells() {
@@ -348,7 +350,7 @@ mod tests {
     use crate::grid::BinGrid;
     use flow3d_db::{DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
 
-    fn fixture() -> (Design, ) {
+    fn fixture() -> (Design,) {
         (DesignBuilder::new("t")
             .technology(
                 TechnologySpec::new("TA")
@@ -466,7 +468,7 @@ mod tests {
         let bins = grid.bins_in_segment(seg);
         let u1 = CellId::new(1);
         st.insert_cell(u1, bins[0], 80); // 20 in bins[0]... wait anchors 0
-        // interval [80,180): 20 in b0, 80 in b1.
+                                         // interval [80,180): 20 in b0, 80 in b1.
         st.move_fraction(u1, bins[0], bins[1], 20);
         let frags = st.cell_frags(u1);
         assert_eq!(frags.len(), 1);
@@ -519,14 +521,8 @@ mod prop_tests {
     #[test]
     fn random_operation_sequences_preserve_invariants() {
         let mut b = DesignBuilder::new("t")
-            .technology(
-                TechnologySpec::new("TA")
-                    .lib_cell(LibCellSpec::std_cell("C", 30, 10)),
-            )
-            .technology(
-                TechnologySpec::new("TB")
-                    .lib_cell(LibCellSpec::std_cell("C", 24, 8)),
-            )
+            .technology(TechnologySpec::new("TA").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+            .technology(TechnologySpec::new("TB").lib_cell(LibCellSpec::std_cell("C", 24, 8)))
             .die(DieSpec::new("bottom", "TA", (0, 0, 300, 30), 10, 1, 1.0))
             .die(DieSpec::new("top", "TB", (0, 0, 300, 24), 8, 1, 1.0));
         for i in 0..8 {

@@ -2,8 +2,15 @@
 
 use crate::error::LegalizeError;
 use flow3d_db::{Design, LegalPlacement, Placement3d};
+use flow3d_obs::Obs;
 
 /// Counters reported by a legalization run.
+///
+/// These are the always-on summary numbers every
+/// [`LegalizeOutcome`] carries. For per-phase timings and the full
+/// counter registry, run through
+/// [`Legalizer::legalize_observed`] with a
+/// [`Profile`](flow3d_obs::Profile) hook instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LegalizeStats {
     /// Number of augmenting paths realized (flow-based legalizers).
@@ -17,6 +24,10 @@ pub struct LegalizeStats {
     /// Cells relocated by the direct fallback when no augmenting path
     /// existed (macro-enclosed pockets); 0 in the common case.
     pub fallback_moves: usize,
+    /// Whole cells moved between bins while realizing augmenting paths
+    /// (flow-based legalizers; fallback relocations count separately in
+    /// [`fallback_moves`](Self::fallback_moves)).
+    pub cells_moved: usize,
 }
 
 /// Result of a legalization run: the placement plus run counters.
@@ -49,6 +60,28 @@ pub trait Legalizer {
         design: &Design,
         global: &Placement3d,
     ) -> Result<LegalizeOutcome, LegalizeError>;
+
+    /// [`legalize`](Self::legalize) with an observability hook: phase
+    /// timings and event counters are recorded into `obs` when it is
+    /// `Some` (see [`flow3d_obs`]).
+    ///
+    /// The default implementation ignores the hook and delegates to
+    /// `legalize`, so implementing it is optional; instrumented
+    /// legalizers override it and implement `legalize` as
+    /// `self.legalize_observed(design, global, None)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`legalize`](Self::legalize).
+    fn legalize_observed(
+        &self,
+        design: &Design,
+        global: &Placement3d,
+        obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        let _ = obs;
+        self.legalize(design, global)
+    }
 }
 
 #[cfg(test)]

@@ -166,7 +166,8 @@ impl Design {
     /// Width of `cell` when placed on `die` — the paper's `w_c^+` / `w_c^-`.
     #[inline]
     pub fn cell_width(&self, cell: CellId, die: DieId) -> i64 {
-        self.lib_cell_on(self.cells[cell.index()].lib_cell, die).width
+        self.lib_cell_on(self.cells[cell.index()].lib_cell, die)
+            .width
     }
 
     /// Height of any standard cell on `die` (equals the die's row height).
@@ -218,7 +219,8 @@ impl Design {
                 d.rows
                     .iter()
                     .map(|row| {
-                        let row_rect = Rect::new(row.span.lo, row.y, row.span.hi, row.y + d.row_height);
+                        let row_rect =
+                            Rect::new(row.span.lo, row.y, row.span.hi, row.y + d.row_height);
                         row_rect.overlap_area(r)
                     })
                     .sum::<i64>()
@@ -488,7 +490,10 @@ impl DesignBuilder {
                     .insert(name.clone(), MacroId::new(macros.len()))
                     .is_some()
             {
-                return Err(DbError::DuplicateName { kind: "instance", name });
+                return Err(DbError::DuplicateName {
+                    kind: "instance",
+                    name,
+                });
             }
             macros.push(MacroInst {
                 name,
@@ -579,12 +584,20 @@ mod tests {
         DesignBuilder::new("t")
             .technology(
                 TechnologySpec::new("TA")
-                    .lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 6).pin("Y", 9, 6))
+                    .lib_cell(
+                        LibCellSpec::std_cell("INV", 10, 12)
+                            .pin("A", 0, 6)
+                            .pin("Y", 9, 6),
+                    )
                     .lib_cell(LibCellSpec::macro_cell("RAM", 200, 48).pin("D", 0, 0)),
             )
             .technology(
                 TechnologySpec::new("TB")
-                    .lib_cell(LibCellSpec::std_cell("INV", 8, 10).pin("A", 0, 5).pin("Y", 7, 5))
+                    .lib_cell(
+                        LibCellSpec::std_cell("INV", 8, 10)
+                            .pin("A", 0, 5)
+                            .pin("Y", 7, 5),
+                    )
                     .lib_cell(LibCellSpec::macro_cell("RAM", 160, 40).pin("D", 0, 0)),
             )
             .die(DieSpec::new("bottom", "TA", (0, 0, 1000, 120), 12, 1, 0.9))
@@ -646,7 +659,13 @@ mod tests {
     #[test]
     fn unknown_lib_cell_rejected() {
         let err = base_builder().cell("u1", "NAND9").build().unwrap_err();
-        assert!(matches!(err, DbError::UnknownName { kind: "lib cell", .. }));
+        assert!(matches!(
+            err,
+            DbError::UnknownName {
+                kind: "lib cell",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -701,12 +720,21 @@ mod tests {
             .net("n1", &[("nope", 0)])
             .build()
             .unwrap_err();
-        assert!(matches!(err, DbError::UnknownName { kind: "instance", .. }));
+        assert!(matches!(
+            err,
+            DbError::UnknownName {
+                kind: "instance",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn empty_stack_rejected() {
-        assert_eq!(DesignBuilder::new("x").build().unwrap_err(), DbError::EmptyStack);
+        assert_eq!(
+            DesignBuilder::new("x").build().unwrap_err(),
+            DbError::EmptyStack
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ impl Die {
         let rem = rel.rem_euclid(self.row_height);
         // Row bottoms sit at multiples of row_height; choose between row
         // `idx` (bottom below y) and row `idx + 1`.
-        let idx = if rem * 2 <= self.row_height { idx } else { idx + 1 };
+        let idx = if rem * 2 <= self.row_height {
+            idx
+        } else {
+            idx + 1
+        };
         let idx = idx.clamp(0, self.rows.len() as i64 - 1) as usize;
         self.rows.get(idx)
     }
@@ -119,7 +123,10 @@ impl Die {
     /// Total placeable row area of the die in DBU² (before subtracting
     /// macro blockages).
     pub fn rows_area(&self) -> i64 {
-        self.rows.iter().map(|r| r.span.len() * self.row_height).sum()
+        self.rows
+            .iter()
+            .map(|r| r.span.len() * self.row_height)
+            .sum()
     }
 
     /// Snaps `x` to the nearest legal site position, ignoring bounds.
@@ -134,14 +141,7 @@ mod tests {
     use super::*;
 
     fn die() -> Die {
-        Die::with_uniform_rows(
-            "d",
-            TechId::new(0),
-            Rect::new(0, 0, 100, 50),
-            10,
-            2,
-            1.0,
-        )
+        Die::with_uniform_rows("d", TechId::new(0), Rect::new(0, 0, 100, 50), 10, 2, 1.0)
     }
 
     #[test]
@@ -155,14 +155,7 @@ mod tests {
 
     #[test]
     fn partial_top_row_is_dropped() {
-        let d = Die::with_uniform_rows(
-            "d",
-            TechId::new(0),
-            Rect::new(0, 0, 100, 55),
-            10,
-            2,
-            1.0,
-        );
+        let d = Die::with_uniform_rows("d", TechId::new(0), Rect::new(0, 0, 100, 55), 10, 2, 1.0);
         assert_eq!(d.num_rows(), 5);
         assert_eq!(d.rows_area(), 100 * 50);
     }
@@ -189,28 +182,15 @@ mod tests {
 
     #[test]
     fn nearest_row_with_offset_outline() {
-        let d = Die::with_uniform_rows(
-            "d",
-            TechId::new(0),
-            Rect::new(0, 100, 100, 150),
-            10,
-            2,
-            1.0,
-        );
+        let d =
+            Die::with_uniform_rows("d", TechId::new(0), Rect::new(0, 100, 100, 150), 10, 2, 1.0);
         assert_eq!(d.nearest_row(104).unwrap().y, 100);
         assert_eq!(d.nearest_row(117).unwrap().y, 120);
     }
 
     #[test]
     fn snap_to_site_uses_outline_origin() {
-        let d = Die::with_uniform_rows(
-            "d",
-            TechId::new(0),
-            Rect::new(5, 0, 105, 50),
-            10,
-            4,
-            1.0,
-        );
+        let d = Die::with_uniform_rows("d", TechId::new(0), Rect::new(5, 0, 105, 50), 10, 4, 1.0);
         assert_eq!(d.snap_to_site(5), 5);
         assert_eq!(d.snap_to_site(8), 9);
         assert_eq!(d.snap_to_site(6), 5);

@@ -65,7 +65,10 @@ impl fmt::Display for DbError {
                 write!(f, "unknown {kind} `{name}`")
             }
             DbError::MisalignedTechnologies { tech, detail } => {
-                write!(f, "technology `{tech}` misaligned with the first technology: {detail}")
+                write!(
+                    f,
+                    "technology `{tech}` misaligned with the first technology: {detail}"
+                )
             }
             DbError::InvalidDie { die, detail } => {
                 write!(f, "invalid die `{die}`: {detail}")

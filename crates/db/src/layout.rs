@@ -205,9 +205,13 @@ impl RowLayout {
         let center = d.nearest_row(y)?.id.index() as i64;
 
         let mut best: Option<(&Segment, i64, i64)> = None; // (seg, x, dist)
-        // Candidate offsets 0, +1, -1, +2, -2, ... from the nearest row.
+                                                           // Candidate offsets 0, +1, -1, +2, -2, ... from the nearest row.
         for step in 0..(2 * num_rows as i64) {
-            let offset = if step % 2 == 0 { step / 2 } else { -(step / 2 + 1) };
+            let offset = if step % 2 == 0 {
+                step / 2
+            } else {
+                -(step / 2 + 1)
+            };
             let row_idx = center + offset;
             if row_idx < 0 || row_idx >= num_rows as i64 {
                 continue;
@@ -283,9 +287,13 @@ mod tests {
         for r in 0..4 {
             assert_eq!(layout.segments_in_row(DieId::TOP, r.into()).len(), 1);
         }
-        let seg = layout.segment_containing(DieId::BOTTOM, 0.into(), 0).unwrap();
+        let seg = layout
+            .segment_containing(DieId::BOTTOM, 0.into(), 0)
+            .unwrap();
         assert_eq!(seg.span, Interval::new(0, 400));
-        let seg = layout.segment_containing(DieId::BOTTOM, 0.into(), 700).unwrap();
+        let seg = layout
+            .segment_containing(DieId::BOTTOM, 0.into(), 700)
+            .unwrap();
         assert_eq!(seg.span, Interval::new(600, 1000));
     }
 
@@ -301,8 +309,12 @@ mod tests {
     fn segment_containing_is_exclusive_of_blockage() {
         let d = design_with_macro();
         let layout = RowLayout::build(&d);
-        assert!(layout.segment_containing(DieId::BOTTOM, 0.into(), 450).is_none());
-        assert!(layout.segment_containing(DieId::BOTTOM, 0.into(), 399).is_some());
+        assert!(layout
+            .segment_containing(DieId::BOTTOM, 0.into(), 450)
+            .is_none());
+        assert!(layout
+            .segment_containing(DieId::BOTTOM, 0.into(), 399)
+            .is_some());
     }
 
     #[test]

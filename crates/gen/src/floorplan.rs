@@ -88,7 +88,8 @@ pub(crate) fn build(
         let mut placed = false;
         'shrink: for _ in 0..6 {
             let w = flow3d_geom::snap_up(((width as f64) * frac_w) as i64, 0, site_w).max(site_w);
-            let h = flow3d_geom::snap_up(((height as f64) * frac_h) as i64, 0, row_h).max(2 * row_h);
+            let h =
+                flow3d_geom::snap_up(((height as f64) * frac_h) as i64, 0, row_h).max(2 * row_h);
             if w >= width || h >= height {
                 frac_w *= 0.7;
                 frac_h *= 0.7;
@@ -207,10 +208,11 @@ pub(crate) fn assemble(
             // Macros keep one footprint in both technologies (they are
             // fixed on a single die; the aligned table just needs the
             // entry to exist).
-            tech = tech.lib_cell(
-                LibCellSpec::macro_cell(&m.lib_name, m.width, m.height)
-                    .pin("P0", m.width / 2, m.height / 2),
-            );
+            tech = tech.lib_cell(LibCellSpec::macro_cell(&m.lib_name, m.width, m.height).pin(
+                "P0",
+                m.width / 2,
+                m.height / 2,
+            ));
         }
         tech
     };

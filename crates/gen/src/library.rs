@@ -76,9 +76,9 @@ pub(crate) fn build(cfg: &GeneratorConfig, rng: &mut SmallRng) -> Library {
     for i in 0..n_lib {
         // Spread lib cell widths over the three bands.
         let sites = match i % 5 {
-            0 | 1 => 1 + (i as i64 % 2),               // 1-2 sites
-            2 | 3 => 3 + (i as i64 % 4),               // 3-6 sites
-            _ => 7 + ((i as i64 * 3) % 10),            // 7-16 sites
+            0 | 1 => 1 + (i as i64 % 2),    // 1-2 sites
+            2 | 3 => 3 + (i as i64 % 4),    // 3-6 sites
+            _ => 7 + ((i as i64 * 3) % 10), // 7-16 sites
         };
         let num_pins = 2 + (i % 3); // 2-4 pins
         let pins = (0..num_pins)

@@ -48,7 +48,10 @@ pub(crate) fn build(
             _ => 0.5, // every fourth cluster is die-ambiguous
         };
         clusters.push(Cluster {
-            center: FPoint::new(rng.random_range(0.12 * w..0.88 * w), rng.random_range(0.12 * h..0.88 * h)),
+            center: FPoint::new(
+                rng.random_range(0.12 * w..0.88 * w),
+                rng.random_range(0.12 * h..0.88 * h),
+            ),
             bias,
             weight: rng.random_range(0.5..1.5),
         });
@@ -68,7 +71,9 @@ pub(crate) fn build(
     let mut placement = Placement3d::new(n);
     for i in 0..n {
         let r: f64 = rng.random_range(0.0..1.0);
-        let k = cumulative.partition_point(|&c| c < r).min(clusters.len() - 1);
+        let k = cumulative
+            .partition_point(|&c| c < r)
+            .min(clusters.len() - 1);
         let cl = &clusters[k];
         let x = (cl.center.x + normal(rng) * spread_x).clamp(0.0, w - 1.0);
         let y = (cl.center.y + normal(rng) * spread_y).clamp(0.0, h - 1.0);
@@ -126,8 +131,7 @@ mod tests {
         // distance is well below the die diagonal.
         let (cfg, lib, plan, nat) = setup(13);
         let n = lib.instance_lib.len();
-        let mean_x: f64 =
-            (0..n).map(|i| nat.pos(CellId::new(i)).x).sum::<f64>() / n as f64;
+        let mean_x: f64 = (0..n).map(|i| nat.pos(CellId::new(i)).x).sum::<f64>() / n as f64;
         let var_x: f64 = (0..n)
             .map(|i| (nat.pos(CellId::new(i)).x - mean_x).powi(2))
             .sum::<f64>()

@@ -159,7 +159,12 @@ mod tests {
         let (cfg, _, _, _, nets) = nets(21);
         assert_eq!(nets.len(), cfg.scaled_nets());
         for net in &nets {
-            assert!(net.pins.len() >= 2, "{} has {} pins", net.name, net.pins.len());
+            assert!(
+                net.pins.len() >= 2,
+                "{} has {} pins",
+                net.name,
+                net.pins.len()
+            );
             assert!(net.pins.len() <= 9);
         }
     }

@@ -85,10 +85,7 @@ impl Rect {
     /// Center point, rounded toward negative infinity.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            self.xlo + self.width() / 2,
-            self.ylo + self.height() / 2,
-        )
+        Point::new(self.xlo + self.width() / 2, self.ylo + self.height() / 2)
     }
 
     /// Horizontal span as an [`Interval`].

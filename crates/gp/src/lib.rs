@@ -197,10 +197,10 @@ impl GlobalPlacer {
                 let f = force[i];
                 let norm = (f.x * f.x + f.y * f.y).sqrt().max(1e-9);
                 let scale = (step / norm).min(1.0);
-                let nx = (pos[i].x + f.x * scale)
-                    .clamp(outline.xlo as f64, (outline.xhi - 1) as f64);
-                let ny = (pos[i].y + f.y * scale)
-                    .clamp(outline.ylo as f64, (outline.yhi - 1) as f64);
+                let nx =
+                    (pos[i].x + f.x * scale).clamp(outline.xlo as f64, (outline.xhi - 1) as f64);
+                let ny =
+                    (pos[i].y + f.y * scale).clamp(outline.ylo as f64, (outline.yhi - 1) as f64);
                 pos[i] = FPoint::new(nx, ny);
             }
         }
@@ -354,10 +354,7 @@ mod tests {
         // Optimize from the scatter: HPWL must come down.
         let after_p = placer.place_from(&case.design, &scattered);
         let after = flow3d_metrics::hpwl_global(&case.design, &after_p);
-        assert!(
-            after < before,
-            "HPWL did not improve: {before} -> {after}"
-        );
+        assert!(after < before, "HPWL did not improve: {before} -> {after}");
     }
 
     #[test]
@@ -410,8 +407,22 @@ mod tests {
                 flow3d_db::TechnologySpec::new("T")
                     .lib_cell(flow3d_db::LibCellSpec::std_cell("C", 1, 1)),
             )
-            .die(flow3d_db::DieSpec::new("bottom", "T", (0, 0, 10, 10), 1, 1, 1.0))
-            .die(flow3d_db::DieSpec::new("top", "T", (0, 0, 10, 10), 1, 1, 1.0))
+            .die(flow3d_db::DieSpec::new(
+                "bottom",
+                "T",
+                (0, 0, 10, 10),
+                1,
+                1,
+                1.0,
+            ))
+            .die(flow3d_db::DieSpec::new(
+                "top",
+                "T",
+                (0, 0, 10, 10),
+                1,
+                1,
+                1.0,
+            ))
             .build()
             .unwrap();
         let p = GlobalPlacer::default().place(&d);

@@ -141,23 +141,25 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
     };
 
     let line_no = r.line_no;
-    let missing = |what: &str| IoError::parse(line_no, format!("missing {what} before NumInstances"));
+    let missing =
+        |what: &str| IoError::parse(line_no, format!("missing {what} before NumInstances"));
     let top_rows = top_rows.ok_or_else(|| missing("TopDieRows"))?;
     let bottom_rows = bottom_rows.ok_or_else(|| missing("BottomDieRows"))?;
     let top_tech = top_tech.ok_or_else(|| missing("TopDieTech"))?;
     let bottom_tech = bottom_tech.ok_or_else(|| missing("BottomDieTech"))?;
 
-    let die_spec = |name: &str, tech: &str, rows: (i64, i64, i64, i64, i64), site: i64, util: f64| {
-        let (sx, sy, len, h, rep) = rows;
-        DieSpec::new(
-            name,
-            tech,
-            (sx, sy, sx + len, sy + h * rep),
-            h,
-            site,
-            util / 100.0,
-        )
-    };
+    let die_spec =
+        |name: &str, tech: &str, rows: (i64, i64, i64, i64, i64), site: i64, util: f64| {
+            let (sx, sy, len, h, rep) = rows;
+            DieSpec::new(
+                name,
+                tech,
+                (sx, sy, sx + len, sy + h * rep),
+                h,
+                site,
+                util / 100.0,
+            )
+        };
 
     let mut builder = DesignBuilder::new(design_name);
     for spec in tech_specs {
@@ -165,7 +167,13 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
     }
     // Die 0 = bottom, die 1 = top.
     builder = builder
-        .die(die_spec("bottom", &bottom_tech, bottom_rows, bottom_site, bottom_util))
+        .die(die_spec(
+            "bottom",
+            &bottom_tech,
+            bottom_rows,
+            bottom_site,
+            bottom_util,
+        ))
         .die(die_spec("top", &top_tech, top_rows, top_site, top_util));
 
     // --- Instances ----------------------------------------------------------
@@ -178,9 +186,9 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
         r.expect_len(&toks, 3)?;
         let name: String = r.field(&toks, 1, "instance name")?;
         let lib: String = r.field(&toks, 2, "lib cell name")?;
-        let mac = *is_macro.get(&lib).ok_or_else(|| {
-            IoError::parse(r.line_no, format!("unknown lib cell `{lib}`"))
-        })?;
+        let mac = *is_macro
+            .get(&lib)
+            .ok_or_else(|| IoError::parse(r.line_no, format!("unknown lib cell `{lib}`")))?;
         if mac {
             macro_insts.push(name.clone());
         } else {
@@ -208,7 +216,10 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
                 IoError::parse(r.line_no, format!("pin `{spec}` missing `/` separator"))
             })?;
             let lib = inst_lib.get(inst).ok_or_else(|| {
-                IoError::parse(r.line_no, format!("pin references unknown instance `{inst}`"))
+                IoError::parse(
+                    r.line_no,
+                    format!("pin references unknown instance `{inst}`"),
+                )
             })?;
             let idx = pin_names[lib]
                 .iter()
@@ -323,7 +334,11 @@ pub fn write_case(design: &Design, out: &mut impl Write) -> Result<(), IoError> 
         )?;
     }
     writeln!(out, "TopDieTech {}", design.techs()[top.tech.index()].name)?;
-    writeln!(out, "BottomDieTech {}", design.techs()[bottom.tech.index()].name)?;
+    writeln!(
+        out,
+        "BottomDieTech {}",
+        design.techs()[bottom.tech.index()].name
+    )?;
     if top.site_width != 1 {
         writeln!(out, "TopDieSiteWidth {}", top.site_width)?;
     }
@@ -367,11 +382,7 @@ pub fn write_case(design: &Design, out: &mut impl Write) -> Result<(), IoError> 
 
     writeln!(out, "NumMacroPositions {}", design.num_macros())?;
     for m in design.macros() {
-        writeln!(
-            out,
-            "MacroPos {} {} {} {}",
-            m.name, m.pos.x, m.pos.y, m.die
-        )?;
+        writeln!(out, "MacroPos {} {} {} {}", m.name, m.pos.x, m.pos.y, m.die)?;
     }
     Ok(())
 }
@@ -469,8 +480,7 @@ MacroPos mc0 400 0 bottom
 
     #[test]
     fn error_on_missing_macro_position() {
-        let bad = CASE
-            .replace("NumMacroPositions 1\nMacroPos mc0 400 0 bottom\n", "");
+        let bad = CASE.replace("NumMacroPositions 1\nMacroPos mc0 400 0 bottom\n", "");
         let err = parse_case(&bad).unwrap_err();
         assert!(err.to_string().contains("MacroPos"), "{err}");
     }

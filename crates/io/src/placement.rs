@@ -40,9 +40,9 @@ pub fn parse_placement3d(design: &Design, text: &str) -> Result<Placement3d, IoE
         r.expect_keyword(&toks, "CellPos")?;
         r.expect_len(&toks, 5)?;
         let name = toks[1];
-        let cell = design.cell_by_name(name).ok_or_else(|| {
-            IoError::parse(r.line_no, format!("unknown cell `{name}`"))
-        })?;
+        let cell = design
+            .cell_by_name(name)
+            .ok_or_else(|| IoError::parse(r.line_no, format!("unknown cell `{name}`")))?;
         if std::mem::replace(&mut seen[cell.index()], true) {
             return Err(IoError::parse(
                 r.line_no,
@@ -117,9 +117,9 @@ pub fn parse_legal(design: &Design, text: &str) -> Result<LegalPlacement, IoErro
             r.expect_keyword(&toks, "Inst")?;
             r.expect_len(&toks, 4)?;
             let name = toks[1];
-            let cell = design.cell_by_name(name).ok_or_else(|| {
-                IoError::parse(r.line_no, format!("unknown cell `{name}`"))
-            })?;
+            let cell = design
+                .cell_by_name(name)
+                .ok_or_else(|| IoError::parse(r.line_no, format!("unknown cell `{name}`")))?;
             if std::mem::replace(&mut seen[cell.index()], true) {
                 return Err(IoError::parse(
                     r.line_no,

@@ -35,8 +35,12 @@ impl<'a> LineReader<'a> {
 
     /// Next line, or a parse error mentioning `expected`.
     pub fn expect_line(&mut self, expected: &str) -> Result<Vec<&'a str>, IoError> {
-        self.next_line()
-            .ok_or_else(|| IoError::parse(self.line_no + 1, format!("expected {expected}, found end of file")))
+        self.next_line().ok_or_else(|| {
+            IoError::parse(
+                self.line_no + 1,
+                format!("expected {expected}, found end of file"),
+            )
+        })
     }
 
     /// Asserts the first token of `tokens` equals `keyword`.
@@ -55,12 +59,11 @@ impl<'a> LineReader<'a> {
 
     /// Parses token `idx` of `tokens` as `T`.
     pub fn field<T: FromStr>(&self, tokens: &[&str], idx: usize, what: &str) -> Result<T, IoError> {
-        let tok = tokens.get(idx).ok_or_else(|| {
-            IoError::parse(self.line_no, format!("missing {what} (field {idx})"))
-        })?;
-        tok.parse().map_err(|_| {
-            IoError::parse(self.line_no, format!("cannot parse {what} from `{tok}`"))
-        })
+        let tok = tokens
+            .get(idx)
+            .ok_or_else(|| IoError::parse(self.line_no, format!("missing {what} (field {idx})")))?;
+        tok.parse()
+            .map_err(|_| IoError::parse(self.line_no, format!("cannot parse {what} from `{tok}`")))
     }
 
     /// Checks the line has exactly `n` tokens.

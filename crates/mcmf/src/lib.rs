@@ -219,10 +219,7 @@ impl FlowNetwork {
                 }
                 for &ai in &self.adj[u] {
                     let arc = &self.arcs[ai];
-                    if arc.cap <= 0
-                        || potential[u] == i64::MAX
-                        || potential[arc.to] == i64::MAX
-                    {
+                    if arc.cap <= 0 || potential[u] == i64::MAX || potential[arc.to] == i64::MAX {
                         continue;
                     }
                     let reduced = arc.cost + potential[u] - potential[arc.to];
@@ -490,7 +487,11 @@ mod tests {
                 }
             }
             let (bf, bc) = best.unwrap();
-            assert_eq!((r.flow, r.cost), (bf, bc), "case {c1},{c2},{k1},{k2},{demand}");
+            assert_eq!(
+                (r.flow, r.cost),
+                (bf, bc),
+                "case {c1},{c2},{k1},{k2},{demand}"
+            );
         }
     }
 

@@ -115,7 +115,12 @@ impl fmt::Display for LegalityReport {
         if self.is_legal() {
             return write!(f, "legal");
         }
-        writeln!(f, "{} violation(s){}:", self.violations.len(), if self.truncated { "+" } else { "" })?;
+        writeln!(
+            f,
+            "{} violation(s){}:",
+            self.violations.len(),
+            if self.truncated { "+" } else { "" }
+        )?;
         for v in &self.violations {
             writeln!(f, "  {v}")?;
         }
@@ -300,7 +305,10 @@ mod tests {
         let mut lp = legal_base();
         lp.place(CellId::new(0), Point::new(396, 0), DieId::BOTTOM);
         let r = check_legal(&design(), &lp);
-        assert!(matches!(r.violations()[0], Violation::OutsideSegment { .. }));
+        assert!(matches!(
+            r.violations()[0],
+            Violation::OutsideSegment { .. }
+        ));
     }
 
     #[test]
@@ -308,7 +316,10 @@ mod tests {
         let mut lp = legal_base();
         lp.place(CellId::new(0), Point::new(996, 0), DieId::BOTTOM);
         let r = check_legal(&design(), &lp);
-        assert!(matches!(r.violations()[0], Violation::OutsideSegment { .. }));
+        assert!(matches!(
+            r.violations()[0],
+            Violation::OutsideSegment { .. }
+        ));
     }
 
     #[test]
@@ -336,10 +347,14 @@ mod tests {
         lp.place(CellId::new(1), Point::new(10, 0), DieId::BOTTOM);
         lp.place(CellId::new(2), Point::new(20, 0), DieId::BOTTOM);
         let r = check_legal(&d, &lp);
-        assert!(r
-            .violations()
-            .iter()
-            .any(|v| matches!(v, Violation::Overutilized { used: 360, allowed: 240, .. })));
+        assert!(r.violations().iter().any(|v| matches!(
+            v,
+            Violation::Overutilized {
+                used: 360,
+                allowed: 240,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -156,12 +156,8 @@ mod tests {
     #[test]
     fn histogram_empty_design() {
         let d = design(0);
-        let h = DisplacementHistogram::collect(
-            &d,
-            &Placement3d::new(0),
-            &LegalPlacement::new(0),
-            3,
-        );
+        let h =
+            DisplacementHistogram::collect(&d, &Placement3d::new(0), &LegalPlacement::new(0), 3);
         assert_eq!(h.total(), 0);
         assert_eq!(h.fraction_below(1), 1.0);
     }
@@ -188,12 +184,8 @@ mod tests {
     #[should_panic(expected = "bucket")]
     fn zero_buckets_panics() {
         let d = design(1);
-        let _ = DisplacementHistogram::collect(
-            &d,
-            &Placement3d::new(1),
-            &LegalPlacement::new(1),
-            0,
-        );
+        let _ =
+            DisplacementHistogram::collect(&d, &Placement3d::new(1), &LegalPlacement::new(1), 0);
     }
 
     #[test]

@@ -97,12 +97,20 @@ mod tests {
         DesignBuilder::new("t")
             .technology(
                 TechnologySpec::new("TA")
-                    .lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 6).pin("Y", 9, 6))
+                    .lib_cell(
+                        LibCellSpec::std_cell("INV", 10, 12)
+                            .pin("A", 0, 6)
+                            .pin("Y", 9, 6),
+                    )
                     .lib_cell(LibCellSpec::macro_cell("RAM", 100, 24).pin("D", 50, 12)),
             )
             .technology(
                 TechnologySpec::new("TB")
-                    .lib_cell(LibCellSpec::std_cell("INV", 6, 12).pin("A", 0, 2).pin("Y", 5, 2))
+                    .lib_cell(
+                        LibCellSpec::std_cell("INV", 6, 12)
+                            .pin("A", 0, 2)
+                            .pin("Y", 5, 2),
+                    )
                     .lib_cell(LibCellSpec::macro_cell("RAM", 100, 24).pin("D", 50, 12)),
             )
             .die(DieSpec::new("bottom", "TA", (0, 0, 1000, 120), 12, 1, 1.0))
@@ -122,8 +130,8 @@ mod tests {
         let mut lp = LegalPlacement::new(2);
         lp.place(CellId::new(0), Point::new(0, 0), DieId::BOTTOM); // Y pin at (9, 6)
         lp.place(CellId::new(1), Point::new(100, 12), DieId::BOTTOM); // A at (100, 18), Y at (109, 18)
-        // n1: (9,6)-(100,18): 91 + 12 = 103
-        // n2: (109,18)-(550,12): 441 + 6 = 447
+                                                                      // n1: (9,6)-(100,18): 91 + 12 = 103
+                                                                      // n2: (109,18)-(550,12): 441 + 6 = 447
         assert!((hpwl_legal(&d, &lp) - (103.0 + 447.0)).abs() < 1e-9);
     }
 
@@ -157,7 +165,10 @@ mod tests {
     #[test]
     fn single_pin_net_contributes_zero() {
         let d = DesignBuilder::new("t")
-            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 0)))
+            .technology(
+                TechnologySpec::new("T")
+                    .lib_cell(LibCellSpec::std_cell("INV", 10, 12).pin("A", 0, 0)),
+            )
             .die(DieSpec::new("bottom", "T", (0, 0, 100, 24), 12, 1, 1.0))
             .cell("u1", "INV")
             .net("n1", &[("u1", 0)])

@@ -1,0 +1,190 @@
+//! The counter registry: named monotonic `u64` event counters.
+
+use std::fmt;
+
+/// Well-known counter names used by the legalization pipeline.
+///
+/// Using shared constants keeps producer (core) and consumer (reports,
+/// tests) spellings in sync; the registry itself accepts any name.
+pub mod keys {
+    /// Search-tree nodes expanded by the best-first search (Alg. 1).
+    pub const NODES_EXPANDED: &str = "nodes_expanded";
+    /// Search-tree nodes created (pushed to the frontier).
+    pub const NODES_CREATED: &str = "nodes_created";
+    /// Branches pruned by the cost bound `(1 + α)·c_min`.
+    pub const BRANCHES_PRUNED: &str = "branches_pruned";
+    /// Augmenting paths found and realized.
+    pub const AUGMENTING_PATHS: &str = "augmenting_paths";
+    /// Bounded-search retries after a no-path round (limit halving, then
+    /// the relaxed full search).
+    pub const SEARCH_RETRIES: &str = "search_retries";
+    /// Whole cells moved while realizing augmenting paths.
+    pub const CELLS_MOVED: &str = "cells_moved";
+    /// Abacus `PlaceRow` invocations during final row legalization.
+    pub const PLACEROW_CALLS: &str = "placerow_calls";
+    /// Cycle-canceling post-optimization passes that re-ran legalization.
+    pub const CYCLE_RELEGALIZATIONS: &str = "cycle_relegalizations";
+    /// Cells teleported by the last-resort fallback when no augmenting
+    /// path exists.
+    pub const FALLBACK_MOVES: &str = "fallback_moves";
+}
+
+/// An insertion-ordered set of named monotonic counters.
+///
+/// Lookup is a linear scan: the pipeline registers on the order of ten
+/// counters, far below the crossover where a map wins, and insertion
+/// order makes reports deterministic and readable.
+///
+/// ```
+/// use flow3d_obs::CounterSet;
+///
+/// let mut c = CounterSet::new();
+/// c.bump("nodes_expanded", 3);
+/// c.bump("nodes_expanded", 2);
+/// assert_eq!(c.get("nodes_expanded"), 5);
+/// assert_eq!(c.get("never_touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    entries: Vec<(String, u64)>,
+}
+
+impl CounterSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero first if it
+    /// has never been touched.
+    pub fn bump(&mut self, name: &str, by: u64) {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(k, _)| k == name) {
+            *v += by;
+        } else {
+            self.entries.push((name.to_string(), by));
+        }
+    }
+
+    /// The current value of `name`; untouched counters read as zero.
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Merging is associative and commutative up to entry order, so
+    /// per-shard counter sets can be combined in any grouping — see the
+    /// unit tests.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, value) in &other.entries {
+            self.bump(name, *value);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters touched.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for CounterSet {
+    /// One `name = value` line per counter.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.iter() {
+            writeln!(f, "{name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(&str, u64)]) -> CounterSet {
+        let mut c = CounterSet::new();
+        for &(k, v) in pairs {
+            c.bump(k, v);
+        }
+        c
+    }
+
+    /// Value-equality that ignores entry order, for merge laws.
+    fn same_values(a: &CounterSet, b: &CounterSet) -> bool {
+        a.len() == b.len() && a.iter().all(|(k, v)| b.get(k) == v)
+    }
+
+    #[test]
+    fn bump_accumulates_and_get_defaults_to_zero() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.get("x"), 0);
+        c.bump("x", 1);
+        c.bump("y", 10);
+        c.bump("x", 2);
+        assert_eq!(c.get("x"), 3);
+        assert_eq!(c.get("y"), 10);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_first_touch_ordered() {
+        let c = set(&[("b", 1), ("a", 2), ("b", 3)]);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = set(&[("x", 1), ("y", 2)]);
+        let b = set(&[("y", 10), ("z", 5)]);
+        let c = set(&[("x", 100), ("z", 50)]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert!(same_values(&left, &right));
+        assert_eq!(left.get("x"), 101);
+        assert_eq!(left.get("y"), 12);
+        assert_eq!(left.get("z"), 55);
+    }
+
+    #[test]
+    fn merge_is_commutative_up_to_order() {
+        let a = set(&[("x", 1), ("y", 2)]);
+        let b = set(&[("y", 10), ("z", 5)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert!(same_values(&ab, &ba));
+    }
+
+    #[test]
+    fn merge_identity_is_empty() {
+        let a = set(&[("x", 7)]);
+        let mut merged = a.clone();
+        merged.merge(&CounterSet::new());
+        assert_eq!(merged, a);
+    }
+}

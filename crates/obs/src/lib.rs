@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Observability for the 3D-Flow legalization pipeline: hierarchical
+//! phase timers, named event counters, and serializable run reports.
+//!
+//! This crate is intentionally dependency-free (std only). It provides
+//! three layers:
+//!
+//! * [`Profile`] / [`Span`] — nestable wall-clock phase scopes with
+//!   per-phase call counts, plus a [`CounterSet`] of named monotonic
+//!   counters (see [`keys`] for the pipeline's well-known names).
+//! * [`Obs`] / [`ObsExt`] — the `Option<&mut Profile>` hook type that
+//!   instrumented code threads through its call graph. A `None` hook
+//!   reduces every instrumentation point to a single branch, so the
+//!   uninstrumented path stays effectively free.
+//! * [`RunReport`] — a snapshot of a finished profile plus optional
+//!   [`Quality`] metrics, serializable to JSON ([`RunReport::to_json`],
+//!   inverted by [`RunReport::from_json`]) and to an aligned text table
+//!   ([`RunReport::to_pretty`]). The JSON machinery ([`Json`]) is
+//!   hand-rolled and public for reuse.
+//!
+//! # Example
+//!
+//! ```
+//! use flow3d_obs::{keys, Profile, RunReport};
+//!
+//! let mut profile = Profile::new();
+//! profile.begin("legalize");
+//! profile.begin("flow_pass");
+//! profile.bump(keys::AUGMENTING_PATHS, 17);
+//! profile.end("flow_pass");
+//! profile.end("legalize");
+//!
+//! let report = RunReport::from_profile("toy", "flow3d", &profile);
+//! let json = report.to_json();
+//! let back = RunReport::from_json(&json).unwrap();
+//! assert_eq!(back.counters, vec![("augmenting_paths".to_string(), 17)]);
+//! assert_eq!(back.phases[1].path, "legalize/flow_pass");
+//! ```
+
+mod counters;
+mod json;
+mod profile;
+mod report;
+
+pub use counters::{keys, CounterSet};
+pub use json::{Json, JsonError};
+pub use profile::{Obs, ObsExt, PhaseStats, Profile, Span};
+pub use report::{PhaseReport, Quality, RunReport};

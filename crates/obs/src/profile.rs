@@ -1,0 +1,358 @@
+//! Hierarchical phase timing: [`Profile`] accumulates per-phase wall
+//! time and call counts; [`Span`] is the RAII variant of a phase scope.
+
+use crate::counters::CounterSet;
+use std::time::{Duration, Instant};
+
+/// Accumulated statistics for one phase path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Total wall time spent inside the phase, summed over calls.
+    pub total: Duration,
+    /// How many times the phase was entered.
+    pub calls: u64,
+}
+
+/// A hierarchical wall-clock profile plus a [`CounterSet`].
+///
+/// Phases nest: entering `"flow_pass"` while `"legalize"` is open
+/// records time under the path `"legalize/flow_pass"`. Each distinct
+/// path accumulates a total duration and a call count, in first-entry
+/// order.
+///
+/// Instrumented code receives a `Profile` as `Option<&mut Profile>` (see
+/// [`Obs`](crate::Obs) and [`ObsExt`]); passing `None` skips all
+/// bookkeeping, so the uninstrumented path costs one branch per hook.
+///
+/// ```
+/// use flow3d_obs::Profile;
+///
+/// let mut p = Profile::new();
+/// p.begin("legalize");
+/// p.begin("flow_pass");
+/// p.bump("augmenting_paths", 2);
+/// p.end("flow_pass");
+/// p.end("legalize");
+///
+/// let paths: Vec<&str> = p.phases().map(|(path, _)| path).collect();
+/// assert_eq!(paths, ["legalize", "legalize/flow_pass"]);
+/// assert_eq!(p.counters().get("augmenting_paths"), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Profile {
+    created: Instant,
+    /// Open scopes, innermost last.
+    stack: Vec<(String, Instant)>,
+    /// Accumulated stats per phase path, in first-entry order.
+    phases: Vec<(String, PhaseStats)>,
+    counters: CounterSet,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profile {
+    /// An empty profile; total elapsed time is measured from this call.
+    pub fn new() -> Self {
+        Self {
+            created: Instant::now(),
+            stack: Vec::new(),
+            phases: Vec::new(),
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// Opens a phase scope. Must be balanced by [`end`](Self::end) with
+    /// the same name.
+    pub fn begin(&mut self, name: &str) {
+        // Register the path now so that phases list in first-entry order
+        // (a parent before the children nested inside it), not in the
+        // order their scopes happen to close.
+        let path = self.path_for(name);
+        if !self.phases.iter().any(|(p, _)| *p == path) {
+            self.phases.push((path, PhaseStats::default()));
+        }
+        self.stack.push((name.to_string(), Instant::now()));
+    }
+
+    /// The full path `name` would have if entered now.
+    fn path_for(&self, name: &str) -> String {
+        let mut path = String::new();
+        for (ancestor, _) in &self.stack {
+            path.push_str(ancestor);
+            path.push('/');
+        }
+        path.push_str(name);
+        path
+    }
+
+    /// Closes the innermost phase scope and accumulates its elapsed
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open or if `name` does not match the
+    /// innermost open scope — a begin/end mismatch is a programming
+    /// error that would silently misattribute time.
+    pub fn end(&mut self, name: &str) {
+        let (open, started) = self
+            .stack
+            .pop()
+            .unwrap_or_else(|| panic!("Profile::end(\"{name}\") with no open phase"));
+        assert_eq!(
+            open, name,
+            "Profile::end(\"{name}\") does not match open phase \"{open}\""
+        );
+        let elapsed = started.elapsed();
+        let path = self.path_for(name);
+        let (_, stats) = self
+            .phases
+            .iter_mut()
+            .find(|(p, _)| *p == path)
+            .expect("begin registered the path");
+        stats.total += elapsed;
+        stats.calls += 1;
+    }
+
+    /// Opens a phase as an RAII guard that closes itself on drop.
+    ///
+    /// The guard dereferences to the profile, so counters can be bumped
+    /// and further spans nested while it is alive.
+    pub fn span<'a>(&'a mut self, name: &str) -> Span<'a> {
+        self.begin(name);
+        Span {
+            name: name.to_string(),
+            profile: self,
+        }
+    }
+
+    /// Adds `by` to the named counter (see [`CounterSet::bump`]).
+    pub fn bump(&mut self, counter: &str, by: u64) {
+        self.counters.bump(counter, by);
+    }
+
+    /// Closed-phase statistics as `(path, stats)`, in first-entry order
+    /// (a parent phase lists before the children nested inside it).
+    /// Scopes that have never closed are not included.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, PhaseStats)> {
+        self.phases
+            .iter()
+            .filter(|(_, s)| s.calls > 0)
+            .map(|(p, s)| (p.as_str(), *s))
+    }
+
+    /// Stats for one exact phase path, if it has closed at least once.
+    pub fn phase(&self, path: &str) -> Option<PhaseStats> {
+        self.phases
+            .iter()
+            .find(|(p, s)| p == path && s.calls > 0)
+            .map(|(_, s)| *s)
+    }
+
+    /// The counter registry.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Mutable access to the counter registry (e.g. to
+    /// [`merge`](CounterSet::merge) counters collected elsewhere).
+    pub fn counters_mut(&mut self) -> &mut CounterSet {
+        &mut self.counters
+    }
+
+    /// Wall time since the profile was created.
+    pub fn total_elapsed(&self) -> Duration {
+        self.created.elapsed()
+    }
+}
+
+/// An open phase scope that records its elapsed time when dropped.
+/// Created by [`Profile::span`].
+pub struct Span<'a> {
+    profile: &'a mut Profile,
+    name: String,
+}
+
+impl std::ops::Deref for Span<'_> {
+    type Target = Profile;
+    fn deref(&self) -> &Profile {
+        self.profile
+    }
+}
+
+impl std::ops::DerefMut for Span<'_> {
+    fn deref_mut(&mut self) -> &mut Profile {
+        self.profile
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.profile.end(&self.name);
+    }
+}
+
+/// The hook type threaded through instrumentable code: `None` disables
+/// all bookkeeping.
+pub type Obs<'a> = Option<&'a mut Profile>;
+
+/// Convenience methods on [`Obs`] hooks that no-op when the hook is
+/// `None`, so instrumented code reads the same either way:
+///
+/// ```
+/// use flow3d_obs::{Obs, ObsExt, Profile};
+///
+/// fn work(mut obs: Obs<'_>) {
+///     obs.begin("inner");
+///     obs.bump("widgets", 1);
+///     obs.end("inner");
+/// }
+///
+/// work(None); // all hooks skipped
+///
+/// let mut p = Profile::new();
+/// work(Some(&mut p));
+/// assert_eq!(p.counters().get("widgets"), 1);
+/// assert_eq!(p.phase("inner").unwrap().calls, 1);
+/// ```
+pub trait ObsExt {
+    /// [`Profile::begin`] if observing, else nothing.
+    fn begin(&mut self, name: &str);
+    /// [`Profile::end`] if observing, else nothing.
+    fn end(&mut self, name: &str);
+    /// [`Profile::bump`] if observing, else nothing.
+    fn bump(&mut self, counter: &str, by: u64);
+    /// Reborrows the hook for passing down to a callee while keeping it
+    /// usable afterwards.
+    fn reborrow(&mut self) -> Obs<'_>;
+}
+
+impl ObsExt for Obs<'_> {
+    fn begin(&mut self, name: &str) {
+        if let Some(p) = self {
+            p.begin(name);
+        }
+    }
+
+    fn end(&mut self, name: &str) {
+        if let Some(p) = self {
+            p.end(name);
+        }
+    }
+
+    fn bump(&mut self, counter: &str, by: u64) {
+        if let Some(p) = self {
+            p.bump(counter, by);
+        }
+    }
+
+    fn reborrow(&mut self) -> Obs<'_> {
+        self.as_deref_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(duration: Duration) {
+        let start = Instant::now();
+        while start.elapsed() < duration {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nested_spans_are_monotonic() {
+        // A child phase can never account for more time than the parent
+        // scope that contains it, and the parent can never exceed the
+        // profile's total elapsed time.
+        let mut p = Profile::new();
+        p.begin("parent");
+        p.begin("child");
+        spin(Duration::from_millis(2));
+        p.end("child");
+        spin(Duration::from_millis(1));
+        p.end("parent");
+
+        let parent = p.phase("parent").unwrap();
+        let child = p.phase("parent/child").unwrap();
+        assert!(child.total <= parent.total, "{child:?} > {parent:?}");
+        assert!(parent.total <= p.total_elapsed());
+        assert_eq!(parent.calls, 1);
+        assert_eq!(child.calls, 1);
+    }
+
+    #[test]
+    fn repeated_phases_accumulate_calls_and_time() {
+        let mut p = Profile::new();
+        for _ in 0..3 {
+            p.begin("loop");
+            spin(Duration::from_millis(1));
+            p.end("loop");
+        }
+        let stats = p.phase("loop").unwrap();
+        assert_eq!(stats.calls, 3);
+        assert!(stats.total >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn same_name_at_different_depths_is_two_paths() {
+        let mut p = Profile::new();
+        p.begin("a");
+        p.begin("a");
+        p.end("a");
+        p.end("a");
+        assert_eq!(p.phase("a").unwrap().calls, 1);
+        assert_eq!(p.phase("a/a").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop_and_allows_nesting() {
+        let mut p = Profile::new();
+        {
+            let mut outer = p.span("outer");
+            outer.bump("k", 1);
+            {
+                let _inner = outer.span("inner");
+            }
+        }
+        assert!(p.phase("outer").is_some());
+        assert!(p.phase("outer/inner").is_some());
+        assert_eq!(p.counters().get("k"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match open phase")]
+    fn mismatched_end_panics() {
+        let mut p = Profile::new();
+        p.begin("a");
+        p.end("b");
+    }
+
+    #[test]
+    fn none_hook_is_inert() {
+        let mut obs: Obs<'_> = None;
+        obs.begin("x");
+        obs.bump("c", 5);
+        obs.end("x");
+        // Nothing to assert beyond "did not panic": there is no profile.
+    }
+
+    #[test]
+    fn reborrow_allows_sequential_callees() {
+        fn callee(mut obs: Obs<'_>, name: &str) {
+            obs.begin(name);
+            obs.end(name);
+        }
+        let mut p = Profile::new();
+        let mut obs: Obs<'_> = Some(&mut p);
+        callee(obs.reborrow(), "first");
+        callee(obs.reborrow(), "second");
+        assert!(p.phase("first").is_some());
+        assert!(p.phase("second").is_some());
+    }
+}

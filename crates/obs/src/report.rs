@@ -1,0 +1,359 @@
+//! [`RunReport`]: the serializable summary of one instrumented run —
+//! phase timings, counters, and solution-quality metrics.
+
+use crate::json::{Json, JsonError};
+use crate::profile::Profile;
+use std::fmt::Write as _;
+
+/// Timing of one phase path within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Slash-separated phase path, e.g. `"legalize/flow_pass"`.
+    pub path: String,
+    /// Total wall time in seconds, summed over calls.
+    pub seconds: f64,
+    /// How many times the phase was entered.
+    pub calls: u64,
+}
+
+/// Solution-quality metrics attached to a run (the paper's Table III/IV
+/// columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quality {
+    /// Mean cell displacement between global and legalized placement, in
+    /// database units.
+    pub avg_disp: f64,
+    /// Maximum cell displacement, in database units.
+    pub max_disp: f64,
+    /// HPWL degradation of the legalized placement relative to the
+    /// global placement, in percent.
+    pub dhpwl_pct: f64,
+}
+
+/// A complete run summary, serializable to JSON and to an aligned text
+/// table.
+///
+/// Build one from a finished [`Profile`] with
+/// [`from_profile`](RunReport::from_profile), optionally attach
+/// [`Quality`], then emit with [`to_json`](RunReport::to_json) or
+/// [`to_pretty`](RunReport::to_pretty). [`from_json`](RunReport::from_json)
+/// inverts `to_json` exactly (up to float round-tripping, which Rust's
+/// shortest-repr formatting makes lossless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Benchmark case name, e.g. `"iccad2022_case2"`.
+    pub case: String,
+    /// Legalizer name, e.g. `"flow3d"`.
+    pub legalizer: String,
+    /// Wall time of the whole run in seconds (phase times are nested
+    /// inside this).
+    pub total_seconds: f64,
+    /// Per-phase timings, in first-entry order.
+    pub phases: Vec<PhaseReport>,
+    /// Counter values, in first-touch order.
+    pub counters: Vec<(String, u64)>,
+    /// Quality metrics, when the caller computed them.
+    pub quality: Option<Quality>,
+}
+
+impl RunReport {
+    /// Snapshots a profile into a report.
+    pub fn from_profile(case: &str, legalizer: &str, profile: &Profile) -> Self {
+        Self {
+            case: case.to_string(),
+            legalizer: legalizer.to_string(),
+            total_seconds: profile.total_elapsed().as_secs_f64(),
+            phases: profile
+                .phases()
+                .map(|(path, stats)| PhaseReport {
+                    path: path.to_string(),
+                    seconds: stats.total.as_secs_f64(),
+                    calls: stats.calls,
+                })
+                .collect(),
+            counters: profile
+                .counters()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            quality: None,
+        }
+    }
+
+    /// Attaches quality metrics (builder style).
+    pub fn with_quality(mut self, quality: Quality) -> Self {
+        self.quality = Some(quality);
+        self
+    }
+
+    /// Serializes to a compact JSON document.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("case".to_string(), Json::Str(self.case.clone())),
+            ("legalizer".to_string(), Json::Str(self.legalizer.clone())),
+            ("total_seconds".to_string(), Json::num(self.total_seconds)),
+            (
+                "phases".to_string(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("path".to_string(), Json::Str(p.path.clone())),
+                                ("seconds".to_string(), Json::num(p.seconds)),
+                                ("calls".to_string(), Json::Num(p.calls as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(q) = &self.quality {
+            fields.push((
+                "quality".to_string(),
+                Json::Obj(vec![
+                    ("avg_disp".to_string(), Json::num(q.avg_disp)),
+                    ("max_disp".to_string(), Json::num(q.max_disp)),
+                    ("dhpwl_pct".to_string(), Json::num(q.dhpwl_pct)),
+                ]),
+            ));
+        }
+        Json::Obj(fields).to_string()
+    }
+
+    /// Parses a report previously produced by [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(text)?;
+        let missing = |field: &str| JsonError {
+            message: format!("missing or ill-typed field '{field}'"),
+            offset: 0,
+        };
+        let case = doc
+            .get("case")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("case"))?
+            .to_string();
+        let legalizer = doc
+            .get("legalizer")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("legalizer"))?
+            .to_string();
+        let total_seconds = doc
+            .get("total_seconds")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| missing("total_seconds"))?;
+        let mut phases = Vec::new();
+        for p in doc
+            .get("phases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("phases"))?
+        {
+            phases.push(PhaseReport {
+                path: p
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("phases[].path"))?
+                    .to_string(),
+                seconds: p
+                    .get("seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("phases[].seconds"))?,
+                calls: p
+                    .get("calls")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("phases[].calls"))?,
+            });
+        }
+        let mut counters = Vec::new();
+        match doc.get("counters") {
+            Some(Json::Obj(pairs)) => {
+                for (k, v) in pairs {
+                    counters.push((
+                        k.clone(),
+                        v.as_u64().ok_or_else(|| missing("counters values"))?,
+                    ));
+                }
+            }
+            _ => return Err(missing("counters")),
+        }
+        let quality = match doc.get("quality") {
+            None => None,
+            Some(q) => Some(Quality {
+                avg_disp: q
+                    .get("avg_disp")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("quality.avg_disp"))?,
+                max_disp: q
+                    .get("max_disp")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("quality.max_disp"))?,
+                dhpwl_pct: q
+                    .get("dhpwl_pct")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("quality.dhpwl_pct"))?,
+            }),
+        };
+        Ok(Self {
+            case,
+            legalizer,
+            total_seconds,
+            phases,
+            counters,
+            quality,
+        })
+    }
+
+    /// Renders an aligned, human-readable text table.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run report: {} ({})", self.case, self.legalizer);
+        let _ = writeln!(out, "total: {:.3} s", self.total_seconds);
+        if !self.phases.is_empty() {
+            let width = self
+                .phases
+                .iter()
+                .map(|p| p.path.len())
+                .max()
+                .unwrap_or(0)
+                .max("phase".len());
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>10}  {:>6}  {:>7}",
+                "phase", "time", "%", "calls"
+            );
+            for p in &self.phases {
+                let pct = if self.total_seconds > 0.0 {
+                    100.0 * p.seconds / self.total_seconds
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<width$}  {:>8.3} s  {:>6.1}  {:>7}",
+                    p.path, p.seconds, pct, p.calls
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let width = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            let _ = writeln!(out);
+            let _ = writeln!(out, "counters");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<width$} = {v}");
+            }
+        }
+        if let Some(q) = &self.quality {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "quality");
+            let _ = writeln!(out, "  avg displacement = {:.3}", q.avg_disp);
+            let _ = writeln!(out, "  max displacement = {:.3}", q.max_disp);
+            let _ = writeln!(out, "  dHPWL            = {:.3} %", q.dhpwl_pct);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            case: "iccad2022_case2".to_string(),
+            legalizer: "flow3d".to_string(),
+            total_seconds: 1.5,
+            phases: vec![
+                PhaseReport {
+                    path: "legalize".to_string(),
+                    seconds: 1.25,
+                    calls: 1,
+                },
+                PhaseReport {
+                    path: "legalize/flow_pass".to_string(),
+                    seconds: 0.75,
+                    calls: 3,
+                },
+            ],
+            counters: vec![
+                ("nodes_expanded".to_string(), 12345),
+                ("cells_moved".to_string(), 678),
+            ],
+            quality: Some(Quality {
+                avg_disp: 1.25,
+                max_disp: 10.0,
+                dhpwl_pct: 0.52,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_round_trips_without_quality() {
+        let report = RunReport {
+            quality: None,
+            ..sample()
+        };
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_profile_snapshots_phases_and_counters() {
+        let mut p = Profile::new();
+        p.begin("a");
+        p.begin("b");
+        p.bump("k", 3);
+        p.end("b");
+        p.end("a");
+        let report = RunReport::from_profile("case", "lg", &p);
+        assert_eq!(report.case, "case");
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].path, "a");
+        assert_eq!(report.phases[1].path, "a/b");
+        assert_eq!(report.counters, vec![("k".to_string(), 3)]);
+        assert!(report.total_seconds >= report.phases[0].seconds);
+    }
+
+    #[test]
+    fn pretty_output_mentions_everything() {
+        let text = sample().to_pretty();
+        for needle in [
+            "iccad2022_case2",
+            "flow3d",
+            "legalize/flow_pass",
+            "nodes_expanded",
+            "12345",
+            "dHPWL",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+        assert!(RunReport::from_json(r#"{"case": 3}"#).is_err());
+    }
+}

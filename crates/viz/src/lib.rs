@@ -19,7 +19,9 @@ const COLORS: [&str; 6] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Grouped bar chart (Fig. 7: ΔHPWL% per benchmark per legalizer).
@@ -288,7 +290,11 @@ mod tests {
         let mut legal = LegalPlacement::new(n);
         // Synthetic legal-ish positions: row 0, spaced; half per die.
         for i in 0..n {
-            let die = if i % 2 == 0 { DieId::BOTTOM } else { DieId::TOP };
+            let die = if i % 2 == 0 {
+                DieId::BOTTOM
+            } else {
+                DieId::TOP
+            };
             legal.place(CellId::new(i), Point::new((i as i64 * 7) % 500, 0), die);
         }
         let svg = DisplacementPlot::new(d, &case.natural, &legal, DieId::BOTTOM).to_svg();
@@ -301,7 +307,7 @@ mod tests {
 }
 
 /// Displacement-distribution chart: one column per row-height bucket
-/// (the data of [`flow3d-metrics`]'s `DisplacementHistogram`), rendered
+/// (the data of `flow3d-metrics`'s `DisplacementHistogram`), rendered
 /// with the same styling as [`BarChart`].
 ///
 /// # Examples

@@ -20,13 +20,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut builder = DesignBuilder::new("hetero-demo")
         .technology(
             TechnologySpec::new("N5")
-                .lib_cell(LibCellSpec::std_cell("INV", 8, 8).pin("A", 0, 4).pin("Y", 7, 4))
-                .lib_cell(LibCellSpec::std_cell("DFF", 24, 8).pin("D", 0, 4).pin("Q", 23, 4)),
+                .lib_cell(
+                    LibCellSpec::std_cell("INV", 8, 8)
+                        .pin("A", 0, 4)
+                        .pin("Y", 7, 4),
+                )
+                .lib_cell(
+                    LibCellSpec::std_cell("DFF", 24, 8)
+                        .pin("D", 0, 4)
+                        .pin("Q", 23, 4),
+                ),
         )
         .technology(
             TechnologySpec::new("N16")
-                .lib_cell(LibCellSpec::std_cell("INV", 12, 12).pin("A", 0, 6).pin("Y", 11, 6))
-                .lib_cell(LibCellSpec::std_cell("DFF", 36, 12).pin("D", 0, 6).pin("Q", 35, 6)),
+                .lib_cell(
+                    LibCellSpec::std_cell("INV", 12, 12)
+                        .pin("A", 0, 6)
+                        .pin("Y", 11, 6),
+                )
+                .lib_cell(
+                    LibCellSpec::std_cell("DFF", 36, 12)
+                        .pin("D", 0, 6)
+                        .pin("Q", 35, 6),
+                ),
         )
         .die(DieSpec::new("bottom", "N5", (0, 0, 400, 64), 8, 1, 0.85))
         .die(DieSpec::new("top", "N16", (0, 0, 400, 60), 12, 1, 0.85));

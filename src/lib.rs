@@ -15,6 +15,7 @@
 //!   contest statistics.
 //! * [`gp`] — an analytical 3D global-placement substrate.
 //! * [`metrics`] — displacement/HPWL metrics and the legality checker.
+//! * [`obs`] — observability: phase timers, counters, JSON run reports.
 //! * [`core`] — the 3D-Flow legalizer itself.
 //! * [`baselines`] — Tetris, Abacus, and BonnPlaceLegal-style reference
 //!   legalizers.
@@ -48,6 +49,7 @@ pub use flow3d_gp as gp;
 pub use flow3d_io as io;
 pub use flow3d_mcmf as mcmf;
 pub use flow3d_metrics as metrics;
+pub use flow3d_obs as obs;
 pub use flow3d_viz as viz;
 
 /// Convenience re-exports of the types most programs need.
@@ -60,4 +62,5 @@ pub mod prelude {
     pub use flow3d_gen::GeneratorConfig;
     pub use flow3d_gp::{GlobalPlacer, GpConfig};
     pub use flow3d_metrics::{check_legal, displacement_stats, hpwl};
+    pub use flow3d_obs::{Profile, RunReport};
 }

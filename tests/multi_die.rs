@@ -4,9 +4,7 @@
 //! the die partition / utilization accounting are per-die vectors. This
 //! test exercises a three-die monolithic-style stack end to end.
 
-use flow3d::db::{
-    CellId, DesignBuilder, DieId, DieSpec, LibCellSpec, Placement3d, TechnologySpec,
-};
+use flow3d::db::{CellId, DesignBuilder, DieId, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
 use flow3d::prelude::*;
 use flow3d_geom::FPoint;
 
@@ -46,7 +44,10 @@ fn three_die_stack_legalizes_with_cross_tier_moves() {
     for i in 0..n {
         per_tier[outcome.placement.die(CellId::new(i)).index()] += 1;
     }
-    assert!(per_tier.iter().filter(|&&k| k > 0).count() >= 2, "{per_tier:?}");
+    assert!(
+        per_tier.iter().filter(|&&k| k > 0).count() >= 2,
+        "{per_tier:?}"
+    );
 
     // Widths follow the tier technology.
     for i in 0..n {

@@ -80,8 +80,7 @@ fn hetero_row_heights_case() {
 fn pipeline_is_deterministic_end_to_end() {
     let run = |seed: u64| {
         let case = GeneratorConfig::small_demo(seed).generate().unwrap();
-        let global =
-            GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
+        let global = GlobalPlacer::new(GpConfig::default()).place_from(&case.design, &case.natural);
         Flow3dLegalizer::default()
             .legalize(&case.design, &global)
             .unwrap()

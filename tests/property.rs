@@ -14,10 +14,7 @@ fn arb_instance() -> impl Strategy<Value = (Vec<i64>, Vec<(f64, f64, f64)>)> {
     (1usize..40).prop_flat_map(|n| {
         (
             proptest::collection::vec(1i64..=5, n),
-            proptest::collection::vec(
-                (-50.0f64..450.0, -20.0f64..60.0, 0.0f64..1.0),
-                n,
-            ),
+            proptest::collection::vec((-50.0f64..450.0, -20.0f64..60.0, 0.0f64..1.0), n),
         )
     })
 }

@@ -1,0 +1,238 @@
+#![warn(missing_docs)]
+//! Vendored, dependency-free stand-in for the subset of the [`criterion`]
+//! crate that this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the workspace cannot
+//! fetch the real `criterion`. This crate provides the same API surface —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple wall-clock harness: each benchmark is warmed up once, timed for
+//! a fixed number of samples, and reported as median/min/max time per
+//! iteration on stdout.
+//!
+//! No statistical analysis, no HTML reports, no comparison to saved
+//! baselines — just honest relative numbers good enough for "is the
+//! instrumented build within noise of the uninstrumented one".
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier, optionally combining a function name with a
+/// parameter value (`BenchmarkId::new`) or just a parameter
+/// (`BenchmarkId::from_parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id labeled by the parameter alone (the group name supplies the
+    /// function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then `sample_count`
+    /// timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} no samples");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<40} median {median:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({} samples)",
+        samples.len()
+    );
+}
+
+fn run_one(name: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut bencher);
+    report(name, &mut bencher.samples);
+}
+
+/// A named set of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in this group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is
+    /// per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let samples = self.default_sample_size.max(1);
+        run_one(name, samples, f);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::__new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!` (the benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal constructor used by [`criterion_group!`]; not part of the
+    /// mirrored API.
+    #[doc(hidden)]
+    pub fn __new() -> Self {
+        Self::new()
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working (the std version).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::__new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &5usize, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::__new();
+        let mut calls = 0usize;
+        c.bench_function("standalone", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("abc").to_string(), "abc");
+    }
+}

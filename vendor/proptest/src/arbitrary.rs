@@ -1,0 +1,81 @@
+//! [`any`] and the [`Arbitrary`] trait for unconstrained primitive
+//! generation.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one unrestricted value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[-1e9, 1e9)` — the real crate generates special values
+    /// too, but the workspace only uses `any::<f64>()`-style draws for
+    /// ordinary arithmetic.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// The full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_i64_spans_signs() {
+        let mut rng = TestRng::deterministic();
+        let s = any::<i64>();
+        let values: Vec<i64> = (0..100).map(|_| s.new_value(&mut rng)).collect();
+        assert!(values.iter().any(|&v| v < 0));
+        assert!(values.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::deterministic();
+        let s = any::<bool>();
+        let values: Vec<bool> = (0..64).map(|_| s.new_value(&mut rng)).collect();
+        assert!(values.contains(&true) && values.contains(&false));
+    }
+}

@@ -1,0 +1,114 @@
+//! Collection strategies: [`vec()`] with flexible size specifications.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive-exclusive length range accepted by [`vec()`]. Convertible
+/// from an exact `usize`, a `lo..hi` range, and a `lo..=hi` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and
+/// whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::deterministic();
+        let s = vec(0i64..5, 7usize);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn range_sizes_stay_in_range() {
+        let mut rng = TestRng::deterministic();
+        let s = vec(0i64..5, 2..6);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn inclusive_sizes_reach_upper_bound() {
+        let mut rng = TestRng::deterministic();
+        let s = vec(0i64..5, 0..=2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.new_value(&mut rng).len()] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn elements_come_from_element_strategy() {
+        let mut rng = TestRng::deterministic();
+        let s = vec(10i64..20, 1..30);
+        for _ in 0..50 {
+            assert!(s.new_value(&mut rng).iter().all(|v| (10..20).contains(v)));
+        }
+    }
+}

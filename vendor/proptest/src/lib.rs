@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+//! Vendored, dependency-free stand-in for the subset of the [`proptest`]
+//! crate that this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace cannot
+//! fetch the real `proptest`. This crate re-implements the pieces the
+//! test suites rely on with the same names and macro syntax:
+//!
+//! * the [`strategy::Strategy`] trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map), implemented for integer
+//!   and float ranges and tuples of strategies;
+//! * [`collection::vec`] with exact, half-open, and inclusive size
+//!   ranges;
+//! * [`arbitrary::any`] for the primitive types the tests draw from;
+//! * the [`proptest!`] macro (block form with an optional
+//!   `#![proptest_config(..)]` attribute, and the
+//!   `proptest!(config, |(pat in strategy)| { .. })` closure form) plus
+//!   [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! Differences from the real crate: inputs are generated from a fixed
+//! deterministic seed (every run tests the same cases — reproducible by
+//! construction), failing cases are reported by the standard panic
+//! message rather than shrunk to a minimal counterexample, and
+//! `prop_assume!` skips the remainder of the current case without
+//! replacement sampling.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test, with an optional format
+/// message. Maps to a standard `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test, with an optional format
+/// message. Maps to a standard `assert_eq!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the remainder of the current test case when the precondition
+/// does not hold (the case still counts toward the configured total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Defines property tests.
+///
+/// Block form (items), with or without a leading
+/// `#![proptest_config(expr)]`:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() { addition_commutes(); }
+/// ```
+///
+/// Closure form (statement):
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest!(ProptestConfig::with_cases(8), |(v in proptest::collection::vec(0u8..4, 1..10))| {
+///     prop_assert!(!v.is_empty());
+/// });
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Internal: expand a list of test items with a shared config. Must be
+    // the first arm so that the trailing catch-all cannot shadow it.
+    (@blocks ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    $config,
+                    &($(($strategy),)+),
+                    |($($pat,)+)| $body,
+                );
+            }
+        )*
+    };
+
+    // Block form with config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@blocks ($config) $($rest)*);
+    };
+
+    // Block form without config attribute. Matched structurally (not with
+    // a `tt` catch-all) and listed BEFORE the closure form: the closure
+    // arm starts with an `expr` fragment, and a failed `expr` parse is a
+    // hard error rather than a fall-through to the next arm, so anything
+    // starting with `fn`/`#[..]` must be consumed before that arm is
+    // tried.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest!(
+            @blocks ($crate::test_runner::ProptestConfig::default())
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strategy),+) $body
+            )+
+        );
+    };
+
+    // Closure form: proptest!(config, |(pat in strategy, ...)| { body })
+    (
+        $config:expr,
+        |($($pat:pat in $strategy:expr),+ $(,)?)| $body:block
+    ) => {{
+        $crate::test_runner::run_cases(
+            $config,
+            &($(($strategy),)+),
+            |($($pat,)+)| $body,
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 1u8..4, z in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x was {}", x);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Doc comments on the test item must be accepted.
+        #[test]
+        fn config_attribute_form(pair in (0i64..10, 0i64..10)) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        let mut total = 0usize;
+        proptest!(ProptestConfig::with_cases(16), |(
+            v in crate::collection::vec(1i64..=5, 1..8)
+        )| {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| (1..=5).contains(&x)));
+            total += 1;
+        });
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn qualified_macro_paths_work() {
+        crate::proptest!(crate::test_runner::ProptestConfig::with_cases(2), |(x in 0i64..3)| {
+            crate::prop_assume!(x >= 0);
+            crate::prop_assert!(x < 3);
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_and_map_compose(
+            (n, v) in (1usize..6).prop_flat_map(|n| {
+                ((1usize..6).prop_map(move |_| n), crate::collection::vec(0i64..10, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn any_i64_covers_sign_bits(x in any::<i64>()) {
+            // Not much to assert beyond type-correctness; the value is an
+            // unrestricted i64.
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The [`Strategy`] trait and the built-in strategies: primitive ranges,
+//! tuples, [`prop_map`](Strategy::prop_map), and
+//! [`prop_flat_map`](Strategy::prop_flat_map).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of type [`Self::Value`].
+///
+/// Unlike the real proptest, strategies here are plain generators: no
+/// value trees, no shrinking. `new_value` draws one value from the
+/// deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy generating a value, then generating from the strategy
+    /// `f` returns for it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (compatibility shim for the real crate's
+    /// `BoxedStrategy`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// A heap-allocated, type-erased strategy. See [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<Value = T>>,
+}
+
+trait DynStrategy {
+    type Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_new_value(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64();
+                (self.start as f64 + (self.end as f64 - self.start as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..500 {
+            let v = (3i64..17).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (2u8..=5).new_value(&mut rng);
+            assert!((2..=5).contains(&w));
+            let f = (-1.0f64..1.0).new_value(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let mut rng = TestRng::deterministic();
+        let (a, b, c, d) = (0i64..4, 10i64..14, 0u8..2, 0usize..3).new_value(&mut rng);
+        assert!((0..4).contains(&a));
+        assert!((10..14).contains(&b));
+        assert!(c < 2);
+        assert!(d < 3);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let mut rng = TestRng::deterministic();
+        let s = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains_dependent_strategies() {
+        let mut rng = TestRng::deterministic();
+        let s = (1usize..5).prop_flat_map(|n| crate::collection::vec(0i64..10, n));
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn boxed_strategy_still_generates() {
+        let mut rng = TestRng::deterministic();
+        let s = (0i64..5).prop_map(|x| x + 100).boxed();
+        let v = s.new_value(&mut rng);
+        assert!((100..105).contains(&v));
+    }
+}

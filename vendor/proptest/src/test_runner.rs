@@ -1,0 +1,120 @@
+//! The test-runner configuration and the deterministic input generator.
+
+/// Configuration for a property test (the subset of
+/// `proptest::test_runner::Config` this workspace uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than the real crate's 256, chosen so the whole
+    /// workspace property suite stays inside a quick `cargo test` budget.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic PRNG driving input generation (SplitMix64).
+///
+/// Every test starts from the same fixed seed, so a failure is always
+/// reproducible by re-running the test — the replacement for the real
+/// crate's persisted failure seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The fixed-seed generator used by the [`proptest!`](crate::proptest)
+    /// macro.
+    pub fn deterministic() -> Self {
+        Self::from_seed(0x003D_F10C_5EED)
+    }
+
+    /// A generator starting from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "cannot sample an empty range");
+        self.next_u64() % span
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives one property test: draws `config.cases` values from `strategy`
+/// and feeds each to `body`. Used by the [`proptest!`](crate::proptest)
+/// macro expansion; the generic signature pins the closure's argument
+/// type to the strategy's `Value`, which plain closure inference cannot
+/// do on its own.
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: &S, mut body: F)
+where
+    S: crate::strategy::Strategy,
+    F: FnMut(S::Value),
+{
+    let mut rng = TestRng::deterministic();
+    for _ in 0..config.cases {
+        body(strategy.new_value(&mut rng));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams_match() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_below() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_is_in_unit_interval() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+#![warn(missing_docs)]
+//! Vendored, dependency-free stand-in for the subset of the [`rand`]
+//! crate (0.9 API) that this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace cannot
+//! fetch the real `rand`. The benchmark generator only needs a seedable
+//! small PRNG and uniform `random_range` sampling over integer and float
+//! ranges, which this crate provides with the same method names and
+//! deterministic behaviour (a fixed seed always yields the same stream).
+//!
+//! The generator quality target is *benchmark synthesis*, not
+//! cryptography: [`rngs::SmallRng`] is a SplitMix64 stream, which passes the
+//! statistical checks the generator's tests make (uniformity, mean and
+//! variance of Irwin–Hall normals) and is stable across platforms.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable random number generators (the subset of `rand::SeedableRng`
+/// the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. The same seed always
+    /// produces the same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Supports `lo..hi` and `lo..=hi` over the primitive integer types
+    /// and `lo..hi` over `f32`/`f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// Ranges that can be sampled uniformly. Implemented for the standard
+/// half-open and inclusive ranges over primitives.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range using `rng`.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 high bits -> uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (self.start as f64 + (self.end as f64 - self.start as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Small, fast PRNGs.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small deterministic PRNG (SplitMix64 stream).
+    ///
+    /// Stands in for `rand::rngs::SmallRng`: not cryptographically
+    /// secure, but fast, seedable, and statistically sound for benchmark
+    /// synthesis.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-whiten so that nearby seeds (0, 1, 2, ...) do not start
+            // from nearby internal states.
+            let mut rng = Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0i64..1000), b.random_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(8);
+        let va: Vec<i64> = (0..8).map(|_| a.random_range(0i64..1_000_000)).collect();
+        let vb: Vec<i64> = (0..8).map(|_| b.random_range(0i64..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.random_range(3u8..=9);
+            assert!((3..=9).contains(&w));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range_works() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.random_range(4i64..=4), 4);
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_real() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} out of range");
+        }
+    }
+}
