@@ -12,14 +12,19 @@
 //! repro rowalgo [scale]   # §III-D    — Abacus vs isotonic-L1 PlaceRow
 //! repro eco   [scale]     # §III-E    — incremental (ECO) legalization
 //! repro profile [scale]   # phase/counter profiles (+ JSON sidecars)
+//! repro threads [scale]   # thread-scaling: flow_pass/placerow at 1/2/4/8 workers
 //! repro all   [scale]     # everything above
 //! ```
 //!
 //! `scale` (default 1.0) multiplies every case's cell/net/macro counts;
 //! use e.g. `0.25` for a quick pass. SVG files land in `target/figures/`.
+//!
+//! Case preparation (generation + global placement) fans out over a
+//! worker pool sized by `FLOW3D_THREADS` / the machine; prepared cases
+//! and all legalization results are bit-identical to serial runs.
 
 use flow3d_bench::{
-    evaluate, evaluate_profiled, format_case_rows, normalized_averages, prepare,
+    evaluate, evaluate_profiled, format_case_rows, normalized_averages, prepare, prepare_all,
     standard_legalizers, table_header, CaseRun, Row, Suite,
 };
 use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
@@ -51,6 +56,7 @@ fn main() {
         "rowalgo" => rowalgo_sweep(scale),
         "eco" => eco_experiment(scale),
         "profile" => profile_runs(scale),
+        "threads" => threads_scaling(scale),
         "all" => {
             table2();
             comparison_table(Suite::Iccad2022, "Table III (ICCAD 2022)", scale);
@@ -63,10 +69,11 @@ fn main() {
             rowalgo_sweep(scale);
             eco_experiment(scale);
             profile_runs(scale);
+            threads_scaling(scale);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|all] [scale]");
+            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|threads|all] [scale]");
             std::process::exit(2);
         }
     }
@@ -113,14 +120,14 @@ fn comparison_table(suite: Suite, title: &str, scale: f64) -> Vec<(String, Vec<R
     print!("{}", table_header());
     let legalizers = standard_legalizers();
     let mut all = Vec::new();
-    for case in suite.cases() {
-        let run = prepare(suite, case, scale);
+    let runs = prepare_all(suite, suite.cases(), scale, flow3d_par::resolve_threads(0));
+    for run in &runs {
         let rows: Vec<Row> = legalizers
             .iter()
-            .map(|lg| evaluate(&run, lg.as_ref()))
+            .map(|lg| evaluate(run, lg.as_ref()))
             .collect();
-        print!("{}", format_case_rows(case, &rows));
-        all.push((case.to_string(), rows));
+        print!("{}", format_case_rows(&run.name, &rows));
+        all.push((run.name.clone(), rows));
     }
     println!("{}", "-".repeat(74));
     println!("geometric means normalized to ours (avg / max / runtime):");
@@ -138,13 +145,18 @@ fn table5(scale: f64) {
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>7}",
         "case", "avg w/o D2D", "max w/o D2D", "avg ours", "max ours", "#move"
     );
-    for case in Suite::Iccad2023.cases() {
-        let run = prepare(Suite::Iccad2023, case, scale);
-        let without = evaluate(&run, &Flow3dLegalizer::new(Flow3dConfig::without_d2d()));
-        let ours = evaluate(&run, &Flow3dLegalizer::default());
+    let runs = prepare_all(
+        Suite::Iccad2023,
+        Suite::Iccad2023.cases(),
+        scale,
+        flow3d_par::resolve_threads(0),
+    );
+    for run in &runs {
+        let without = evaluate(run, &Flow3dLegalizer::new(Flow3dConfig::without_d2d()));
+        let ours = evaluate(run, &Flow3dLegalizer::default());
         println!(
             "{:<10} {:>12.3} {:>12.2} {:>12.3} {:>12.2} {:>7}",
-            case,
+            run.name,
             without.avg_disp,
             without.max_disp,
             ours.avg_disp,
@@ -168,15 +180,15 @@ fn fig7(scale: f64) {
             "{:<10} {:>10} {:>10} {:>10} {:>10}",
             "case", "tetris", "abacus", "bonn", "ours"
         );
-        for case in suite.cases() {
-            let run = prepare(suite, case, scale);
+        let runs = prepare_all(suite, suite.cases(), scale, flow3d_par::resolve_threads(0));
+        for run in &runs {
             let rows: Vec<Row> = legalizers
                 .iter()
-                .map(|lg| evaluate(&run, lg.as_ref()))
+                .map(|lg| evaluate(run, lg.as_ref()))
                 .collect();
             println!(
                 "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-                case,
+                run.name,
                 rows[0].delta_hpwl_pct,
                 rows[1].delta_hpwl_pct,
                 rows[2].delta_hpwl_pct,
@@ -186,7 +198,7 @@ fn fig7(scale: f64) {
                 .iter()
                 .map(|r| (r.legalizer.as_str(), r.delta_hpwl_pct))
                 .collect();
-            chart = chart.group(case.to_string(), &bars);
+            chart = chart.group(run.name.clone(), &bars);
         }
         let path = figures_dir().join(format!("fig7_{tag}.svg"));
         std::fs::write(&path, chart.to_svg()).expect("write svg");
@@ -394,23 +406,80 @@ fn profile_runs(scale: f64) {
     let dir = PathBuf::from("target/profiles");
     std::fs::create_dir_all(&dir).expect("create target/profiles");
     let legalizers = standard_legalizers();
-    for case in Suite::Iccad2022.cases() {
-        let run = prepare(Suite::Iccad2022, case, scale);
+    let runs = prepare_all(
+        Suite::Iccad2022,
+        Suite::Iccad2022.cases(),
+        scale,
+        flow3d_par::resolve_threads(0),
+    );
+    for run in &runs {
         for lg in &legalizers {
-            let (row, report) = evaluate_profiled(&run, lg.as_ref());
-            let path = dir.join(format!("iccad2022_{case}_{}.json", row.legalizer));
+            let (row, report) = evaluate_profiled(run, lg.as_ref());
+            let path = dir.join(format!("iccad2022_{}_{}.json", run.name, row.legalizer));
             std::fs::write(&path, report.to_json()).expect("write profile sidecar");
-            if *case == "case3" {
+            if run.name == "case3" {
                 print!("{}", report.to_pretty());
                 println!();
             }
             println!(
-                "{case:<8} {:<14} {:>8.2}s  -> {}",
+                "{:<8} {:<14} {:>8.2}s  -> {}",
+                run.name,
                 row.legalizer,
                 row.runtime_s,
                 path.display()
             );
         }
+    }
+    println!();
+}
+
+/// Thread-scaling experiment: the largest ICCAD 2022 case at 1/2/4/8
+/// workers, reporting the profiled `flow_pass` and `placerow` phase
+/// times and re-checking that every worker count produces the same
+/// placement bit for bit (the engine guarantees it by construction; the
+/// differential test suite proves it on small cases, this shows it at
+/// experiment scale).
+fn threads_scaling(scale: f64) {
+    let case = *Suite::Iccad2022.cases().last().unwrap();
+    println!("== thread scaling (ICCAD 2022 {case}), scale {scale} ==");
+    let run = prepare(Suite::Iccad2022, case, scale);
+    println!(
+        "{:<8} {:>13} {:>12} {:>9} {:>10}",
+        "threads", "flow_pass(s)", "placerow(s)", "total(s)", "identical"
+    );
+    let mut baseline: Option<flow3d_db::LegalPlacement> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let lg = Flow3dLegalizer::new(Flow3dConfig {
+            threads,
+            ..Default::default()
+        });
+        let mut profile = flow3d_obs::Profile::new();
+        let start = std::time::Instant::now();
+        let outcome = lg
+            .legalize_observed(&run.design, &run.global, Some(&mut profile))
+            .expect("legalization failed");
+        let total = start.elapsed().as_secs_f64();
+        let phase = |p: &str| {
+            profile
+                .phase(p)
+                .map(|s| s.total.as_secs_f64())
+                .unwrap_or(0.0)
+        };
+        let identical = match &baseline {
+            None => {
+                baseline = Some(outcome.placement.clone());
+                "-"
+            }
+            Some(b) if *b == outcome.placement => "yes",
+            Some(_) => "NO",
+        };
+        println!(
+            "{threads:<8} {:>13.3} {:>12.3} {:>9.3} {:>10}",
+            phase("legalize/flow_pass"),
+            phase("legalize/placerow"),
+            total,
+            identical
+        );
     }
     println!();
 }

@@ -72,6 +72,18 @@ pub fn prepare(suite: Suite, case: &str, scale: f64) -> CaseRun {
     }
 }
 
+/// [`prepare`]s several cases of a suite concurrently on `threads`
+/// workers. Case generation and global placement are deterministic per
+/// case, so the result is identical to mapping [`prepare`] serially —
+/// only wall-clock changes.
+///
+/// # Panics
+///
+/// Same as [`prepare`].
+pub fn prepare_all(suite: Suite, cases: &[&str], scale: f64, threads: usize) -> Vec<CaseRun> {
+    flow3d_par::par_map(threads, cases.len(), |i| prepare(suite, cases[i], scale))
+}
+
 /// One legalizer's result on one case.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -257,6 +269,22 @@ mod tests {
         assert_eq!(row.legalizer, "tetris");
         assert!(row.avg_disp >= 0.0);
         assert!(row.runtime_s > 0.0);
+    }
+
+    #[test]
+    fn prepare_all_matches_serial_prepare() {
+        let cases = ["case2", "case3"];
+        let serial: Vec<CaseRun> = cases
+            .iter()
+            .map(|c| prepare(Suite::Iccad2022, c, 0.05))
+            .collect();
+        let parallel = prepare_all(Suite::Iccad2022, &cases, 0.05, 4);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.design, s.design);
+            assert_eq!(p.global, s.global);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! flow3d gen --suite 2022 --case case3 [--scale 0.25] --out case.txt [--gp gp.txt]
 //! flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt \
-//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1] [--profile out.json]
+//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1] [--threads N] [--profile out.json]
 //! flow3d check --case case.txt --legal legal.txt [--gp gp.txt]
 //! flow3d stats --case case.txt
 //! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
@@ -75,6 +75,15 @@ impl Args {
                 .map_err(|_| format!("--{key}: not a number: `{v}`")),
         }
     }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not an integer: `{v}`")),
+        }
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -100,7 +109,7 @@ fn run() -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      flow3d gen --suite 2022|2023 --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
-     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A] [--profile out.json]\n  \
+     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A] [--threads N] [--profile out.json]\n  \
      flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
      flow3d stats --case case.txt\n  \
      flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg"
@@ -174,6 +183,9 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
             alpha: args.get_f64("alpha", 0.1)?,
             allow_d2d: !args.flag("no-d2d"),
             post_opt: !args.flag("no-post"),
+            // 0 = auto: FLOW3D_THREADS, else available parallelism. The
+            // result is bit-identical for every worker count.
+            threads: args.get_usize("threads", 0)?,
             ..Default::default()
         })),
         other => return Err(format!("unknown algorithm `{other}`")),
@@ -311,6 +323,7 @@ mod tests {
         assert!(a.flag("verbose"));
         assert_eq!(a.get_f64("alpha", 0.1).unwrap(), 0.5);
         assert_eq!(a.get_f64("scale", 1.0).unwrap(), 1.0);
+        assert_eq!(a.get_usize("threads", 0).unwrap(), 0);
     }
 
     #[test]
@@ -330,6 +343,7 @@ mod tests {
     fn bad_number_is_an_error() {
         let a = Args::parse(&argv(&["--alpha", "abc"])).unwrap();
         assert!(a.get_f64("alpha", 0.1).is_err());
+        assert!(a.get_usize("alpha", 1).is_err());
     }
 
     #[test]

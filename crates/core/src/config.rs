@@ -29,6 +29,15 @@ pub struct Flow3dConfig {
     /// Row-legalization algorithm (§III-D): the paper's Abacus clustering
     /// or the L1-optimal isotonic variant.
     pub row_algo: RowAlgo,
+    /// Worker threads for the parallel phases (flow-pass search batches,
+    /// per-segment `PlaceRow`). `0` means auto: the `FLOW3D_THREADS`
+    /// environment variable if set, otherwise all available cores (see
+    /// [`flow3d_par::resolve_threads`]). The legalizer's output is
+    /// bit-identical for every thread count — the searches of one batch
+    /// run against a frozen state snapshot and their results are applied
+    /// in a fixed order (see [`crate::driver::flow_pass_threaded`]) — so
+    /// this knob trades wall-clock only, never quality or reproducibility.
+    pub threads: usize,
 }
 
 impl Default for Flow3dConfig {
@@ -42,6 +51,7 @@ impl Default for Flow3dConfig {
             post_opt: true,
             post_passes: 3,
             row_algo: RowAlgo::default(),
+            threads: 0,
         }
     }
 }
@@ -72,6 +82,14 @@ impl Flow3dConfig {
             ..Self::default()
         }
     }
+
+    /// Default settings with an explicit worker-pool size (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +104,18 @@ mod tests {
         assert_eq!(c.post_bin_width_factor, 5.0);
         assert!(c.allow_d2d);
         assert!(c.post_opt);
+        assert_eq!(c.threads, 0, "default is auto-sized");
+    }
+
+    #[test]
+    fn with_threads_changes_only_the_pool_size() {
+        let c = Flow3dConfig::with_threads(4);
+        assert_eq!(c.threads, 4);
+        let d = Flow3dConfig {
+            threads: 0,
+            ..c.clone()
+        };
+        assert_eq!(d, Flow3dConfig::default());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::assign;
 use crate::config::Flow3dConfig;
-use crate::driver::{bin_widths, flow_pass_observed, placerow_all_observed};
+use crate::driver::{bin_widths, flow_pass_threaded, placerow_all_threaded};
 use crate::error::LegalizeError;
 use crate::grid::BinGrid;
 use crate::search::SearchParams;
@@ -45,6 +45,7 @@ pub fn post_optimize(
     if n == 0 {
         return Ok(());
     }
+    let threads = flow3d_par::resolve_threads(config.threads);
     let anchors = assign::anchors(design, global);
     let widths = bin_widths(design, config.post_bin_width_factor);
     let grid = BinGrid::build(design, layout, &widths, config.allow_d2d);
@@ -108,11 +109,11 @@ pub fn post_optimize(
         }
 
         obs.begin("flow_pass");
-        let flowed = flow_pass_observed(&mut state, base_params, stats, obs.reborrow());
+        let flowed = flow_pass_threaded(&mut state, base_params, threads, stats, obs.reborrow());
         obs.end("flow_pass");
         flowed?;
         obs.begin("placerow");
-        let placed = placerow_all_observed(&state, config.row_algo, obs.reborrow());
+        let placed = placerow_all_threaded(&state, config.row_algo, threads, obs.reborrow());
         obs.end("placerow");
         let candidate = placed?;
         let new_max = max_disp(&candidate);

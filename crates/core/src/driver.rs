@@ -7,14 +7,16 @@ use crate::cycle;
 use crate::error::LegalizeError;
 use crate::grid::{BinGrid, BinId};
 use crate::placerow::{place_row_with, RowAlgo, RowItem};
-use crate::search::{find_path_limited, SearchCounters, SearchParams, SearchScratch};
+use crate::search::{
+    find_path_limited, AugmentingPath, SearchCounters, SearchParams, SearchScratch,
+};
 use crate::selection::SelectionParams;
 use crate::state::FlowState;
 use crate::traits::{LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout};
 use flow3d_geom::Point;
-use flow3d_obs::{keys, Obs, ObsExt};
-use std::collections::BinaryHeap;
+use flow3d_obs::{keys, Obs, ObsExt, Profile};
+use std::collections::HashSet;
 
 /// Per-die nominal bin widths: `factor · w̄_c(die)`, snapped up to the
 /// die's site grid (§III-F).
@@ -30,8 +32,12 @@ pub fn bin_widths(design: &Design, factor: f64) -> Vec<i64> {
 }
 
 /// Drains every overflowed bin by successive augmenting paths (Algorithm 2
-/// lines 4–10). Sources are processed in descending supply order; when the
-/// bounded search fails, one unbounded retry runs before giving up.
+/// lines 4–10), running the per-source searches in batched rounds:
+/// every round searches all current sources against a frozen snapshot of
+/// the state and then applies the candidate paths in a fixed
+/// `(cost, source bin)` order. The batch is what
+/// [`flow_pass_threaded`] parallelizes; with one thread the exact same
+/// rounds run inline.
 ///
 /// # Errors
 ///
@@ -42,7 +48,7 @@ pub fn flow_pass(
     params: &SearchParams,
     stats: &mut LegalizeStats,
 ) -> Result<(), LegalizeError> {
-    flow_pass_observed(state, params, stats, None)
+    flow_pass_threaded(state, params, 1, stats, None)
 }
 
 /// [`flow_pass`] with an observability hook: per-pass search counters
@@ -57,94 +63,200 @@ pub fn flow_pass_observed(
     state: &mut FlowState<'_>,
     params: &SearchParams,
     stats: &mut LegalizeStats,
+    obs: Obs<'_>,
+) -> Result<(), LegalizeError> {
+    flow_pass_threaded(state, params, 1, stats, obs)
+}
+
+/// The result of one source's bounded-search retry ladder: the candidate
+/// path (if any), the search counters it burned, and how many searches
+/// ran.
+type SourceSearch = (Option<AugmentingPath>, SearchCounters, usize);
+
+/// Runs the per-source retry ladder — bounded search with halved flow
+/// limits, then one retry with the bound disabled — against an immutable
+/// state. Read-only: this is the unit of work a flow-pass batch fans out
+/// across the worker pool.
+fn search_source(
+    state: &FlowState<'_>,
+    bin: BinId,
+    sup: i64,
+    params: &SearchParams,
+    scratch: &mut SearchScratch,
+) -> SourceSearch {
+    let mut counters = SearchCounters::default();
+    let mut searches: usize = 0;
+    for relaxed in [false, true] {
+        if relaxed && (params.alpha.is_infinite() || params.dijkstra) {
+            break;
+        }
+        let attempt_params = if relaxed {
+            SearchParams {
+                alpha: f64::INFINITY,
+                ..*params
+            }
+        } else {
+            *params
+        };
+        // A single path can only drain what its bins can absorb or
+        // forward; on failure retry with halved flow, then once more with
+        // the bound disabled, before declaring the source stuck.
+        let mut limit = sup;
+        while limit > 0 {
+            searches += 1;
+            if let Some(p) =
+                find_path_limited(state, bin, limit, &attempt_params, scratch, &mut counters)
+            {
+                return (Some(p), counters, searches);
+            }
+            limit /= 2;
+        }
+    }
+    (None, counters, searches)
+}
+
+/// [`flow_pass_observed`] on a worker pool of `threads` threads.
+///
+/// # Determinism
+///
+/// The result is **bit-identical for every thread count** by
+/// construction, not by luck:
+///
+/// 1. Each round snapshots nothing and copies nothing — the batch of
+///    per-source searches runs against the *immutably borrowed* state,
+///    so every candidate path is a pure function of `(state, source)`
+///    and independent of which worker computed it.
+/// 2. The candidates are applied serially in a fixed
+///    `(cost, source bin)` order ([`f64::total_cmp`] — a total order).
+///    Later applications may act on a path the earlier ones made stale;
+///    [`crate::augment::realize`] re-selects against the live state and
+///    only ever under-fills, so the post-round state is a pure function
+///    of the candidate list and the order.
+/// 3. Sources left overfull re-enter the next round; fallback relocation
+///    runs only in a round where *no* source found a path (the state
+///    then equals the snapshot, so the failure is genuine), in source
+///    order.
+///
+/// `tests/differential.rs` enforces this contract over a case × seed ×
+/// thread-count matrix.
+///
+/// # Errors
+///
+/// Same as [`flow_pass`].
+pub fn flow_pass_threaded(
+    state: &mut FlowState<'_>,
+    params: &SearchParams,
+    threads: usize,
+    stats: &mut LegalizeStats,
     mut obs: Obs<'_>,
 ) -> Result<(), LegalizeError> {
     let aug_before = stats.augmentations;
     let moved_before = stats.cells_moved;
     let fallback_before = stats.fallback_moves;
+    let threads = threads.max(1);
+    let num_bins = state.grid.num_bins();
+    let observing = obs.is_some();
     let mut retries: usize = 0;
-    let mut heap: BinaryHeap<(i64, BinId)> = state
-        .overflowed_bins()
-        .into_iter()
-        .map(|b| (state.sup(b), b))
-        .collect();
-    let mut scratch = SearchScratch::new(state.grid.num_bins());
     let mut counters = SearchCounters::default();
-    // Generous guard against cycling; each successful augmentation drains
-    // one source completely, so this should never trigger.
-    let mut guard = 64 * heap.len() + 4 * state.grid.num_bins();
+    // Generous guard against cycling; each applied path normally drains
+    // its source for good, so this should never trigger.
+    let mut guard = 64 * state.overflowed_bins().len() + 4 * num_bins + 64;
 
-    while let Some((recorded_sup, bin)) = heap.pop() {
-        let sup = state.sup(bin);
-        if sup == 0 {
-            continue;
+    loop {
+        // Round sources: every overflowed bin, most loaded first (bin id
+        // breaks ties) — a deterministic function of the state alone.
+        let mut sources: Vec<(i64, BinId)> = state
+            .overflowed_bins()
+            .into_iter()
+            .map(|b| (state.sup(b), b))
+            .collect();
+        if sources.is_empty() {
+            break;
         }
-        if sup != recorded_sup {
-            heap.push((sup, bin)); // stale priority: reinsert with current
-            continue;
-        }
-        if guard == 0 {
-            return Err(LegalizeError::NoAugmentingPath {
-                die: state.grid.bin(bin).die,
-                supply: sup,
-            });
-        }
-        guard -= 1;
+        sources.sort_by_key(|&(sup, b)| (std::cmp::Reverse(sup), b));
 
-        // A single path can only drain what its bins can absorb or
-        // forward; on failure retry with halved flow, then once more with
-        // the bound disabled, before declaring the source stuck.
-        let mut path = None;
-        let mut searches_this_source: usize = 0;
-        'attempts: for relaxed in [false, true] {
-            if relaxed && (params.alpha.is_infinite() || params.dijkstra) {
-                break;
-            }
-            let attempt_params = if relaxed {
-                SearchParams {
-                    alpha: f64::INFINITY,
-                    ..*params
+        // Batch: one read-only search per source against the frozen
+        // state, fanned out across the pool. Worker-local scratch reuses
+        // its epoch-visited marks across the items one worker claims.
+        let frozen: &FlowState<'_> = state;
+        let (candidates, worker_profiles) = flow3d_par::par_map_with(
+            threads,
+            sources.len(),
+            || (SearchScratch::new(num_bins), Profile::new()),
+            |(scratch, wprof), i| {
+                let (sup, bin) = sources[i];
+                if observing {
+                    wprof.begin("source_search");
                 }
-            } else {
-                *params
-            };
-            let mut limit = sup;
-            while limit > 0 {
-                searches_this_source += 1;
-                if let Some(p) = find_path_limited(
-                    state,
-                    bin,
-                    limit,
-                    &attempt_params,
-                    &mut scratch,
-                    &mut counters,
-                ) {
-                    path = Some(p);
-                    break 'attempts;
+                let result = search_source(frozen, bin, sup, params, scratch);
+                if observing {
+                    wprof.end("source_search");
                 }
-                limit /= 2;
+                result
+            },
+        );
+        if observing {
+            if let Some(p) = obs.as_deref_mut() {
+                for (_, wprof) in &worker_profiles {
+                    p.merge_nested(wprof);
+                }
             }
         }
-        retries += searches_this_source.saturating_sub(1);
-        let Some(path) = path else {
-            // No augmenting path at all: the source sits in a region the
-            // grid cannot drain (e.g. a macro-enclosed pocket). Fall back
-            // to relocating cells directly to the nearest bin with room.
+        for (_, c, searches) in &candidates {
+            counters.expanded += c.expanded;
+            counters.created += c.created;
+            counters.pruned += c.pruned;
+            retries += searches.saturating_sub(1);
+        }
+
+        // Deterministic reduction: cheapest candidate first, the source
+        // bin id breaking ties.
+        let mut order: Vec<usize> = (0..sources.len())
+            .filter(|&i| candidates[i].0.is_some())
+            .collect();
+        order.sort_by(|&a, &b| {
+            let pa = candidates[a].0.as_ref().unwrap();
+            let pb = candidates[b].0.as_ref().unwrap();
+            pa.cost
+                .total_cmp(&pb.cost)
+                .then(sources[a].1.cmp(&sources[b].1))
+        });
+
+        // Apply serially in that fixed order. Paths made stale by an
+        // earlier application still realize safely (selections are
+        // recomputed against the live state and only under-fill); any
+        // supply they leave behind re-enters the next round.
+        let mut applied = false;
+        for &i in &order {
+            let bin = sources[i].1;
+            let sup = state.sup(bin);
+            if sup <= 0 {
+                continue; // an earlier application already drained it
+            }
+            if guard == 0 {
+                return Err(LegalizeError::NoAugmentingPath {
+                    die: state.grid.bin(bin).die,
+                    supply: sup,
+                });
+            }
+            guard -= 1;
+            let path = candidates[i].0.as_ref().unwrap();
+            stats.cells_moved += crate::augment::realize(state, path, &params.selection);
+            stats.augmentations += 1;
+            applied = true;
+        }
+
+        if !applied {
+            // No source found a path, and nothing was applied — the state
+            // still equals the snapshot the searches ran against, so the
+            // failure is genuine: these sources sit in regions the grid
+            // cannot drain (e.g. a macro-enclosed pocket). Fall back to
+            // relocating cells directly to the nearest bin with room.
             let allow_cross_die = grid_has_d2d(state);
-            let moved = teleport_fallback(state, bin, allow_cross_die, stats)?;
-            if moved && state.sup(bin) > 0 {
-                heap.push((state.sup(bin), bin));
-            }
-            continue;
-        };
-        stats.cells_moved += crate::augment::realize(state, &path, &params.selection);
-        stats.augmentations += 1;
-        // Re-queue any path bin left (or newly pushed) overfull:
-        // realization drift can overshoot an intermediate bin after its
-        // own outgoing edge already ran.
-        for step in &path.steps {
-            if state.sup(step.bin) > 0 {
-                heap.push((state.sup(step.bin), step.bin));
+            for &(_, bin) in &sources {
+                if state.sup(bin) > 0 {
+                    teleport_fallback(state, bin, allow_cross_die, stats)?;
+                }
             }
         }
     }
@@ -281,44 +393,96 @@ pub fn placerow_all_with(
 pub fn placerow_all_observed(
     state: &FlowState<'_>,
     algo: RowAlgo,
+    obs: Obs<'_>,
+) -> Result<LegalPlacement, LegalizeError> {
+    placerow_all_threaded(state, algo, 1, obs)
+}
+
+/// [`placerow_all_observed`] on a worker pool of `threads` threads: row
+/// segments fan out across the pool, one `PlaceRow` per segment.
+///
+/// Segments are independent once the flow phase fixed the cell→bin
+/// assignment: a cell's fragments always sit inside a single segment
+/// (enforced by `FlowState::check_invariants`), so the straddling-cell
+/// dedup is segment-local and no two workers ever touch the same cell.
+/// Results merge in segment order, making the output — placements *and*
+/// the first reported error — identical for every thread count.
+///
+/// # Errors
+///
+/// Same as [`placerow_all`].
+pub fn placerow_all_threaded(
+    state: &FlowState<'_>,
+    algo: RowAlgo,
+    threads: usize,
     mut obs: Obs<'_>,
 ) -> Result<LegalPlacement, LegalizeError> {
     let design = state.design;
-    let mut placement = LegalPlacement::new(design.num_cells());
-    let mut items: Vec<RowItem> = Vec::new();
-    let mut seen: Vec<bool> = vec![false; design.num_cells()];
+    let segs = state.layout.segments();
+    let observing = obs.is_some();
 
-    for seg in state.layout.segments() {
-        items.clear();
-        let die = design.die(seg.die);
-        for &bid in state.grid.bins_in_segment(seg.id) {
-            for frag in state.frags_in(bid) {
-                if std::mem::replace(&mut seen[frag.cell.index()], true) {
-                    continue; // other fragment of a straddling cell
+    type SegmentPlacement = Result<Vec<(usize, i64)>, LegalizeError>;
+    let (per_segment, worker_profiles) = flow3d_par::par_map_with(
+        threads.max(1),
+        segs.len(),
+        Profile::new,
+        |wprof, i| -> SegmentPlacement {
+            let seg = &segs[i];
+            let die = design.die(seg.die);
+            let mut items: Vec<RowItem> = Vec::new();
+            let mut seen: HashSet<usize> = HashSet::new();
+            for &bid in state.grid.bins_in_segment(seg.id) {
+                for frag in state.frags_in(bid) {
+                    if !seen.insert(frag.cell.index()) {
+                        continue; // other fragment of a straddling cell
+                    }
+                    let w = design.cell_width(frag.cell, seg.die);
+                    // The flow phase decides the *segment*; within it,
+                    // trust PlaceRow's quadratic optimum from the raw
+                    // anchor (the total width fits by construction).
+                    let anchor = state.anchor(frag.cell);
+                    let desired = anchor.x.clamp(seg.span.lo, seg.span.hi - w);
+                    items.push(RowItem {
+                        key: frag.cell.index(),
+                        desired,
+                        width: w,
+                        weight: w as f64,
+                    });
                 }
-                let w = design.cell_width(frag.cell, seg.die);
-                // The flow phase decides the *segment*; within it, trust
-                // PlaceRow's quadratic optimum from the raw anchor (the
-                // total width fits by construction).
-                let anchor = state.anchor(frag.cell);
-                let desired = anchor.x.clamp(seg.span.lo, seg.span.hi - w);
-                items.push(RowItem {
-                    key: frag.cell.index(),
-                    desired,
-                    width: w,
-                    weight: w as f64,
+            }
+            if items.is_empty() {
+                return Ok(Vec::new());
+            }
+            if observing {
+                wprof.begin("segment");
+            }
+            let placed = place_row_with(algo, &items, seg.span, die.outline.xlo, die.site_width)
+                .map_err(|e| LegalizeError::SegmentOverflow {
+                    die: seg.die,
+                    excess: e.total_width - e.segment_width,
                 });
+            if observing {
+                wprof.end("segment");
+            }
+            placed
+        },
+    );
+    if observing {
+        if let Some(p) = obs.as_deref_mut() {
+            for wprof in &worker_profiles {
+                p.merge_nested(wprof);
             }
         }
-        if items.is_empty() {
+    }
+
+    let mut placement = LegalPlacement::new(design.num_cells());
+    for (i, result) in per_segment.into_iter().enumerate() {
+        let seg = &segs[i];
+        let placed = result?; // first failing segment in segment order
+        if placed.is_empty() {
             continue;
         }
         obs.bump(keys::PLACEROW_CALLS, 1);
-        let placed = place_row_with(algo, &items, seg.span, die.outline.xlo, die.site_width)
-            .map_err(|e| LegalizeError::SegmentOverflow {
-                die: seg.die,
-                excess: e.total_width - e.segment_width,
-            })?;
         for (key, x) in placed {
             placement.place(CellId::new(key), Point::new(x, seg.y), seg.die);
         }
@@ -389,6 +553,7 @@ impl Flow3dLegalizer {
         mut obs: Obs<'_>,
     ) -> Result<LegalizeOutcome, LegalizeError> {
         let cfg = &self.config;
+        let threads = flow3d_par::resolve_threads(cfg.threads);
 
         obs.begin("partition");
         let layout = RowLayout::build(design);
@@ -431,12 +596,12 @@ impl Flow3dLegalizer {
 
         let mut stats = LegalizeStats::default();
         obs.begin("flow_pass");
-        let flowed = flow_pass_observed(&mut state, &params, &mut stats, obs.reborrow());
+        let flowed = flow_pass_threaded(&mut state, &params, threads, &mut stats, obs.reborrow());
         obs.end("flow_pass");
         flowed?;
 
         obs.begin("placerow");
-        let placed = placerow_all_observed(&state, cfg.row_algo, obs.reborrow());
+        let placed = placerow_all_threaded(&state, cfg.row_algo, threads, obs.reborrow());
         obs.end("placerow");
         let mut placement = placed?;
 
@@ -545,6 +710,56 @@ mod tests {
         let a = Flow3dLegalizer::default().legalize(&d, &gp).unwrap();
         let b = Flow3dLegalizer::default().legalize(&d, &gp).unwrap();
         assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let (d, gp) = dense_design(30);
+        let serial = Flow3dLegalizer::new(Flow3dConfig::with_threads(1))
+            .legalize(&d, &gp)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = Flow3dLegalizer::new(Flow3dConfig::with_threads(threads))
+                .legalize(&d, &gp)
+                .unwrap();
+            assert_eq!(parallel.placement, serial.placement, "threads={threads}");
+            assert_eq!(parallel.stats, serial.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_profile_structure_matches_serial() {
+        // Per-worker span aggregation: the merged profile has the same
+        // phase paths and call counts for every pool size; only the
+        // durations differ.
+        let (d, gp) = dense_design(30);
+        let collect = |threads: usize| {
+            let mut profile = flow3d_obs::Profile::new();
+            Flow3dLegalizer::new(Flow3dConfig::with_threads(threads))
+                .legalize_observed(&d, &gp, Some(&mut profile))
+                .unwrap();
+            let phases: Vec<(String, u64)> = profile
+                .phases()
+                .map(|(p, s)| (p.to_string(), s.calls))
+                .collect();
+            let counters: Vec<(String, u64)> = profile
+                .counters()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            (phases, counters)
+        };
+        let serial = collect(1);
+        let threaded = collect(4);
+        assert_eq!(serial, threaded);
+        assert!(serial
+            .0
+            .iter()
+            .any(|(p, _)| p == "legalize/flow_pass/source_search"));
+        assert!(serial
+            .0
+            .iter()
+            .any(|(p, _)| p == "legalize/placerow/segment"));
     }
 
     #[test]

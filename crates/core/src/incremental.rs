@@ -14,7 +14,7 @@
 //! positions. A fine bin grid (the post-optimization width `5·w̄_c`) keeps
 //! the cost model precise for the localized overflow.
 
-use crate::driver::{bin_widths, flow_pass_observed, placerow_all_observed, Flow3dLegalizer};
+use crate::driver::{bin_widths, flow_pass_threaded, placerow_all_threaded, Flow3dLegalizer};
 use crate::error::LegalizeError;
 use crate::grid::BinGrid;
 use crate::search::SearchParams;
@@ -150,12 +150,13 @@ impl Flow3dLegalizer {
             },
         };
         let mut stats = LegalizeStats::default();
+        let threads = flow3d_par::resolve_threads(cfg.threads);
         obs.begin("flow_pass");
-        let flowed = flow_pass_observed(&mut state, &params, &mut stats, obs.reborrow());
+        let flowed = flow_pass_threaded(&mut state, &params, threads, &mut stats, obs.reborrow());
         obs.end("flow_pass");
         flowed?;
         obs.begin("placerow");
-        let placed = placerow_all_observed(&state, cfg.row_algo, obs.reborrow());
+        let placed = placerow_all_threaded(&state, cfg.row_algo, threads, obs.reborrow());
         obs.end("placerow");
         let placement = placed?;
 

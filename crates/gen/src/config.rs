@@ -221,7 +221,8 @@ impl GeneratorConfig {
         }
     }
 
-    /// Runs the full generation pipeline.
+    /// Runs the full generation pipeline on an auto-sized worker pool
+    /// (see [`flow3d_par::resolve_threads`]; honours `FLOW3D_THREADS`).
     ///
     /// # Errors
     ///
@@ -229,35 +230,83 @@ impl GeneratorConfig {
     /// [`GenError::Infeasible`] if the case cannot fit its cells under the
     /// utilization constraints even after repeatedly growing the dies.
     pub fn generate(&self) -> Result<GeneratedCase, GenError> {
+        self.generate_with_threads(flow3d_par::resolve_threads(0))
+    }
+
+    /// [`generate`](Self::generate) with an explicit worker count.
+    ///
+    /// Case construction grows the dies until the natural die split fits
+    /// under the utilization caps. The growth attempts are *speculative*:
+    /// attempt `k` rebuilds floorplan and natural placement from a fresh
+    /// RNG at die growth `1.18^k`, so every attempt is a pure function of
+    /// `(config, k)` and the serial loop simply takes the first feasible
+    /// one in order. With more than one worker, all attempts race on the
+    /// pool and the same first-feasible selection runs over the collected
+    /// results — the generated case is therefore identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`generate`](Self::generate).
+    pub fn generate_with_threads(&self, threads: usize) -> Result<GeneratedCase, GenError> {
         self.validate()?;
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
         let lib = library::build(self, &mut rng);
 
-        // Grow the dies until the natural die split fits comfortably under
-        // the utilization caps.
-        let mut growth = 1.0f64;
-        for _attempt in 0..6 {
+        const GROWTH_ATTEMPTS: usize = 6;
+        type Attempt = Option<(floorplan::Plan, Placement3d, SmallRng)>;
+        let attempt = |k: usize| -> Result<Attempt, GenError> {
+            // The same growth sequence as the serial loop's repeated
+            // `growth *= 1.18` (a fold, not `powi`: bit-identical).
+            let growth = (0..k).fold(1.0f64, |g, _| g * 1.18);
             let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(1));
             let plan = floorplan::build(self, &lib, growth, &mut rng)?;
             let natural = natural::build(self, &plan, &lib, &mut rng);
-            if let Some(detail) = floorplan::infeasibility(self, &lib, &plan, &natural) {
-                growth *= 1.18;
-                let _ = detail;
-                continue;
+            if floorplan::infeasibility(self, &lib, &plan, &natural).is_some() {
+                return Ok(None);
             }
-            let nets = netlist::build(self, &lib, &plan, &natural, &mut rng);
-            let design = crate::floorplan::assemble(self, &lib, &plan, &nets)?;
-            return Ok(GeneratedCase { design, natural });
-        }
-        Err(GenError::Infeasible {
-            detail: format!(
-                "could not fit {} cells under utilization {}/{} after growing dies",
-                self.scaled_cells(),
-                self.max_util_top,
-                self.max_util_bottom
-            ),
-        })
+            Ok(Some((plan, natural, rng)))
+        };
+
+        let chosen = if threads <= 1 {
+            // Serial: try growth factors in order, stopping at the first
+            // feasible (or failing) attempt.
+            let mut found = None;
+            for k in 0..GROWTH_ATTEMPTS {
+                if let Some(hit) = attempt(k)? {
+                    found = Some(hit);
+                    break;
+                }
+            }
+            found
+        } else {
+            // Speculative: all growth factors race on the pool; the scan
+            // below replays the serial loop's decisions over the results.
+            let attempts = flow3d_par::par_map(threads, GROWTH_ATTEMPTS, attempt);
+            let mut found = None;
+            for a in attempts {
+                if let Some(hit) = a? {
+                    found = Some(hit);
+                    break;
+                }
+            }
+            found
+        };
+
+        let Some((plan, natural, mut rng)) = chosen else {
+            return Err(GenError::Infeasible {
+                detail: format!(
+                    "could not fit {} cells under utilization {}/{} after growing dies",
+                    self.scaled_cells(),
+                    self.max_util_top,
+                    self.max_util_bottom
+                ),
+            });
+        };
+        let nets = netlist::build(self, &lib, &plan, &natural, &mut rng);
+        let design = crate::floorplan::assemble(self, &lib, &plan, &nets)?;
+        Ok(GeneratedCase { design, natural })
     }
 
     fn validate(&self) -> Result<(), GenError> {
@@ -375,5 +424,24 @@ mod tests {
         assert_eq!(a.natural, b.natural);
         let c = GeneratorConfig::small_demo(10).generate().unwrap();
         assert_ne!(a.natural, c.natural);
+    }
+
+    #[test]
+    fn speculative_growth_matches_serial() {
+        // The parallel path must pick the same growth attempt and emit a
+        // bit-identical case, including under a config that needs to grow
+        // its dies (high density leaves little slack for the die split).
+        let mut dense = GeneratorConfig::small_demo(3);
+        dense.target_density = 0.84;
+        dense.max_util_top = 0.85;
+        dense.max_util_bottom = 0.85;
+        for cfg in [GeneratorConfig::small_demo(7), dense] {
+            let serial = cfg.generate_with_threads(1).unwrap();
+            for threads in [2, 4, 8] {
+                let parallel = cfg.generate_with_threads(threads).unwrap();
+                assert_eq!(parallel.design, serial.design, "threads={threads}");
+                assert_eq!(parallel.natural, serial.natural, "threads={threads}");
+            }
+        }
     }
 }

@@ -1,0 +1,51 @@
+//! Golden snapshot tests for the case generator: the same seed must
+//! produce the same case *content*, pinned as an FNV-1a hash over the
+//! serialized case text. A changed hash means the generator's output
+//! changed for existing seeds — which silently invalidates every
+//! recorded experiment, so it must be a conscious, reviewed decision
+//! (update the constant in the same commit that changes the generator).
+
+use flow3d_gen::GeneratorConfig;
+
+/// FNV-1a over the serialized case file — stable across platforms,
+/// dependency-free, and sensitive to any byte change.
+fn case_hash(cfg: &GeneratorConfig) -> u64 {
+    let generated = cfg.generate().expect("generation failed");
+    let mut text = String::new();
+    flow3d_io::write_case(&generated.design, &mut text).expect("serialize case");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const SMALL_DEMO_SEED1_HASH: u64 = 6_750_976_735_181_162_110;
+const ICCAD2022_CASE2_HASH: u64 = 7_470_959_955_042_146_623;
+
+#[test]
+fn small_demo_case_content_is_pinned() {
+    let cfg = GeneratorConfig::small_demo(1);
+    assert_eq!(
+        case_hash(&cfg),
+        SMALL_DEMO_SEED1_HASH,
+        "small_demo(1) content changed; if intentional, update the pinned hash"
+    );
+}
+
+#[test]
+fn table2_scale_case_content_is_pinned() {
+    let cfg = GeneratorConfig::iccad2022("case2").unwrap();
+    assert_eq!(
+        case_hash(&cfg),
+        ICCAD2022_CASE2_HASH,
+        "iccad2022 case2 content changed; if intentional, update the pinned hash"
+    );
+}
+
+#[test]
+fn repeated_generation_hashes_identically() {
+    let cfg = GeneratorConfig::small_demo(33);
+    assert_eq!(case_hash(&cfg), case_hash(&cfg));
+}

@@ -152,6 +152,54 @@ impl Profile {
             .map(|(_, s)| *s)
     }
 
+    /// Folds a worker's profile into this one, nesting every closed
+    /// phase of `other` under this profile's currently open path and
+    /// merging the counters.
+    ///
+    /// This is how concurrent phases stay coherent: each pool worker
+    /// records into its own `Profile` (no shared mutable state while the
+    /// pool runs), and the coordinator merges the workers in a fixed
+    /// order after the join. Same-path phases accumulate time and call
+    /// counts exactly as if one thread had run them back-to-back, so a
+    /// merged profile's *structure* (paths, call counts, counter values)
+    /// is identical for every thread count — only the durations reflect
+    /// the actual concurrency.
+    ///
+    /// ```
+    /// use flow3d_obs::Profile;
+    ///
+    /// let mut main = Profile::new();
+    /// main.begin("flow_pass");
+    /// for _ in 0..2 {
+    ///     let mut worker = Profile::new();
+    ///     worker.begin("source_search");
+    ///     worker.bump("nodes", 3);
+    ///     worker.end("source_search");
+    ///     main.merge_nested(&worker);
+    /// }
+    /// main.end("flow_pass");
+    /// assert_eq!(main.phase("flow_pass/source_search").unwrap().calls, 2);
+    /// assert_eq!(main.counters().get("nodes"), 6);
+    /// ```
+    pub fn merge_nested(&mut self, other: &Profile) {
+        let mut prefix = String::new();
+        for (ancestor, _) in &self.stack {
+            prefix.push_str(ancestor);
+            prefix.push('/');
+        }
+        for (path, stats) in other.phases() {
+            let full = format!("{prefix}{path}");
+            match self.phases.iter_mut().find(|(p, _)| *p == full) {
+                Some((_, s)) => {
+                    s.total += stats.total;
+                    s.calls += stats.calls;
+                }
+                None => self.phases.push((full, stats)),
+            }
+        }
+        self.counters.merge(other.counters());
+    }
+
     /// The counter registry.
     pub fn counters(&self) -> &CounterSet {
         &self.counters
@@ -323,6 +371,58 @@ mod tests {
         assert!(p.phase("outer").is_some());
         assert!(p.phase("outer/inner").is_some());
         assert_eq!(p.counters().get("k"), 1);
+    }
+
+    #[test]
+    fn merge_nested_aggregates_workers_under_open_path() {
+        let mut main = Profile::new();
+        main.begin("legalize");
+        main.begin("placerow");
+        for w in 0..3 {
+            let mut worker = Profile::new();
+            for _ in 0..=w {
+                worker.begin("segment");
+                spin(Duration::from_micros(200));
+                worker.end("segment");
+            }
+            worker.bump("rows", (w + 1) as u64);
+            main.merge_nested(&worker);
+        }
+        main.end("placerow");
+        main.end("legalize");
+
+        // 1 + 2 + 3 segment spans, nested where the coordinator was.
+        let seg = main.phase("legalize/placerow/segment").unwrap();
+        assert_eq!(seg.calls, 6);
+        assert!(seg.total > Duration::ZERO);
+        assert_eq!(main.counters().get("rows"), 6);
+        // The parent phase still closed normally.
+        assert_eq!(main.phase("legalize/placerow").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn merge_nested_at_top_level_keeps_paths_rooted() {
+        let mut main = Profile::new();
+        let mut worker = Profile::new();
+        worker.begin("a");
+        worker.begin("b");
+        worker.end("b");
+        worker.end("a");
+        main.merge_nested(&worker);
+        assert_eq!(main.phase("a").unwrap().calls, 1);
+        assert_eq!(main.phase("a/b").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn merge_nested_ignores_workers_open_scopes() {
+        let mut main = Profile::new();
+        let mut worker = Profile::new();
+        worker.begin("closed");
+        worker.end("closed");
+        worker.begin("still_open");
+        main.merge_nested(&worker);
+        assert!(main.phase("closed").is_some());
+        assert!(main.phase("still_open").is_none());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`gp`] — an analytical 3D global-placement substrate.
 //! * [`metrics`] — displacement/HPWL metrics and the legality checker.
 //! * [`obs`] — observability: phase timers, counters, JSON run reports.
+//! * [`par`] — std-only deterministic worker pool used by the parallel
+//!   legalization phases.
 //! * [`core`] — the 3D-Flow legalizer itself.
 //! * [`baselines`] — Tetris, Abacus, and BonnPlaceLegal-style reference
 //!   legalizers.
@@ -50,6 +52,7 @@ pub use flow3d_io as io;
 pub use flow3d_mcmf as mcmf;
 pub use flow3d_metrics as metrics;
 pub use flow3d_obs as obs;
+pub use flow3d_par as par;
 pub use flow3d_viz as viz;
 
 /// Convenience re-exports of the types most programs need.

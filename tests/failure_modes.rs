@@ -112,6 +112,112 @@ fn utilization_cap_is_honored_not_silently_exceeded() {
 }
 
 #[test]
+fn zero_row_die_is_handled_without_panicking() {
+    // The top die's outline is shorter than its row height: zero rows,
+    // zero capacity. Every legalizer must either place everything on the
+    // bottom die legally or reject with a typed error — never panic.
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 20, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 200, 20), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 200, 8), 10, 1, 1.0));
+    for i in 0..6 {
+        b = b.cell(format!("u{i}"), "C");
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(6);
+    for lg in all_legalizers() {
+        // A typed rejection is acceptable; success must be legal and
+        // entirely on the die that has rows.
+        if let Ok(outcome) = lg.legalize(&design, &global) {
+            let report = check_legal(&design, &outcome.placement);
+            assert!(report.is_legal(), "{}: {report}", lg.name());
+            for i in 0..6 {
+                assert_eq!(
+                    outcome.placement.die(flow3d::db::CellId::new(i)).index(),
+                    0,
+                    "{}: cell {i} placed on the zero-row die",
+                    lg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_row_design_is_legalized() {
+    // One row per die: placerow has exactly one segment per die to work
+    // with and the flow graph is a single horizontal chain.
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 300, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 300, 10), 10, 1, 1.0));
+    for i in 0..10 {
+        b = b.cell(format!("u{i}"), "C"); // 10*30 = 300 of 600 total
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(10);
+    for lg in all_legalizers() {
+        let outcome = lg
+            .legalize(&design, &global)
+            .unwrap_or_else(|e| panic!("{}: {e}", lg.name()));
+        let report = check_legal(&design, &outcome.placement);
+        assert!(report.is_legal(), "{}: {report}", lg.name());
+    }
+}
+
+#[test]
+fn utilization_exactly_at_cap_is_feasible() {
+    // Total cell area equals the combined utilization caps to the DBU²:
+    // 10 cells of 20x10 = 2000 against two dies allowing exactly 1000
+    // each (200x10 at 50%). The boundary must count as feasible — an
+    // off-by-one in the cap accounting would reject or overfill here.
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 20, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 200, 10), 10, 1, 0.5))
+        .die(DieSpec::new("top", "T", (0, 0, 200, 10), 10, 1, 0.5));
+    for i in 0..10 {
+        b = b.cell(format!("u{i}"), "C");
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(10);
+    let outcome = Flow3dLegalizer::default()
+        .legalize(&design, &global)
+        .expect("exact-cap instance must legalize");
+    let report = check_legal(&design, &outcome.placement);
+    assert!(report.is_legal(), "{report}");
+}
+
+#[test]
+fn more_threads_than_rows_matches_serial() {
+    // 64 workers against a design with one row per die: most workers
+    // never claim an item, and the result must still be bit-identical to
+    // the single-threaded run.
+    let mut b = DesignBuilder::new("t")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 300, 10), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 300, 10), 10, 1, 1.0));
+    for i in 0..12 {
+        b = b.cell(format!("u{i}"), "C"); // forces flow onto both dies
+    }
+    let design = b.build().unwrap();
+    let global = Placement3d::new(12);
+    let serial = Flow3dLegalizer::new(Flow3dConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .legalize(&design, &global)
+    .expect("serial run");
+    let wide = Flow3dLegalizer::new(Flow3dConfig {
+        threads: 64,
+        ..Default::default()
+    })
+    .legalize(&design, &global)
+    .expect("64-thread run");
+    assert_eq!(wide.placement, serial.placement);
+    assert_eq!(wide.stats, serial.stats);
+}
+
+#[test]
 fn empty_design_succeeds_everywhere() {
     let design = DesignBuilder::new("t")
         .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 10, 10)))

@@ -1,0 +1,195 @@
+//! Stage-level property tests: the pipeline is driven one phase at a
+//! time — assign, flow pass, placerow, post-opt — and the legality
+//! invariants are asserted after *every* stage, not just at the end:
+//!
+//! * flow state self-consistency (`FlowState::check_invariants`);
+//! * zero overflow and per-die utilization under its cap after the flow
+//!   pass, with every cell holding fragments on exactly one die;
+//! * no overlaps, on-row and on-site positions after placerow, with each
+//!   cell's die matching the flow assignment;
+//! * post-optimization never increasing the maximum displacement.
+//!
+//! The flow and row phases run on 2 worker threads here; the
+//! differential suite separately proves thread-count invariance.
+
+use flow3d::db::{DesignBuilder, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
+use flow3d::prelude::*;
+use flow3d_core::driver::{bin_widths, flow_pass_threaded, placerow_all_threaded};
+use flow3d_core::grid::BinGrid;
+use flow3d_core::search::SearchParams;
+use flow3d_core::selection::SelectionParams;
+use flow3d_core::{assign, cycle, LegalizeStats};
+use flow3d_db::{CellId, DieId, LegalPlacement, RowLayout};
+use flow3d_geom::FPoint;
+use proptest::prelude::*;
+
+const THREADS: usize = 2;
+
+/// A random instance: up to 30 cells with widths 10–50 on two 400x40
+/// dies, anchors anywhere (including outside the outline).
+fn arb_instance() -> impl Strategy<Value = (Vec<i64>, Vec<(f64, f64, f64)>)> {
+    (1usize..30).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1i64..=5, n),
+            proptest::collection::vec((-50.0f64..450.0, -20.0f64..60.0, 0.0f64..1.0), n),
+        )
+    })
+}
+
+fn build(widths: &[i64], anchors: &[(f64, f64, f64)]) -> (flow3d::db::Design, Placement3d) {
+    let mut b = DesignBuilder::new("stage-prop")
+        .technology(
+            TechnologySpec::new("TA")
+                .lib_cell(LibCellSpec::std_cell("C1", 10, 10))
+                .lib_cell(LibCellSpec::std_cell("C2", 20, 10))
+                .lib_cell(LibCellSpec::std_cell("C3", 30, 10))
+                .lib_cell(LibCellSpec::std_cell("C4", 40, 10))
+                .lib_cell(LibCellSpec::std_cell("C5", 50, 10)),
+        )
+        .technology(
+            TechnologySpec::new("TB")
+                .lib_cell(LibCellSpec::std_cell("C1", 12, 8))
+                .lib_cell(LibCellSpec::std_cell("C2", 24, 8))
+                .lib_cell(LibCellSpec::std_cell("C3", 36, 8))
+                .lib_cell(LibCellSpec::std_cell("C4", 48, 8))
+                .lib_cell(LibCellSpec::std_cell("C5", 60, 8)),
+        )
+        .die(DieSpec::new("bottom", "TA", (0, 0, 400, 40), 10, 2, 0.95))
+        .die(DieSpec::new("top", "TB", (0, 0, 400, 40), 8, 2, 0.95));
+    for (i, &w) in widths.iter().enumerate() {
+        b = b.cell(format!("u{i}"), format!("C{w}"));
+    }
+    let design = b.build().unwrap();
+    let mut gp = Placement3d::new(widths.len());
+    for (i, &(x, y, z)) in anchors.iter().enumerate() {
+        let c = CellId::new(i);
+        gp.set_pos(c, FPoint::new(x, y));
+        gp.set_die_affinity(c, z);
+    }
+    (design, gp)
+}
+
+/// The driver's search parameters for a config (mirrors
+/// `Flow3dLegalizer::run`).
+fn params_for(design: &flow3d::db::Design, cfg: &Flow3dConfig) -> SearchParams {
+    let slack = design
+        .dies()
+        .iter()
+        .map(|d| d.row_height)
+        .min()
+        .unwrap_or(1) as f64;
+    let d2d_penalty = design
+        .dies()
+        .iter()
+        .map(|d| d.row_height)
+        .max()
+        .unwrap_or(1) as f64;
+    SearchParams {
+        alpha: cfg.alpha,
+        slack,
+        dijkstra: false,
+        selection: SelectionParams {
+            clamp_negative: false,
+            d2d_congestion_cost: cfg.d2d_congestion_cost,
+            d2d_penalty,
+        },
+    }
+}
+
+#[test]
+fn every_pipeline_stage_upholds_the_legality_invariants() {
+    // Typed rejections of infeasible random instances skip a case; the
+    // counter at the bottom proves the property is not vacuously green.
+    let mut completed = 0usize;
+    proptest!(ProptestConfig::with_cases(32), |(
+        (widths, anchors) in arb_instance()
+    )| {
+        let (design, gp) = build(&widths, &anchors);
+        let cfg = Flow3dConfig::default();
+
+        // Stage: partition + grid + assignment. A typed rejection of an
+        // infeasible random instance is fine; success must be consistent.
+        let layout = RowLayout::build(&design);
+        let Ok(mut dies) = assign::partition_dies(&design, &gp) else { return; };
+        let bw = bin_widths(&design, cfg.bin_width_factor);
+        let grid = BinGrid::build(&design, &layout, &bw, cfg.allow_d2d);
+        let Ok(mut state) = assign::build_state(&design, &layout, &grid, &gp, &mut dies)
+        else { return; };
+        prop_assert_eq!(state.check_invariants(), Ok(()), "after assign");
+
+        // Stage: flow pass.
+        let params = params_for(&design, &cfg);
+        let mut stats = LegalizeStats::default();
+        if flow_pass_threaded(&mut state, &params, THREADS, &mut stats, None).is_err() {
+            return;
+        }
+        prop_assert_eq!(state.check_invariants(), Ok(()), "after flow_pass");
+        prop_assert_eq!(state.total_overflow(), 0, "flow pass left overflow");
+        for d in 0..design.num_dies() {
+            prop_assert!(
+                state.area_headroom(DieId::new(d)) >= 0,
+                "die {} exceeds its utilization cap by {} DBU²",
+                d,
+                -state.area_headroom(DieId::new(d))
+            );
+        }
+        for c in 0..design.num_cells() {
+            let cell = CellId::new(c);
+            let frags = state.cell_frags(cell);
+            prop_assert!(!frags.is_empty(), "cell {} lost its fragments", c);
+            let die = state.cell_die(cell);
+            prop_assert!(
+                frags.iter().all(|&(b, _)| state.grid.bin(b).die == die),
+                "cell {} has fragments on more than one die",
+                c
+            );
+        }
+
+        // Stage: placerow.
+        let Ok(placement) = placerow_all_threaded(&state, cfg.row_algo, THREADS, None)
+        else { return; };
+        let report = check_legal(&design, &placement);
+        prop_assert!(report.is_legal(), "placerow output illegal: {}", report);
+        for c in 0..design.num_cells() {
+            let cell = CellId::new(c);
+            prop_assert_eq!(
+                placement.die(cell),
+                state.cell_die(cell),
+                "placerow changed cell {}'s die",
+                c
+            );
+        }
+
+        // Stage: post-optimization. It must keep the placement legal and
+        // never increase the maximum displacement it set out to reduce.
+        let anchor = assign::anchors(&design, &gp);
+        let max_disp = |pl: &LegalPlacement| {
+            (0..design.num_cells())
+                .map(|i| pl.pos(CellId::new(i)).manhattan(anchor[i]))
+                .max()
+                .unwrap_or(0)
+        };
+        let before = max_disp(&placement);
+        let mut post = placement.clone();
+        if cycle::post_optimize(
+            &design, &layout, &gp, &cfg, &params, &mut post, &mut stats, None,
+        )
+        .is_err()
+        {
+            return;
+        }
+        let report = check_legal(&design, &post);
+        prop_assert!(report.is_legal(), "post-opt output illegal: {}", report);
+        prop_assert!(
+            max_disp(&post) <= before,
+            "post-opt worsened max displacement: {} -> {}",
+            before,
+            max_disp(&post)
+        );
+        completed += 1;
+    });
+    assert!(
+        completed >= 8,
+        "only {completed}/32 random cases reached the post-opt stage"
+    );
+}
