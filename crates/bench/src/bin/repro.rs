@@ -13,7 +13,8 @@
 //! repro eco   [scale]     # §III-E    — incremental (ECO) legalization
 //! repro profile [scale]   # phase/counter profiles (+ JSON sidecars)
 //! repro threads [scale]   # thread-scaling: flow_pass/placerow at 1/2/4/8 workers
-//! repro all   [scale]     # everything above
+//! repro bench [scale] [out]  # perf-gate baseline RunReport (default BENCH_legalize.json)
+//! repro all   [scale]     # everything above (except bench)
 //! ```
 //!
 //! `scale` (default 1.0) multiplies every case's cell/net/macro counts;
@@ -57,6 +58,12 @@ fn main() {
         "eco" => eco_experiment(scale),
         "profile" => profile_runs(scale),
         "threads" => threads_scaling(scale),
+        "bench" => bench_baseline(
+            scale,
+            args.get(2)
+                .map(String::as_str)
+                .unwrap_or("BENCH_legalize.json"),
+        ),
         "all" => {
             table2();
             comparison_table(Suite::Iccad2022, "Table III (ICCAD 2022)", scale);
@@ -73,7 +80,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|threads|all] [scale]");
+            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|threads|bench|all] [scale]");
             std::process::exit(2);
         }
     }
@@ -482,6 +489,22 @@ fn threads_scaling(scale: f64) {
         );
     }
     println!();
+}
+
+/// Perf-gate baseline: one profiled 3D-Flow run on ICCAD 2022 case2,
+/// written as a [`RunReport`](flow3d_obs::RunReport) JSON that
+/// `flow3d report diff` compares CI runs against. The case name embeds
+/// the scale (e.g. `iccad2022_case2@0.2`) so a baseline recorded at one
+/// scale can never silently gate a run at another — `diff` fails on the
+/// identity mismatch instead.
+fn bench_baseline(scale: f64, out: &str) {
+    println!("== perf-gate baseline (ICCAD 2022 case2), scale {scale} ==");
+    let mut run = prepare(Suite::Iccad2022, "case2", scale);
+    run.name = format!("iccad2022_case2@{scale}");
+    let (row, report) = evaluate_profiled(&run, &Flow3dLegalizer::default());
+    std::fs::write(out, report.to_json()).expect("write baseline report");
+    print!("{}", report.to_pretty());
+    println!("{:.2}s -> {out}", row.runtime_s);
 }
 
 /// Keep `CaseRun` referenced so the harness API stays exercised from the

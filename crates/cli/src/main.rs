@@ -3,10 +3,14 @@
 //! ```text
 //! flow3d gen --suite 2022 --case case3 [--scale 0.25] --out case.txt [--gp gp.txt]
 //! flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt \
-//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1] [--threads N] [--profile out.json]
+//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1] [--threads N] \
+//!        [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]
 //! flow3d check --case case.txt --legal legal.txt [--gp gp.txt]
 //! flow3d stats --case case.txt
+//! flow3d report show report.json
+//! flow3d report diff baseline.json current.json [--rt-warn-pct P] [--rt-fail-pct P] ...
 //! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
+//! flow3d viz --heatmaps run.heatmaps.json [--name flow_pass0/die0/overflow] --out grid.svg
 //! ```
 
 use flow3d_baselines::{AbacusLegalizer, BonnLegalizer, TetrisLegalizer};
@@ -91,6 +95,9 @@ fn run() -> Result<(), String> {
     let Some(cmd) = argv.first() else {
         return Err(usage());
     };
+    if cmd == "report" {
+        return run_report(&argv[1..]);
+    }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "gen" => cmd_gen(&args),
@@ -106,13 +113,36 @@ fn run() -> Result<(), String> {
     }
 }
 
+/// `report` takes positional file paths (unlike every `--key value`
+/// command), so it splits positionals from flags itself.
+fn run_report(argv: &[String]) -> Result<(), String> {
+    let positional: Vec<&str> = argv
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let args = Args::parse(&argv[positional.len()..])?;
+    match positional.as_slice() {
+        ["show", path] => cmd_report_show(path),
+        ["diff", baseline, current] => cmd_report_diff(baseline, current, &args),
+        _ => Err(format!(
+            "usage:\n  flow3d report show <report.json>\n  \
+             flow3d report diff <baseline.json> <current.json> [tolerance flags]\n\
+             got positionals: {positional:?}"
+        )),
+    }
+}
+
 fn usage() -> String {
     "usage:\n  \
      flow3d gen --suite 2022|2023 --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
-     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A] [--threads N] [--profile out.json]\n  \
+     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A] [--threads N] [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]\n  \
      flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
      flow3d stats --case case.txt\n  \
-     flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg"
+     flow3d report show <report.json>\n  \
+     flow3d report diff <baseline.json> <current.json> [--rt-warn-pct P] [--rt-fail-pct P] [--disp-warn-pct P] [--disp-fail-pct P] [--counter-warn-pct P] [--counter-fail-pct P] [--min-seconds S]\n  \
+     flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg\n  \
+     flow3d viz --heatmaps sidecar.json [--name <heatmap>] --out grid.svg"
         .to_string()
 }
 
@@ -192,7 +222,16 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
     };
 
     let profile_path = args.get("profile");
-    let mut profile = profile_path.map(|_| flow3d_obs::Profile::new());
+    let trace_path = args.get("trace");
+    let heatmaps_path = args.get("heatmaps");
+    let mut profile = (profile_path.is_some() || trace_path.is_some() || heatmaps_path.is_some())
+        .then(flow3d_obs::Profile::new);
+    if trace_path.is_some() {
+        profile
+            .as_mut()
+            .expect("trace implies a profile")
+            .enable_tracing();
+    }
 
     let start = std::time::Instant::now();
     let outcome = legalizer
@@ -222,6 +261,20 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
         write(path, &report.to_json())?;
         print!("{}", report.to_pretty());
         println!("wrote {path}");
+    }
+    if let (Some(path), Some(profile)) = (trace_path, &profile) {
+        let trace = profile
+            .to_chrome_trace(&format!("flow3d {} {}", legalizer.name(), design.name()))
+            .expect("tracing was enabled");
+        write(path, &trace)?;
+        println!(
+            "wrote {path} ({} trace events)",
+            profile.trace_events().len()
+        );
+    }
+    if let (Some(path), Some(profile)) = (heatmaps_path, &profile) {
+        write(path, &flow3d_obs::heatmaps_to_json(profile.heatmaps()))?;
+        println!("wrote {path} ({} heatmaps)", profile.heatmaps().len());
     }
 
     let mut text = String::new();
@@ -281,7 +334,64 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn load_report(path: &str) -> Result<flow3d_obs::RunReport, String> {
+    flow3d_obs::RunReport::from_json(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_report_show(path: &str) -> Result<(), String> {
+    print!("{}", load_report(path)?.to_pretty());
+    Ok(())
+}
+
+/// Compares two run reports and exits non-zero when any metric regressed
+/// beyond the failure tolerance — the CI perf gate.
+fn cmd_report_diff(baseline_path: &str, current_path: &str, args: &Args) -> Result<(), String> {
+    let baseline = load_report(baseline_path)?;
+    let current = load_report(current_path)?;
+    let defaults = flow3d_obs::DiffTolerances::default();
+    let tol = flow3d_obs::DiffTolerances {
+        rt_warn_pct: args.get_f64("rt-warn-pct", defaults.rt_warn_pct)?,
+        rt_fail_pct: args.get_f64("rt-fail-pct", defaults.rt_fail_pct)?,
+        disp_warn_pct: args.get_f64("disp-warn-pct", defaults.disp_warn_pct)?,
+        disp_fail_pct: args.get_f64("disp-fail-pct", defaults.disp_fail_pct)?,
+        counter_warn_pct: args.get_f64("counter-warn-pct", defaults.counter_warn_pct)?,
+        counter_fail_pct: args.get_f64("counter-fail-pct", defaults.counter_fail_pct)?,
+        min_seconds: args.get_f64("min-seconds", defaults.min_seconds)?,
+    };
+    let diff = flow3d_obs::diff_reports(&baseline, &current, &tol);
+    print!("{}", diff.to_pretty());
+    match diff.worst() {
+        flow3d_obs::DiffStatus::Fail => Err(format!(
+            "regression beyond tolerance vs {baseline_path} (see FAIL rows above)"
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// `viz --heatmaps` mode: render telemetry grids from a sidecar instead
+/// of a placement plot.
+fn cmd_viz_heatmaps(args: &Args, sidecar: &str) -> Result<(), String> {
+    let maps =
+        flow3d_obs::heatmaps_from_json(&read(sidecar)?).map_err(|e| format!("{sidecar}: {e}"))?;
+    let map = match args.get("name") {
+        Some(name) => maps
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| format!("no heatmap `{name}` in {sidecar} ({} present)", maps.len()))?,
+        None => maps
+            .first()
+            .ok_or_else(|| format!("{sidecar}: no heatmaps"))?,
+    };
+    let out = args.require("out")?;
+    write(out, &flow3d_viz::heatmap_svg(map))?;
+    println!("wrote {out} ({})", map.name);
+    Ok(())
+}
+
 fn cmd_viz(args: &Args) -> Result<(), String> {
+    if let Some(sidecar) = args.get("heatmaps") {
+        return cmd_viz_heatmaps(args, sidecar);
+    }
     let design = load_design(args)?;
     let global = flow3d_io::parse_placement3d(&design, &read(args.require("gp")?)?)
         .map_err(|e| e.to_string())?;

@@ -122,7 +122,9 @@ pub fn post_optimize(
             current_max = new_max;
             stats.post_passes += 1;
             obs.bump(keys::CYCLE_RELEGALIZATIONS, 1);
+            obs.instant("cycle_pass_accepted");
         } else {
+            obs.instant("cycle_pass_rejected");
             break;
         }
     }

@@ -15,8 +15,8 @@ use crate::state::FlowState;
 use crate::traits::{LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout};
 use flow3d_geom::Point;
-use flow3d_obs::{keys, Obs, ObsExt, Profile};
-use std::collections::HashSet;
+use flow3d_obs::{hist_keys, keys, Heatmap, Obs, ObsExt, Profile};
+use std::collections::{BTreeMap, HashSet};
 
 /// Per-die nominal bin widths: `factor · w̄_c(die)`, snapped up to the
 /// die's site grid (§III-F).
@@ -156,6 +156,25 @@ pub fn flow_pass_threaded(
     let threads = threads.max(1);
     let num_bins = state.grid.num_bins();
     let observing = obs.is_some();
+    // Workers share the coordinator's trace epoch so their spans land on
+    // the same timeline; `None` when the coordinator is not tracing.
+    let trace_epoch = obs.as_deref().and_then(Profile::tracing_epoch);
+    let mut moves_per_bin: Vec<u64> = if observing {
+        vec![0; num_bins]
+    } else {
+        Vec::new()
+    };
+    let pass = if let Some(p) = obs.as_deref_mut() {
+        let pass = p.counters().get(keys::FLOW_PASSES);
+        p.bump(keys::FLOW_PASSES, 1);
+        // Pre-pass congestion snapshot: where the flow problem starts.
+        capture_bin_heatmaps(state, p, pass, "supply", &|b| state.sup(b) as f64);
+        capture_bin_heatmaps(state, p, pass, "demand", &|b| state.dem(b) as f64);
+        capture_bin_heatmaps(state, p, pass, "overflow", &|b| state.sup(b).max(0) as f64);
+        pass
+    } else {
+        0
+    };
     let mut retries: usize = 0;
     let mut counters = SearchCounters::default();
     // Generous guard against cycling; each applied path normally drains
@@ -178,11 +197,17 @@ pub fn flow_pass_threaded(
         // Batch: one read-only search per source against the frozen
         // state, fanned out across the pool. Worker-local scratch reuses
         // its epoch-visited marks across the items one worker claims.
+        obs.begin("search_batch");
         let frozen: &FlowState<'_> = state;
         let (candidates, worker_profiles) = flow3d_par::par_map_with(
             threads,
             sources.len(),
-            || (SearchScratch::new(num_bins), Profile::new()),
+            || {
+                (
+                    SearchScratch::new(num_bins),
+                    Profile::new_worker(trace_epoch),
+                )
+            },
             |(scratch, wprof), i| {
                 let (sup, bin) = sources[i];
                 if observing {
@@ -197,11 +222,21 @@ pub fn flow_pass_threaded(
         );
         if observing {
             if let Some(p) = obs.as_deref_mut() {
-                for (_, wprof) in &worker_profiles {
-                    p.merge_nested(wprof);
+                // Merge while "search_batch" is open so worker spans nest
+                // under it; the worker's merge-order index becomes its
+                // trace track, so the timeline layout is deterministic.
+                for (w, (_, wprof)) in worker_profiles.iter().enumerate() {
+                    p.merge_nested_worker(wprof, w as u32 + 1);
+                }
+                // Histograms are recorded coordinator-side in source
+                // (index) order — never from racing workers — so their
+                // contents are thread-count invariant.
+                for (_, c, _) in &candidates {
+                    p.record(hist_keys::SEARCH_NODES, c.expanded as f64);
                 }
             }
         }
+        obs.end("search_batch");
         for (_, c, searches) in &candidates {
             counters.expanded += c.expanded;
             counters.created += c.created;
@@ -226,7 +261,9 @@ pub fn flow_pass_threaded(
         // earlier application still realize safely (selections are
         // recomputed against the live state and only under-fill); any
         // supply they leave behind re-enters the next round.
+        obs.begin("apply");
         let mut applied = false;
+        let mut exhausted: Option<(DieId, i64)> = None;
         for &i in &order {
             let bin = sources[i].1;
             let sup = state.sup(bin);
@@ -234,16 +271,24 @@ pub fn flow_pass_threaded(
                 continue; // an earlier application already drained it
             }
             if guard == 0 {
-                return Err(LegalizeError::NoAugmentingPath {
-                    die: state.grid.bin(bin).die,
-                    supply: sup,
-                });
+                exhausted = Some((state.grid.bin(bin).die, sup));
+                break;
             }
             guard -= 1;
             let path = candidates[i].0.as_ref().unwrap();
             stats.cells_moved += crate::augment::realize(state, path, &params.selection);
             stats.augmentations += 1;
+            if let Some(p) = obs.as_deref_mut() {
+                p.record(hist_keys::SEARCH_DEPTH, path.depth() as f64);
+                for step in &path.steps {
+                    moves_per_bin[step.bin.index()] += 1;
+                }
+            }
             applied = true;
+        }
+        obs.end("apply");
+        if let Some((die, supply)) = exhausted {
+            return Err(LegalizeError::NoAugmentingPath { die, supply });
         }
 
         if !applied {
@@ -261,6 +306,13 @@ pub fn flow_pass_threaded(
         }
     }
     stats.nodes_expanded += counters.expanded;
+    if let Some(p) = obs.as_deref_mut() {
+        // Post-pass movement picture: how many applied path steps
+        // touched each bin.
+        capture_bin_heatmaps(state, p, pass, "moves", &|b| {
+            moves_per_bin[b.index()] as f64
+        });
+    }
     obs.bump(keys::NODES_EXPANDED, counters.expanded as u64);
     obs.bump(keys::NODES_CREATED, counters.created as u64);
     obs.bump(keys::BRANCHES_PRUNED, counters.pruned as u64);
@@ -275,6 +327,45 @@ pub fn flow_pass_threaded(
         (stats.fallback_moves - fallback_before) as u64,
     );
     Ok(())
+}
+
+/// Captures one heatmap per die of `value` over the bin grid, named
+/// `flow_pass{pass}/die{d}/{kind}`.
+///
+/// Grid rows map to heatmap rows bottom-up (ascending row y), bins
+/// within a row map to columns left-to-right (ascending span start);
+/// rows shorter than the widest row (macro cut-outs) leave `NaN` cells.
+/// The capture order and cell values are pure functions of the state, so
+/// heatmaps are identical for every thread count.
+fn capture_bin_heatmaps(
+    state: &FlowState<'_>,
+    profile: &mut Profile,
+    pass: u64,
+    kind: &str,
+    value: &dyn Fn(BinId) -> f64,
+) {
+    let mut dies: BTreeMap<usize, BTreeMap<i64, Vec<(i64, BinId)>>> = BTreeMap::new();
+    for i in 0..state.grid.num_bins() {
+        let id = BinId::new(i);
+        let b = state.grid.bin(id);
+        dies.entry(b.die.index())
+            .or_default()
+            .entry(b.y)
+            .or_default()
+            .push((b.span.lo, id));
+    }
+    for (die, rows) in &mut dies {
+        let cols = rows.values().map(Vec::len).max().unwrap_or(0);
+        let name = format!("flow_pass{pass}/die{die}/{kind}");
+        let mut map = Heatmap::new(&name, rows.len(), cols);
+        for (r, bins) in rows.values_mut().enumerate() {
+            bins.sort_unstable();
+            for (c, &(_, bin)) in bins.iter().enumerate() {
+                map.set(r, c, value(bin));
+            }
+        }
+        profile.add_heatmap(map);
+    }
 }
 
 /// `true` if the grid was built with die-to-die edges (determines whether
@@ -420,12 +511,13 @@ pub fn placerow_all_threaded(
     let design = state.design;
     let segs = state.layout.segments();
     let observing = obs.is_some();
+    let trace_epoch = obs.as_deref().and_then(Profile::tracing_epoch);
 
     type SegmentPlacement = Result<Vec<(usize, i64)>, LegalizeError>;
     let (per_segment, worker_profiles) = flow3d_par::par_map_with(
         threads.max(1),
         segs.len(),
-        Profile::new,
+        || Profile::new_worker(trace_epoch),
         |wprof, i| -> SegmentPlacement {
             let seg = &segs[i];
             let die = design.die(seg.die);
@@ -469,8 +561,8 @@ pub fn placerow_all_threaded(
     );
     if observing {
         if let Some(p) = obs.as_deref_mut() {
-            for wprof in &worker_profiles {
-                p.merge_nested(wprof);
+            for (w, wprof) in worker_profiles.iter().enumerate() {
+                p.merge_nested_worker(wprof, w as u32 + 1);
             }
         }
     }
@@ -483,6 +575,9 @@ pub fn placerow_all_threaded(
             continue;
         }
         obs.bump(keys::PLACEROW_CALLS, 1);
+        // Recorded here, in segment order, so the histogram is
+        // thread-count invariant.
+        obs.record(hist_keys::SEGMENT_CELLS, placed.len() as f64);
         for (key, x) in placed {
             placement.place(CellId::new(key), Point::new(x, seg.y), seg.die);
         }
@@ -622,6 +717,16 @@ impl Flow3dLegalizer {
         }
 
         stats.cross_die_moves = placement.cross_die_moves(global, design.num_dies());
+
+        if let Some(p) = obs {
+            // Final displacement distribution (paper Table III reports
+            // only avg/max; the histogram shows the shape behind them).
+            let anchors = assign::anchors(design, global);
+            for (i, &anchor) in anchors.iter().enumerate() {
+                let d = placement.pos(CellId::new(i)).manhattan(anchor);
+                p.record(hist_keys::DISPLACEMENT, d as f64);
+            }
+        }
         Ok(LegalizeOutcome { placement, stats })
     }
 }
@@ -755,7 +860,15 @@ mod tests {
         assert!(serial
             .0
             .iter()
-            .any(|(p, _)| p == "legalize/flow_pass/source_search"));
+            .any(|(p, _)| p == "legalize/flow_pass/search_batch"));
+        assert!(serial
+            .0
+            .iter()
+            .any(|(p, _)| p == "legalize/flow_pass/search_batch/source_search"));
+        assert!(serial
+            .0
+            .iter()
+            .any(|(p, _)| p == "legalize/flow_pass/apply"));
         assert!(serial
             .0
             .iter()

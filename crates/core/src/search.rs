@@ -67,6 +67,15 @@ pub struct AugmentingPath {
     pub cost: f64,
 }
 
+impl AugmentingPath {
+    /// Path depth: edges traversed from the source to the sink (one less
+    /// than the number of bins on the path). This is the sample recorded
+    /// into the `search_path_depth` telemetry histogram.
+    pub fn depth(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+}
+
 /// Counters for one search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchCounters {
@@ -362,6 +371,7 @@ mod tests {
         assert_eq!(path.steps[1].bin, bins[1]);
         assert_eq!(path.steps[1].inflow, 20);
         assert!(path.cost > 0.0);
+        assert_eq!(path.depth(), 1);
         assert!(counters.expanded >= 1);
     }
 

@@ -27,13 +27,19 @@ pub mod keys {
     /// Cells teleported by the last-resort fallback when no augmenting
     /// path exists.
     pub const FALLBACK_MOVES: &str = "fallback_moves";
+    /// Flow passes executed (used to index per-pass telemetry such as
+    /// heatmap snapshots).
+    pub const FLOW_PASSES: &str = "flow_passes";
 }
 
-/// An insertion-ordered set of named monotonic counters.
+/// A name-sorted set of named monotonic counters.
 ///
-/// Lookup is a linear scan: the pipeline registers on the order of ten
-/// counters, far below the crossover where a map wins, and insertion
-/// order makes reports deterministic and readable.
+/// Entries are kept sorted by name at all times, so iteration order —
+/// and therefore every serialized report — is a pure function of *which*
+/// counters were touched, never of the order threads happened to touch
+/// them. That makes merged worker counter sets bit-identical across
+/// `FLOW3D_THREADS` settings. The pipeline registers on the order of ten
+/// counters, so the binary searches here are effectively free.
 ///
 /// ```
 /// use flow3d_obs::CounterSet;
@@ -58,33 +64,31 @@ impl CounterSet {
     /// Adds `by` to the counter `name`, creating it at zero first if it
     /// has never been touched.
     pub fn bump(&mut self, name: &str, by: u64) {
-        if let Some((_, v)) = self.entries.iter_mut().find(|(k, _)| k == name) {
-            *v += by;
-        } else {
-            self.entries.push((name.to_string(), by));
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
+            Ok(i) => self.entries[i].1 += by,
+            Err(i) => self.entries.insert(i, (name.to_string(), by)),
         }
     }
 
     /// The current value of `name`; untouched counters read as zero.
     pub fn get(&self, name: &str) -> u64 {
         self.entries
-            .iter()
-            .find(|(k, _)| k == name)
-            .map_or(0, |(_, v)| *v)
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map_or(0, |i| self.entries[i].1)
     }
 
     /// Adds every counter of `other` into `self`.
     ///
-    /// Merging is associative and commutative up to entry order, so
-    /// per-shard counter sets can be combined in any grouping — see the
-    /// unit tests.
+    /// Merging is associative and commutative — with name-sorted
+    /// entries, per-shard counter sets combined in any grouping produce
+    /// the *identical* set — see the unit tests.
     pub fn merge(&mut self, other: &CounterSet) {
         for (name, value) in &other.entries {
             self.bump(name, *value);
         }
     }
 
-    /// Iterates over `(name, value)` pairs in first-touch order.
+    /// Iterates over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), *v))
     }
@@ -140,10 +144,23 @@ mod tests {
     }
 
     #[test]
-    fn iteration_is_first_touch_ordered() {
+    fn iteration_is_name_sorted_regardless_of_touch_order() {
         let c = set(&[("b", 1), ("a", 2), ("b", 3)]);
         let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
-        assert_eq!(names, ["b", "a"]);
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(c.get("b"), 4);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_entry_order() {
+        // The determinism the differential harness relies on: merging
+        // worker sets in any order yields the identical set, entry order
+        // included.
+        let mut ab = set(&[("x", 1)]);
+        ab.merge(&set(&[("a", 2)]));
+        let mut ba = set(&[("a", 2)]);
+        ba.merge(&set(&[("x", 1)]));
+        assert_eq!(ab, ba);
     }
 
     #[test]

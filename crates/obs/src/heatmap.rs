@@ -1,0 +1,184 @@
+//! Spatial heatmaps: dense row-major grids of per-bin values captured
+//! during a run (supply, demand, overflow, moves per bin), serialized
+//! as JSON sidecars that `flow3d-viz` renders.
+
+use crate::json::{Json, JsonError};
+
+/// A named dense grid of `f64` cell values in row-major order.
+///
+/// Missing cells (a die row with fewer bins than the widest row) are
+/// `NaN`, which serializes as JSON `null` and renders as "no bin".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    /// Identifier, e.g. `"flow_pass0/die0/overflow"`.
+    pub name: String,
+    /// Number of grid rows.
+    pub rows: usize,
+    /// Number of grid columns.
+    pub cols: usize,
+    /// `rows * cols` values, row-major.
+    pub values: Vec<f64>,
+}
+
+impl Heatmap {
+    /// A grid of the given shape filled with `NaN` ("no bin").
+    pub fn new(name: &str, rows: usize, cols: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            rows,
+            cols,
+            values: vec![f64::NAN; rows * cols],
+        }
+    }
+
+    /// The value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.values[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.values[row * self.cols + col] = value;
+    }
+
+    /// The extreme finite values, if any cell is finite.
+    pub fn finite_range(&self) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for &v in &self.values {
+            if v.is_finite() {
+                range = Some(match range {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        range
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("rows".to_string(), Json::Num(self.rows as f64)),
+            ("cols".to_string(), Json::Num(self.cols as f64)),
+            (
+                "values".to_string(),
+                // Json::num maps NaN to null.
+                Json::Arr(self.values.iter().map(|&v| Json::num(v)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json_value(doc: &Json) -> Result<Self, JsonError> {
+        let missing = |field: &str| JsonError {
+            message: format!("heatmap: missing or ill-typed field '{field}'"),
+            offset: 0,
+        };
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("name"))?
+            .to_string();
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("rows"))? as usize;
+        let cols = doc
+            .get("cols")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("cols"))? as usize;
+        let raw = doc
+            .get("values")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("values"))?;
+        if raw.len() != rows * cols {
+            return Err(JsonError {
+                message: format!(
+                    "heatmap '{name}': {} values for a {rows}x{cols} grid",
+                    raw.len()
+                ),
+                offset: 0,
+            });
+        }
+        let values = raw
+            .iter()
+            .map(|v| match v {
+                Json::Null => Ok(f64::NAN),
+                other => other.as_f64().ok_or_else(|| missing("values[]")),
+            })
+            .collect::<Result<Vec<f64>, JsonError>>()?;
+        Ok(Self {
+            name,
+            rows,
+            cols,
+            values,
+        })
+    }
+}
+
+/// Serializes a heatmap collection as one JSON sidecar document
+/// (`{"heatmaps": [...]}`).
+pub fn heatmaps_to_json(maps: &[Heatmap]) -> String {
+    Json::Obj(vec![(
+        "heatmaps".to_string(),
+        Json::Arr(maps.iter().map(Heatmap::to_json_value).collect()),
+    )])
+    .to_string()
+}
+
+/// Parses a sidecar previously produced by [`heatmaps_to_json`].
+pub fn heatmaps_from_json(text: &str) -> Result<Vec<Heatmap>, JsonError> {
+    let doc = Json::parse(text)?;
+    let arr = doc
+        .get("heatmaps")
+        .and_then(Json::as_array)
+        .ok_or(JsonError {
+            message: "missing 'heatmaps' array".to_string(),
+            offset: 0,
+        })?;
+    arr.iter().map(Heatmap::from_json_value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Heatmap {
+        let mut h = Heatmap::new("pass0/die0/overflow", 2, 3);
+        h.set(0, 0, 1.5);
+        h.set(0, 2, -2.0);
+        h.set(1, 1, 0.0);
+        h
+    }
+
+    #[test]
+    fn get_set_round_trip_and_nan_fill() {
+        let h = sample();
+        assert_eq!(h.get(0, 0), 1.5);
+        assert_eq!(h.get(0, 2), -2.0);
+        assert!(h.get(1, 0).is_nan());
+        assert_eq!(h.finite_range(), Some((-2.0, 1.5)));
+        assert_eq!(Heatmap::new("empty", 1, 1).finite_range(), None);
+    }
+
+    #[test]
+    fn json_round_trips_with_nan_as_null() {
+        let maps = vec![sample(), Heatmap::new("blank", 1, 2)];
+        let text = heatmaps_to_json(&maps);
+        assert!(text.contains("null"), "NaN cells serialize as null: {text}");
+        let back = heatmaps_from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, maps[0].name);
+        assert_eq!(back[0].rows, 2);
+        assert_eq!(back[0].cols, 3);
+        for (a, b) in back[0].values.iter().zip(&maps[0].values) {
+            assert!(a == b || (a.is_nan() && b.is_nan()));
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let text = r#"{"heatmaps":[{"name":"x","rows":2,"cols":2,"values":[1]}]}"#;
+        assert!(heatmaps_from_json(text).is_err());
+        assert!(heatmaps_from_json("{}").is_err());
+    }
+}

@@ -17,6 +17,12 @@
 //!   inverted by [`RunReport::from_json`]) and to an aligned text table
 //!   ([`RunReport::to_pretty`]). The JSON machinery ([`Json`]) is
 //!   hand-rolled and public for reuse.
+//! * Telemetry — [`Histogram`]/[`HistogramSet`] for mergeable
+//!   fixed-bucket distributions (surfaced as [`HistReport`] p50/p90/p99
+//!   summaries), the [`trace`] module for Chrome `trace_event` export
+//!   with per-worker timelines, [`Heatmap`] for per-bin spatial grids,
+//!   and [`diff_reports`] + [`DiffTolerances`] for the
+//!   `flow3d report diff` regression gate.
 //!
 //! # Example
 //!
@@ -38,11 +44,19 @@
 //! ```
 
 mod counters;
+mod diff;
+mod heatmap;
+mod hist;
 mod json;
 mod profile;
 mod report;
+pub mod trace;
 
 pub use counters::{keys, CounterSet};
+pub use diff::{diff_reports, DiffItem, DiffStatus, DiffTolerances, ReportDiff};
+pub use heatmap::{heatmaps_from_json, heatmaps_to_json, Heatmap};
+pub use hist::{keys as hist_keys, HistSummary, Histogram, HistogramSet, DEFAULT_POW2_BOUNDS};
 pub use json::{Json, JsonError};
 pub use profile::{Obs, ObsExt, PhaseStats, Profile, Span};
-pub use report::{PhaseReport, Quality, RunReport};
+pub use report::{HistReport, PhaseReport, Quality, RunReport};
+pub use trace::{chrome_trace_json, track_name, TraceEvent, TracePhase};

@@ -1,8 +1,23 @@
 //! Hierarchical phase timing: [`Profile`] accumulates per-phase wall
 //! time and call counts; [`Span`] is the RAII variant of a phase scope.
+//!
+//! Beyond timers and counters, a profile carries the rest of the
+//! telemetry state: a [`HistogramSet`], captured [`Heatmap`]s, and —
+//! when armed via [`Profile::enable_tracing`] — a per-thread
+//! [`TraceEvent`] stream (see the [`trace`](crate::trace) module).
 
 use crate::counters::CounterSet;
+use crate::heatmap::Heatmap;
+use crate::hist::HistogramSet;
+use crate::trace::{chrome_trace_json, TraceEvent, TracePhase};
 use std::time::{Duration, Instant};
+
+/// Armed tracing state: the shared epoch plus this thread's events.
+#[derive(Debug, Clone)]
+struct TraceState {
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+}
 
 /// Accumulated statistics for one phase path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,6 +61,11 @@ pub struct Profile {
     /// Accumulated stats per phase path, in first-entry order.
     phases: Vec<(String, PhaseStats)>,
     counters: CounterSet,
+    hists: HistogramSet,
+    heatmaps: Vec<Heatmap>,
+    /// `Some` once tracing is armed; recording is a plain `Vec::push`
+    /// on this thread-local state, so no lock is ever taken.
+    trace: Option<TraceState>,
 }
 
 impl Default for Profile {
@@ -62,7 +82,52 @@ impl Profile {
             stack: Vec::new(),
             phases: Vec::new(),
             counters: CounterSet::new(),
+            hists: HistogramSet::new(),
+            heatmaps: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// A worker-side profile that shares a coordinator's trace epoch,
+    /// so its event timestamps land on the coordinator's timeline.
+    /// `None` (the coordinator is not tracing) yields a plain profile.
+    ///
+    /// Workers record events on track 0; the coordinator assigns the
+    /// real track id when it folds the worker in with
+    /// [`merge_nested_worker`](Self::merge_nested_worker).
+    pub fn new_worker(trace_epoch: Option<Instant>) -> Self {
+        let mut p = Self::new();
+        if let Some(epoch) = trace_epoch {
+            p.trace = Some(TraceState {
+                epoch,
+                events: Vec::new(),
+            });
+        }
+        p
+    }
+
+    /// Arms event tracing. The epoch — the zero point of every event
+    /// timestamp — is the instant the profile was created, so phase
+    /// times and trace times share one timeline. Idempotent.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(TraceState {
+                epoch: self.created,
+                events: Vec::new(),
+            });
+        }
+    }
+
+    /// Whether tracing is armed.
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace epoch, when tracing is armed — hand this to
+    /// [`new_worker`](Self::new_worker) so worker events share the
+    /// coordinator's timeline.
+    pub fn tracing_epoch(&self) -> Option<Instant> {
+        self.trace.as_ref().map(|t| t.epoch)
     }
 
     /// Opens a phase scope. Must be balanced by [`end`](Self::end) with
@@ -115,6 +180,29 @@ impl Profile {
             .expect("begin registered the path");
         stats.total += elapsed;
         stats.calls += 1;
+        if let Some(t) = &mut self.trace {
+            t.events.push(TraceEvent {
+                name: open,
+                track: 0,
+                start: started.saturating_duration_since(t.epoch),
+                duration: elapsed,
+                phase: TracePhase::Complete,
+            });
+        }
+    }
+
+    /// Records a zero-duration trace marker on this profile's timeline
+    /// (a no-op unless tracing is armed).
+    pub fn instant(&mut self, name: &str) {
+        if let Some(t) = &mut self.trace {
+            t.events.push(TraceEvent {
+                name: name.to_string(),
+                track: 0,
+                start: Instant::now().saturating_duration_since(t.epoch),
+                duration: Duration::ZERO,
+                phase: TracePhase::Instant,
+            });
+        }
     }
 
     /// Opens a phase as an RAII guard that closes itself on drop.
@@ -182,6 +270,19 @@ impl Profile {
     /// assert_eq!(main.counters().get("nodes"), 6);
     /// ```
     pub fn merge_nested(&mut self, other: &Profile) {
+        self.merge_nested_retagged(other, None);
+    }
+
+    /// [`merge_nested`](Self::merge_nested), additionally retagging the
+    /// worker's trace events onto track `track` (1-based; track 0 is the
+    /// coordinator). Use the worker's stable index in the merge order —
+    /// not an OS thread id — so the exported timeline layout is
+    /// deterministic.
+    pub fn merge_nested_worker(&mut self, other: &Profile, track: u32) {
+        self.merge_nested_retagged(other, Some(track));
+    }
+
+    fn merge_nested_retagged(&mut self, other: &Profile, track: Option<u32>) {
         let mut prefix = String::new();
         for (ancestor, _) in &self.stack {
             prefix.push_str(ancestor);
@@ -198,6 +299,19 @@ impl Profile {
             }
         }
         self.counters.merge(other.counters());
+        self.hists.merge(other.hists());
+        self.heatmaps.extend(other.heatmaps.iter().cloned());
+        if let Some(dst) = &mut self.trace {
+            if let Some(src) = &other.trace {
+                for e in &src.events {
+                    let mut e = e.clone();
+                    if let Some(t) = track {
+                        e.track = t;
+                    }
+                    dst.events.push(e);
+                }
+            }
+        }
     }
 
     /// The counter registry.
@@ -209,6 +323,45 @@ impl Profile {
     /// [`merge`](CounterSet::merge) counters collected elsewhere).
     pub fn counters_mut(&mut self) -> &mut CounterSet {
         &mut self.counters
+    }
+
+    /// Records `value` into the named histogram (shared power-of-two
+    /// buckets on first touch — see [`HistogramSet::record`]).
+    pub fn record(&mut self, hist: &str, value: f64) {
+        self.hists.record(hist, value);
+    }
+
+    /// The histogram registry.
+    pub fn hists(&self) -> &HistogramSet {
+        &self.hists
+    }
+
+    /// Mutable access to the histogram registry (custom bounds, merges).
+    pub fn hists_mut(&mut self) -> &mut HistogramSet {
+        &mut self.hists
+    }
+
+    /// Attaches a captured heatmap to the profile.
+    pub fn add_heatmap(&mut self, map: Heatmap) {
+        self.heatmaps.push(map);
+    }
+
+    /// Heatmaps captured so far, in capture order.
+    pub fn heatmaps(&self) -> &[Heatmap] {
+        &self.heatmaps
+    }
+
+    /// Trace events recorded so far (empty unless tracing is armed).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.as_ref().map_or(&[], |t| &t.events)
+    }
+
+    /// Exports the recorded events as a Chrome `trace_event` JSON
+    /// document, or `None` if tracing was never armed.
+    pub fn to_chrome_trace(&self, process: &str) -> Option<String> {
+        self.trace
+            .as_ref()
+            .map(|t| chrome_trace_json(process, &t.events))
     }
 
     /// Wall time since the profile was created.
@@ -273,6 +426,10 @@ pub trait ObsExt {
     fn end(&mut self, name: &str);
     /// [`Profile::bump`] if observing, else nothing.
     fn bump(&mut self, counter: &str, by: u64);
+    /// [`Profile::record`] if observing, else nothing.
+    fn record(&mut self, hist: &str, value: f64);
+    /// [`Profile::instant`] if observing, else nothing.
+    fn instant(&mut self, name: &str);
     /// Reborrows the hook for passing down to a callee while keeping it
     /// usable afterwards.
     fn reborrow(&mut self) -> Obs<'_>;
@@ -294,6 +451,18 @@ impl ObsExt for Obs<'_> {
     fn bump(&mut self, counter: &str, by: u64) {
         if let Some(p) = self {
             p.bump(counter, by);
+        }
+    }
+
+    fn record(&mut self, hist: &str, value: f64) {
+        if let Some(p) = self {
+            p.record(hist, value);
+        }
+    }
+
+    fn instant(&mut self, name: &str) {
+        if let Some(p) = self {
+            p.instant(name);
         }
     }
 
@@ -438,8 +607,93 @@ mod tests {
         let mut obs: Obs<'_> = None;
         obs.begin("x");
         obs.bump("c", 5);
+        obs.record("h", 1.0);
+        obs.instant("mark");
         obs.end("x");
         // Nothing to assert beyond "did not panic": there is no profile.
+    }
+
+    #[test]
+    fn tracing_records_spans_with_epoch_relative_times() {
+        let mut p = Profile::new();
+        assert!(!p.is_tracing());
+        assert!(p.to_chrome_trace("flow3d").is_none());
+        p.enable_tracing();
+        assert!(p.is_tracing());
+        p.begin("outer");
+        p.begin("inner");
+        spin(Duration::from_millis(1));
+        p.end("inner");
+        p.instant("mark");
+        p.end("outer");
+
+        let events = p.trace_events();
+        // Events are recorded at scope close: inner, mark, outer.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "mark");
+        assert_eq!(events[1].phase, crate::trace::TracePhase::Instant);
+        assert_eq!(events[2].name, "outer");
+        assert!(events[2].start <= events[0].start, "outer starts first");
+        assert!(events[2].duration >= events[0].duration);
+        assert!(events.iter().all(|e| e.track == 0));
+        let json = p.to_chrome_trace("flow3d").unwrap();
+        assert!(json.contains("traceEvents"));
+        assert!(json.contains("coordinator"));
+    }
+
+    #[test]
+    fn untraced_profile_records_no_events() {
+        let mut p = Profile::new();
+        p.begin("a");
+        p.end("a");
+        p.instant("mark");
+        assert!(p.trace_events().is_empty());
+    }
+
+    #[test]
+    fn merge_nested_worker_retags_tracks_and_merges_hists() {
+        let mut main = Profile::new();
+        main.enable_tracing();
+        main.begin("flow_pass");
+        for w in 0..2u32 {
+            let mut worker = Profile::new_worker(main.tracing_epoch());
+            worker.begin("source_search");
+            worker.record("depth", (w + 1) as f64);
+            worker.end("source_search");
+            main.merge_nested_worker(&worker, w + 1);
+        }
+        main.end("flow_pass");
+
+        let tracks: Vec<u32> = main.trace_events().iter().map(|e| e.track).collect();
+        assert_eq!(tracks, [1, 2, 0]); // two workers, then the coordinator span
+        assert_eq!(main.hists().get("depth").unwrap().count(), 2);
+        assert_eq!(main.phase("flow_pass/source_search").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn worker_without_epoch_merges_without_events() {
+        let mut main = Profile::new();
+        main.enable_tracing();
+        let mut worker = Profile::new_worker(None);
+        worker.begin("w");
+        worker.end("w");
+        assert!(worker.trace_events().is_empty());
+        main.merge_nested_worker(&worker, 1);
+        assert!(main.trace_events().is_empty());
+        assert!(main.phase("w").is_some());
+    }
+
+    #[test]
+    fn heatmaps_travel_through_merges() {
+        use crate::heatmap::Heatmap;
+        let mut main = Profile::new();
+        let mut other = Profile::new();
+        other.add_heatmap(Heatmap::new("pass0/die0/overflow", 2, 2));
+        main.add_heatmap(Heatmap::new("pass0/die0/supply", 2, 2));
+        main.merge_nested(&other);
+        let names: Vec<&str> = main.heatmaps().iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["pass0/die0/supply", "pass0/die0/overflow"]);
     }
 
     #[test]

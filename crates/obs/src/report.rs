@@ -16,6 +16,28 @@ pub struct PhaseReport {
     pub calls: u64,
 }
 
+/// Summary of one named histogram within a run (see
+/// [`Histogram::summary`](crate::Histogram::summary)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistReport {
+    /// Histogram name, e.g. `"cell_displacement"`.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Estimated 50th percentile.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
 /// Solution-quality metrics attached to a run (the paper's Table III/IV
 /// columns).
 #[derive(Debug, Clone, PartialEq)]
@@ -50,8 +72,10 @@ pub struct RunReport {
     pub total_seconds: f64,
     /// Per-phase timings, in first-entry order.
     pub phases: Vec<PhaseReport>,
-    /// Counter values, in first-touch order.
+    /// Counter values, in name order.
     pub counters: Vec<(String, u64)>,
+    /// Histogram summaries, in name order (non-empty histograms only).
+    pub hists: Vec<HistReport>,
     /// Quality metrics, when the caller computed them.
     pub quality: Option<Quality>,
 }
@@ -75,6 +99,24 @@ impl RunReport {
                 .counters()
                 .iter()
                 .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            hists: profile
+                .hists()
+                .iter()
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(name, h)| {
+                    let s = h.summary();
+                    HistReport {
+                        name: name.to_string(),
+                        count: s.count,
+                        sum: s.sum,
+                        min: s.min,
+                        max: s.max,
+                        p50: s.p50,
+                        p90: s.p90,
+                        p99: s.p99,
+                    }
+                })
                 .collect(),
             quality: None,
         }
@@ -117,6 +159,28 @@ impl RunReport {
                 ),
             ),
         ];
+        if !self.hists.is_empty() {
+            fields.push((
+                "histograms".to_string(),
+                Json::Arr(
+                    self.hists
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::Str(h.name.clone())),
+                                ("count".to_string(), Json::Num(h.count as f64)),
+                                ("sum".to_string(), Json::num(h.sum)),
+                                ("min".to_string(), Json::num(h.min)),
+                                ("max".to_string(), Json::num(h.max)),
+                                ("p50".to_string(), Json::num(h.p50)),
+                                ("p90".to_string(), Json::num(h.p90)),
+                                ("p99".to_string(), Json::num(h.p99)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if let Some(q) = &self.quality {
             fields.push((
                 "quality".to_string(),
@@ -185,6 +249,34 @@ impl RunReport {
             }
             _ => return Err(missing("counters")),
         }
+        let mut hists = Vec::new();
+        // "histograms" is optional: pre-telemetry reports omit it.
+        if let Some(arr) = doc.get("histograms").and_then(Json::as_array) {
+            for h in arr {
+                let num = |field: &'static str| {
+                    h.get(field)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| missing(&format!("histograms[].{field}")))
+                };
+                hists.push(HistReport {
+                    name: h
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| missing("histograms[].name"))?
+                        .to_string(),
+                    count: h
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| missing("histograms[].count"))?,
+                    sum: num("sum")?,
+                    min: num("min")?,
+                    max: num("max")?,
+                    p50: num("p50")?,
+                    p90: num("p90")?,
+                    p99: num("p99")?,
+                });
+            }
+        }
         let quality = match doc.get("quality") {
             None => None,
             Some(q) => Some(Quality {
@@ -208,6 +300,7 @@ impl RunReport {
             total_seconds,
             phases,
             counters,
+            hists,
             quality,
         })
     }
@@ -257,6 +350,28 @@ impl RunReport {
                 let _ = writeln!(out, "  {k:<width$} = {v}");
             }
         }
+        if !self.hists.is_empty() {
+            let width = self
+                .hists
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0)
+                .max("histogram".len());
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            );
+            for h in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{:<width$}  {:>8}  {:>10.2}  {:>10.2}  {:>10.2}  {:>10.2}",
+                    h.name, h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
         if let Some(q) = &self.quality {
             let _ = writeln!(out);
             let _ = writeln!(out, "quality");
@@ -290,9 +405,19 @@ mod tests {
                 },
             ],
             counters: vec![
-                ("nodes_expanded".to_string(), 12345),
                 ("cells_moved".to_string(), 678),
+                ("nodes_expanded".to_string(), 12345),
             ],
+            hists: vec![HistReport {
+                name: "cell_displacement".to_string(),
+                count: 4321,
+                sum: 8000.5,
+                min: 0.0,
+                max: 312.0,
+                p50: 1.5,
+                p90: 12.0,
+                p99: 100.25,
+            }],
             quality: Some(Quality {
                 avg_disp: 1.25,
                 max_disp: 10.0,
@@ -312,18 +437,23 @@ mod tests {
     fn json_round_trips_without_quality() {
         let report = RunReport {
             quality: None,
+            hists: Vec::new(),
             ..sample()
         };
-        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        let json = report.to_json();
+        assert!(!json.contains("histograms"), "empty hists omitted: {json}");
+        let parsed = RunReport::from_json(&json).unwrap();
         assert_eq!(parsed, report);
     }
 
     #[test]
-    fn from_profile_snapshots_phases_and_counters() {
+    fn from_profile_snapshots_phases_counters_and_hists() {
         let mut p = Profile::new();
         p.begin("a");
         p.begin("b");
         p.bump("k", 3);
+        p.record("disp", 2.0);
+        p.record("disp", 6.0);
         p.end("b");
         p.end("a");
         let report = RunReport::from_profile("case", "lg", &p);
@@ -332,7 +462,20 @@ mod tests {
         assert_eq!(report.phases[0].path, "a");
         assert_eq!(report.phases[1].path, "a/b");
         assert_eq!(report.counters, vec![("k".to_string(), 3)]);
+        assert_eq!(report.hists.len(), 1);
+        assert_eq!(report.hists[0].name, "disp");
+        assert_eq!(report.hists[0].count, 2);
+        assert_eq!(report.hists[0].min, 2.0);
+        assert_eq!(report.hists[0].max, 6.0);
         assert!(report.total_seconds >= report.phases[0].seconds);
+    }
+
+    #[test]
+    fn empty_histograms_are_not_reported() {
+        let mut p = Profile::new();
+        p.hists_mut().entry("untouched_via_entry");
+        let report = RunReport::from_profile("case", "lg", &p);
+        assert!(report.hists.is_empty());
     }
 
     #[test]
@@ -344,6 +487,7 @@ mod tests {
             "legalize/flow_pass",
             "nodes_expanded",
             "12345",
+            "cell_displacement",
             "dHPWL",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -1,0 +1,210 @@
+//! Event tracing: per-thread [`TraceEvent`] streams recorded inside a
+//! [`Profile`](crate::Profile) and exported as Chrome `trace_event`
+//! JSON, so a run opens directly in Perfetto or `chrome://tracing`.
+//!
+//! # Recording model
+//!
+//! Tracing is off by default; [`Profile::enable_tracing`](crate::Profile::enable_tracing) arms it for
+//! the coordinator and establishes the *epoch* — the instant all event
+//! timestamps are measured from. Each pool worker records into its own
+//! `Profile` created with [`Profile::new_worker`](crate::Profile::new_worker), which shares the
+//! coordinator's epoch so worker timestamps land on the same timeline.
+//! Recording an event is a `Vec::push` on thread-local data — no lock,
+//! no allocation beyond the event itself — and happens only when the
+//! scope *closes*, so an armed profile stays cheap inside hot loops.
+//!
+//! Workers record with a placeholder track id; the coordinator retags
+//! the events with the worker's stable index while merging
+//! ([`Profile::merge_nested_worker`](crate::Profile::merge_nested_worker)), which keeps the export layout a
+//! pure function of the merge order rather than of OS thread ids.
+
+use crate::json::Json;
+use std::time::Duration;
+
+/// The phase of a trace event, mirroring the Chrome `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete span with a start timestamp and a duration (`"X"`).
+    Complete,
+    /// A zero-duration marker (`"i"`, thread-scoped).
+    Instant,
+}
+
+/// One recorded event on some track's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Leaf phase name (not the slash-joined path — Perfetto nests by
+    /// timing, so the leaf keeps labels short).
+    pub name: String,
+    /// Track id: 0 is the coordinator, `n >= 1` the n-th pool worker of
+    /// a batch.
+    pub track: u32,
+    /// Start time relative to the trace epoch.
+    pub start: Duration,
+    /// Span duration (zero for instants).
+    pub duration: Duration,
+    /// Complete span or instant marker.
+    pub phase: TracePhase,
+}
+
+/// Human-readable name for a track id, used for Perfetto thread labels.
+pub fn track_name(track: u32) -> String {
+    if track == 0 {
+        "coordinator".to_string()
+    } else {
+        format!("worker-{track}")
+    }
+}
+
+/// Renders events as a Chrome `trace_event` JSON document (the
+/// "JSON Object Format": `{"traceEvents": [...]}`).
+///
+/// Events are emitted in timestamp order (stable-sorted, so same-tick
+/// events keep their recording order), preceded by `M` metadata records
+/// naming the process and each track. Timestamps are microseconds, as
+/// the format requires.
+pub fn chrome_trace_json(process: &str, events: &[TraceEvent]) -> String {
+    let us = |d: Duration| Json::num(d.as_secs_f64() * 1e6);
+    let mut records: Vec<Json> = Vec::with_capacity(events.len() + 8);
+
+    records.push(Json::Obj(vec![
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("name".to_string(), Json::Str("process_name".to_string())),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(process.to_string()))]),
+        ),
+    ]));
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for t in &tracks {
+        records.push(Json::Obj(vec![
+            ("ph".to_string(), Json::Str("M".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(*t as f64)),
+            ("name".to_string(), Json::Str("thread_name".to_string())),
+            (
+                "args".to_string(),
+                Json::Obj(vec![("name".to_string(), Json::Str(track_name(*t)))]),
+            ),
+        ]));
+    }
+
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.start);
+    for e in ordered {
+        let mut fields = vec![
+            (
+                "ph".to_string(),
+                Json::Str(
+                    match e.phase {
+                        TracePhase::Complete => "X",
+                        TracePhase::Instant => "i",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(e.track as f64)),
+            ("ts".to_string(), us(e.start)),
+            ("name".to_string(), Json::Str(e.name.clone())),
+        ];
+        match e.phase {
+            TracePhase::Complete => fields.push(("dur".to_string(), us(e.duration))),
+            TracePhase::Instant => fields.push(("s".to_string(), Json::Str("t".to_string()))),
+        }
+        records.push(Json::Obj(fields));
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(records)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, track: u32, start_us: u64, dur_us: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            track,
+            start: Duration::from_micros(start_us),
+            duration: Duration::from_micros(dur_us),
+            phase: TracePhase::Complete,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_metadata_and_spans() {
+        let events = vec![ev("outer", 0, 0, 100), ev("inner", 1, 10, 20)];
+        let text = chrome_trace_json("flow3d", &events);
+        let doc = Json::parse(&text).expect("export parses");
+        let records = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // 1 process_name + 2 thread_name + 2 spans.
+        assert_eq!(records.len(), 5);
+        let spans: Vec<&Json> = records
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("outer"));
+        assert_eq!(spans[0].get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(spans[0].get("dur").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(spans[1].get("tid").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn events_are_sorted_by_timestamp_stably() {
+        let events = vec![
+            ev("late", 0, 50, 1),
+            ev("early", 1, 5, 1),
+            ev("tied_first", 0, 5, 1),
+        ];
+        let text = chrome_trace_json("p", &events);
+        let doc = Json::parse(&text).unwrap();
+        let names: Vec<String> = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|r| r.get("name").and_then(Json::as_str).unwrap().to_string())
+            .collect();
+        // 5µs ties keep recording order: "early" before "tied_first".
+        assert_eq!(names, ["early", "tied_first", "late"]);
+    }
+
+    #[test]
+    fn instants_carry_scope_not_duration() {
+        let events = vec![TraceEvent {
+            name: "mark".to_string(),
+            track: 2,
+            start: Duration::from_micros(7),
+            duration: Duration::ZERO,
+            phase: TracePhase::Instant,
+        }];
+        let text = chrome_trace_json("p", &events);
+        let doc = Json::parse(&text).unwrap();
+        let inst = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .find(|r| r.get("ph").and_then(Json::as_str) == Some("i"))
+            .cloned()
+            .unwrap();
+        assert_eq!(inst.get("s").and_then(Json::as_str), Some("t"));
+        assert!(inst.get("dur").is_none());
+    }
+
+    #[test]
+    fn track_names_distinguish_coordinator_and_workers() {
+        assert_eq!(track_name(0), "coordinator");
+        assert_eq!(track_name(3), "worker-3");
+    }
+}

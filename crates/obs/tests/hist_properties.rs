@@ -1,0 +1,111 @@
+//! Property tests for histogram merging: however a sample stream is
+//! sharded across workers and however the shards are merged, the result
+//! must equal the histogram recorded serially — the invariant the
+//! coordinator relies on when folding per-worker telemetry, and the
+//! reason `RunReport` histograms are identical for every
+//! `FLOW3D_THREADS` setting.
+
+use flow3d_obs::{Histogram, HistogramSet, RunReport};
+use proptest::prelude::*;
+
+/// A stream of (shard id, sample value) pairs: values span several
+/// orders of magnitude so multiple buckets are exercised.
+fn arb_sharded_samples() -> impl Strategy<Value = Vec<(u8, f64)>> {
+    proptest::collection::vec((0u8..4, 0.0f64..100000.0), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn sharded_merge_equals_serial_recording(samples in arb_sharded_samples()) {
+        let mut serial = Histogram::pow2();
+        let mut shards = [
+            Histogram::pow2(),
+            Histogram::pow2(),
+            Histogram::pow2(),
+            Histogram::pow2(),
+        ];
+        for &(shard, v) in &samples {
+            serial.record(v);
+            shards[shard as usize].record(v);
+        }
+        let mut merged = Histogram::pow2();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        // Bucket counts and count are exact; sum is a float but every
+        // grouping sums the same shard subtotals, so equality below is
+        // about bucket/extreme equality, which is bit-exact.
+        prop_assert_eq!(merged.bucket_counts(), serial.bucket_counts());
+        prop_assert_eq!(merged.count(), serial.count());
+        if merged.count() > 0 {
+            prop_assert_eq!(merged.summary().min, serial.summary().min);
+            prop_assert_eq!(merged.summary().max, serial.summary().max);
+            prop_assert_eq!(merged.quantile(0.5), serial.quantile(0.5));
+            prop_assert_eq!(merged.quantile(0.99), serial.quantile(0.99));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(samples in arb_sharded_samples()) {
+        let mut a = Histogram::pow2();
+        let mut b = Histogram::pow2();
+        let mut c = Histogram::pow2();
+        for &(shard, v) in &samples {
+            match shard % 3 {
+                0 => a.record(v),
+                1 => b.record(v),
+                _ => c.record(v),
+            }
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // c ⊕ (b ⊕ a)
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut right = c.clone();
+        right.merge(&ba);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        if left.count() > 0 {
+            prop_assert_eq!(left.summary().min, right.summary().min);
+            prop_assert_eq!(left.summary().max, right.summary().max);
+        }
+    }
+
+    #[test]
+    fn set_merge_order_does_not_change_structure(samples in arb_sharded_samples()) {
+        // Worker A touches histograms in one order, worker B in another;
+        // merging A into B and B into A must give identically *ordered*
+        // registries (name-sorted), with identical contents.
+        let names = ["disp", "nodes", "depth", "segment"];
+        let mut a = HistogramSet::new();
+        let mut b = HistogramSet::new();
+        for &(shard, v) in &samples {
+            let name = names[shard as usize % names.len()];
+            if v < 50000.0 { &mut a } else { &mut b }.record(name, v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let ab_names: Vec<&str> = ab.iter().map(|(k, _)| k).collect();
+        let ba_names: Vec<&str> = ba.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(ab_names, ba_names);
+        for (name, h) in ab.iter() {
+            prop_assert_eq!(h.bucket_counts(), ba.get(name).unwrap().bucket_counts());
+        }
+    }
+
+    #[test]
+    fn report_histograms_round_trip_through_json(samples in arb_sharded_samples()) {
+        let mut profile = flow3d_obs::Profile::new();
+        for &(shard, v) in &samples {
+            profile.record(["x", "y"][shard as usize % 2], v);
+        }
+        let report = RunReport::from_profile("prop", "flow3d", &profile);
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        prop_assert_eq!(back, report);
+    }
+}

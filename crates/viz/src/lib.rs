@@ -8,9 +8,14 @@
 //!   other die highlighted.
 //! * [`BarChart`] — Fig. 7: grouped bars (ΔHPWL% per case per legalizer).
 //!
+//! [`heatmap_svg`] additionally renders the telemetry sidecars of
+//! `flow3d-obs` (per-bin supply/demand/overflow/moves grids) as colored
+//! plan-view grids.
+//!
 //! The output is self-contained SVG with no external assets.
 
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d};
+use flow3d_obs::Heatmap;
 use std::fmt::Write as _;
 
 /// Series colors shared by both chart kinds (color-blind-safe-ish).
@@ -328,6 +333,151 @@ pub fn histogram_svg(title: &str, counts: &[usize]) -> String {
         chart = chart.group(label, &[("cells", c as f64)]);
     }
     chart.to_svg()
+}
+
+/// Linear ramp between two RGB colors at `t` in `[0, 1]`.
+fn lerp_rgb(a: (u8, u8, u8), b: (u8, u8, u8), t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let ch = |x: u8, y: u8| (x as f64 + (y as f64 - x as f64) * t).round() as u8;
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        ch(a.0, b.0),
+        ch(a.1, b.1),
+        ch(a.2, b.2)
+    )
+}
+
+/// Renders one telemetry [`Heatmap`] (a per-bin grid from a `flow3d-obs`
+/// sidecar) as a plan-view colored grid.
+///
+/// Grid row 0 is the lowest placement row, so it is drawn at the bottom
+/// — the picture reads like [`DisplacementPlot`]. `NaN` cells ("no bin
+/// there") are light gray. Signed data (overflow) gets a diverging
+/// blue–white–red ramp centered on zero; non-negative data a sequential
+/// white–red ramp.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = flow3d_obs::Heatmap::new("flow_pass0/die0/overflow", 2, 3);
+/// h.set(0, 0, -2.0);
+/// h.set(1, 2, 5.0);
+/// let svg = flow3d_viz::heatmap_svg(&h);
+/// assert!(svg.contains("<svg"));
+/// assert!(svg.contains("overflow"));
+/// ```
+pub fn heatmap_svg(map: &Heatmap) -> String {
+    const NEG: (u8, u8, u8) = (0x44, 0x77, 0xaa);
+    const MID: (u8, u8, u8) = (0xff, 0xff, 0xff);
+    const POS: (u8, u8, u8) = (0xee, 0x66, 0x77);
+    let cols = map.cols.max(1);
+    let rows = map.rows.max(1);
+    let cell = (800.0 / cols as f64).clamp(2.0, 24.0);
+    let (mt, mb, ml) = (26.0, 18.0, 6.0);
+    let w = ml + cell * cols as f64 + 6.0;
+    let h = mt + cell * rows as f64 + mb;
+    let range = map.finite_range();
+    let color = |v: f64| -> String {
+        if !v.is_finite() {
+            return "#e5e5e5".to_string();
+        }
+        let Some((lo, hi)) = range else {
+            return "#e5e5e5".to_string();
+        };
+        if lo < 0.0 {
+            // Diverging, symmetric around zero so 0 is always white.
+            let m = lo.abs().max(hi.abs()).max(1e-12);
+            if v < 0.0 {
+                lerp_rgb(MID, NEG, -v / m)
+            } else {
+                lerp_rgb(MID, POS, v / m)
+            }
+        } else {
+            let span = (hi - lo).max(1e-12);
+            lerp_rgb(MID, POS, (v - lo) / span)
+        }
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w:.0}" height="{h:.0}" fill="white"/>"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{ml}" y="16" font-size="12">{}</text>"#,
+        esc(&map.name)
+    );
+    for r in 0..map.rows {
+        // Flip vertically: row 0 at the bottom.
+        let y = mt + cell * (rows - 1 - r) as f64;
+        for c in 0..map.cols {
+            let v = map.get(r, c);
+            let x = ml + cell * c as f64;
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{}"><title>row {r}, col {c}: {v}</title></rect>"#,
+                cell.max(0.5),
+                cell.max(0.5),
+                color(v)
+            );
+        }
+    }
+    if let Some((lo, hi)) = range {
+        let _ = write!(
+            svg,
+            r#"<text x="{ml}" y="{:.1}" font-size="10">min {lo:.3}   max {hi:.3}</text>"#,
+            h - 5.0
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod heatmap_tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_svg_renders_all_cells_and_range() {
+        let mut h = Heatmap::new("flow_pass0/die0/overflow", 2, 3);
+        h.set(0, 0, -2.0);
+        h.set(0, 1, 0.0);
+        h.set(1, 2, 4.0);
+        let svg = heatmap_svg(&h);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        // 6 grid cells + background.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains("min -2.000"));
+        assert!(svg.contains("max 4.000"));
+        // NaN cells render gray; zero renders white on the diverging ramp.
+        assert!(svg.contains("#e5e5e5"));
+        assert!(svg.contains("#ffffff"));
+    }
+
+    #[test]
+    fn heatmap_svg_handles_empty_and_unsigned_grids() {
+        let svg = heatmap_svg(&Heatmap::new("blank", 1, 2));
+        assert!(svg.ends_with("</svg>"));
+        assert!(!svg.contains("min "));
+        let mut h = Heatmap::new("moves", 1, 2);
+        h.set(0, 0, 0.0);
+        h.set(0, 1, 10.0);
+        let svg = heatmap_svg(&h);
+        // Sequential ramp: low end white, high end the POS color.
+        assert!(svg.contains("#ffffff"));
+        assert!(svg.contains("#ee6677"));
+    }
+
+    #[test]
+    fn heatmap_svg_escapes_names() {
+        let svg = heatmap_svg(&Heatmap::new("a<b&c", 1, 1));
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
 }
 
 #[cfg(test)]

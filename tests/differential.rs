@@ -96,6 +96,81 @@ fn parallel_output_is_byte_identical_without_d2d() {
     assert_matrix("no-d2d", Flow3dConfig::without_d2d());
 }
 
+/// Everything the telemetry layer reports — phase paths and call
+/// counts, counters, histogram contents, heatmap grids — must be
+/// identical for every worker count, not just the placement bytes.
+/// Histograms are recorded coordinator-side in deterministic order and
+/// counter/histogram registries are name-sorted, so even float sums and
+/// iteration order are thread-count invariant.
+#[test]
+fn telemetry_is_invariant_under_thread_count() {
+    for case in cases() {
+        let collect = |threads: usize| {
+            let mut profile = flow3d_obs::Profile::new();
+            let cfg = Flow3dConfig {
+                threads,
+                ..Default::default()
+            };
+            Flow3dLegalizer::new(cfg)
+                .legalize_observed(&case.design, &case.global, Some(&mut profile))
+                .unwrap_or_else(|e| panic!("{}: legalization failed: {e}", case.label));
+            let phases: Vec<(String, u64)> = profile
+                .phases()
+                .map(|(p, s)| (p.to_string(), s.calls))
+                .collect();
+            let counters: Vec<(String, u64)> = profile
+                .counters()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            // Bucket counts, extremes, and the (deterministically
+            // accumulated) float sum, per name-sorted histogram.
+            let hists: Vec<(String, Vec<u64>, u64, [u64; 3])> = profile
+                .hists()
+                .iter()
+                .map(|(name, h)| {
+                    let s = h.summary();
+                    (
+                        name.to_string(),
+                        h.bucket_counts().to_vec(),
+                        h.count(),
+                        [s.sum.to_bits(), s.min.to_bits(), s.max.to_bits()],
+                    )
+                })
+                .collect();
+            // NaN cells make `Vec<f64>` inequal to itself; compare grids
+            // by bit pattern instead.
+            let heatmaps: Vec<(String, usize, usize, Vec<u64>)> = profile
+                .heatmaps()
+                .iter()
+                .map(|h| {
+                    (
+                        h.name.clone(),
+                        h.rows,
+                        h.cols,
+                        h.values.iter().map(|v| v.to_bits()).collect(),
+                    )
+                })
+                .collect();
+            (phases, counters, hists, heatmaps)
+        };
+        let serial = collect(1);
+        assert!(
+            !serial.2.is_empty() && !serial.3.is_empty(),
+            "{}: expected histograms and heatmaps in the serial profile",
+            case.label
+        );
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                collect(threads),
+                serial,
+                "{}: telemetry differs at threads={threads}",
+                case.label
+            );
+        }
+    }
+}
+
 #[test]
 fn auto_thread_resolution_matches_serial() {
     // threads = 0 resolves to FLOW3D_THREADS / available parallelism —

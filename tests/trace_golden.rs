@@ -1,0 +1,201 @@
+//! Golden tests for the Chrome `trace_event` export: a pinned small
+//! case must produce a trace with a stable set of span names whose
+//! per-name counts agree with the profile's phase call counts, valid
+//! JSON structure, timestamp-ordered events, and — at 8 workers — at
+//! least two distinct worker timelines. Baseline legalizers go through
+//! the same `legalize_observed` path, so they are traced here too.
+
+use flow3d::prelude::*;
+use flow3d_obs::{Json, TracePhase};
+use std::collections::BTreeMap;
+
+fn demo_case() -> (flow3d::db::Design, flow3d::db::Placement3d) {
+    let generated = GeneratorConfig::small_demo(1)
+        .generate()
+        .expect("demo generation");
+    let global =
+        GlobalPlacer::new(GpConfig::default()).place_from(&generated.design, &generated.natural);
+    (generated.design, global)
+}
+
+fn traced_run(threads: usize) -> Profile {
+    let (design, global) = demo_case();
+    let mut profile = Profile::new();
+    profile.enable_tracing();
+    Flow3dLegalizer::new(Flow3dConfig {
+        threads,
+        ..Default::default()
+    })
+    .legalize_observed(&design, &global, Some(&mut profile))
+    .expect("legalization");
+    profile
+}
+
+/// Count of Complete events per leaf name, the trace's order-free
+/// "shape" — stable across runs and thread counts even though wall-clock
+/// timestamps are not.
+fn span_multiset(profile: &Profile) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for e in profile.trace_events() {
+        if e.phase == TracePhase::Complete {
+            *counts.entry(e.name.clone()).or_insert(0usize) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn trace_spans_cover_the_pipeline_and_match_phase_calls() {
+    let profile = traced_run(1);
+    let spans = span_multiset(&profile);
+    // The tentpole span set: flow-pass batches, per-source best-first
+    // searches, the serial apply phase, and PlaceRow segments.
+    for required in [
+        "legalize",
+        "flow_pass",
+        "search_batch",
+        "source_search",
+        "apply",
+        "placerow",
+        "segment",
+    ] {
+        assert!(
+            spans.contains_key(required),
+            "span `{required}` missing from trace; present: {:?}",
+            spans.keys().collect::<Vec<_>>()
+        );
+    }
+    // Golden cross-check: every traced span name occurs exactly as many
+    // times as the profile counted calls for phases with that leaf name.
+    let mut phase_calls: BTreeMap<String, u64> = BTreeMap::new();
+    for (path, stats) in profile.phases() {
+        let leaf = path.rsplit('/').next().unwrap().to_string();
+        *phase_calls.entry(leaf).or_insert(0) += stats.calls;
+    }
+    for (name, n) in &spans {
+        assert_eq!(
+            phase_calls.get(name).copied(),
+            Some(*n as u64),
+            "span `{name}` count disagrees with phase calls"
+        );
+    }
+}
+
+#[test]
+fn trace_shape_is_identical_for_every_thread_count() {
+    let serial = span_multiset(&traced_run(1));
+    for threads in [2, 8] {
+        assert_eq!(
+            span_multiset(&traced_run(threads)),
+            serial,
+            "trace span multiset changed at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn eight_workers_produce_multiple_worker_timelines() {
+    // The demo case is too small here: in release builds one worker can
+    // drain its whole item queue before the others spawn. Contest case2
+    // has enough searches and segments per batch that 8 workers reliably
+    // share the work; allow a few attempts to absorb scheduler noise.
+    let mut cfg = GeneratorConfig::iccad2022("case2").expect("known case");
+    cfg.scale = 1.0;
+    let generated = cfg.generate().expect("case generation");
+    let global =
+        GlobalPlacer::new(GpConfig::default()).place_from(&generated.design, &generated.natural);
+    let mut seen = Vec::new();
+    for _attempt in 0..5 {
+        let mut profile = Profile::new();
+        profile.enable_tracing();
+        Flow3dLegalizer::new(Flow3dConfig {
+            threads: 8,
+            ..Default::default()
+        })
+        .legalize_observed(&generated.design, &global, Some(&mut profile))
+        .expect("legalization");
+        let mut worker_tracks: Vec<u32> = profile
+            .trace_events()
+            .iter()
+            .filter(|e| e.track > 0)
+            .map(|e| e.track)
+            .collect();
+        worker_tracks.sort_unstable();
+        worker_tracks.dedup();
+        if worker_tracks.len() >= 2 {
+            return;
+        }
+        seen = worker_tracks;
+    }
+    panic!("expected >=2 distinct worker timelines, got tracks {seen:?}");
+}
+
+#[test]
+fn chrome_export_is_ordered_valid_json_with_named_tracks() {
+    let profile = traced_run(2);
+    let text = profile
+        .to_chrome_trace("flow3d golden")
+        .expect("tracing was armed");
+    let doc = Json::parse(&text).expect("export parses as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let records = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let meta_names: Vec<&str> = records
+        .iter()
+        .filter(|r| r.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|r| {
+            r.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+        })
+        .collect();
+    assert!(meta_names.contains(&"flow3d golden"));
+    assert!(meta_names.contains(&"coordinator"));
+    assert!(
+        meta_names.iter().any(|n| n.starts_with("worker-")),
+        "no worker thread_name metadata in {meta_names:?}"
+    );
+    // Spans are timestamp-ordered with non-negative µs durations.
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut span_count = 0usize;
+    for r in records {
+        if r.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        span_count += 1;
+        let ts = r.get("ts").and_then(Json::as_f64).expect("ts present");
+        let dur = r.get("dur").and_then(Json::as_f64).expect("dur present");
+        assert!(ts >= last_ts, "events out of order: {ts} after {last_ts}");
+        assert!(dur >= 0.0);
+        last_ts = ts;
+    }
+    assert_eq!(span_count, span_multiset(&profile).values().sum::<usize>());
+}
+
+#[test]
+fn baselines_trace_through_the_same_hook() {
+    let (design, global) = demo_case();
+    for legalizer in [
+        Box::new(TetrisLegalizer::default()) as Box<dyn Legalizer>,
+        Box::new(AbacusLegalizer::default()),
+        Box::new(BonnLegalizer::default()),
+    ] {
+        let mut profile = Profile::new();
+        profile.enable_tracing();
+        legalizer
+            .legalize_observed(&design, &global, Some(&mut profile))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", legalizer.name()));
+        assert!(
+            !profile.trace_events().is_empty(),
+            "{} recorded no trace events",
+            legalizer.name()
+        );
+        let text = profile
+            .to_chrome_trace(legalizer.name())
+            .expect("tracing armed");
+        Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{} trace is invalid JSON: {e}", legalizer.name()));
+    }
+}
