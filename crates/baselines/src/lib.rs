@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Reference legalizers the paper compares 3D-Flow against.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Shared experiment harness: generates the benchmark suites, runs the
 //! global placer, executes every legalizer, and formats the paper's

@@ -18,7 +18,7 @@ use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
 use flow3d_db::DieId;
 use flow3d_gen::GeneratorConfig;
 use flow3d_gp::{GlobalPlacer, GpConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -34,13 +34,13 @@ fn main() -> ExitCode {
 /// Minimal `--key value` / `--flag` argument map.
 #[derive(Debug)]
 struct Args {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Self, String> {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -105,6 +105,7 @@ fn run() -> Result<(), String> {
         "check" => cmd_check(&args),
         "stats" => cmd_stats(&args),
         "viz" => cmd_viz(&args),
+        "tidy" => cmd_tidy(&args),
         "--help" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -142,7 +143,8 @@ fn usage() -> String {
      flow3d report show <report.json>\n  \
      flow3d report diff <baseline.json> <current.json> [--rt-warn-pct P] [--rt-fail-pct P] [--disp-warn-pct P] [--disp-fail-pct P] [--counter-warn-pct P] [--counter-fail-pct P] [--min-seconds S]\n  \
      flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg\n  \
-     flow3d viz --heatmaps sidecar.json [--name <heatmap>] --out grid.svg"
+     flow3d viz --heatmaps sidecar.json [--name <heatmap>] --out grid.svg\n  \
+     flow3d tidy [--json] [--fix] [--list] [--root DIR]"
         .to_string()
 }
 
@@ -407,6 +409,54 @@ fn cmd_viz(args: &Args) -> Result<(), String> {
     write(out, &svg)?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// `flow3d tidy` — run the flow3d-tidy determinism & panic-safety lints
+/// over the workspace (same engine as `cargo run -p flow3d-lint`).
+fn cmd_tidy(args: &Args) -> Result<(), String> {
+    if args.flag("list") {
+        println!("{:<4} {:<24} rationale", "id", "name");
+        for lint in flow3d_lint::ALL_LINTS {
+            println!("{:<4} {:<24} {}", lint.id(), lint.name(), lint.rationale());
+        }
+        println!(
+            "\nsuppression: // flow3d-tidy: allow(<name>) — <reason>   (reason required; \
+             covers the same line and the next)"
+        );
+        return Ok(());
+    }
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            flow3d_lint::find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace root found above the current directory".to_string())?
+        }
+    };
+    let report = flow3d_lint::run(&root, args.flag("fix")).map_err(|e| format!("tidy: {e}"))?;
+    if args.flag("json") {
+        print!(
+            "{}",
+            flow3d_lint::render_json(&report.violations, report.files_checked, &report.fixed)
+        );
+    } else {
+        for fv in &report.violations {
+            eprintln!("{}", flow3d_lint::render_human(fv));
+        }
+        for fixed in &report.fixed {
+            eprintln!("fixed: {fixed}");
+        }
+        eprintln!(
+            "flow3d-tidy: {} file(s) checked, {} violation(s)",
+            report.files_checked,
+            report.violations.len()
+        );
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} tidy violation(s)", report.violations.len()))
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::traits::{LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout};
 use flow3d_geom::Point;
 use flow3d_obs::{hist_keys, keys, Heatmap, Obs, ObsExt, Profile};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-die nominal bin widths: `factor · w̄_c(die)`, snapped up to the
 /// die's site grid (§III-F).
@@ -246,12 +246,12 @@ pub fn flow_pass_threaded(
 
         // Deterministic reduction: cheapest candidate first, the source
         // bin id breaking ties.
-        let mut order: Vec<usize> = (0..sources.len())
-            .filter(|&i| candidates[i].0.is_some())
+        let mut order: Vec<(usize, &AugmentingPath)> = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (path, _, _))| path.as_ref().map(|p| (i, p)))
             .collect();
-        order.sort_by(|&a, &b| {
-            let pa = candidates[a].0.as_ref().unwrap();
-            let pb = candidates[b].0.as_ref().unwrap();
+        order.sort_by(|&(a, pa), &(b, pb)| {
             pa.cost
                 .total_cmp(&pb.cost)
                 .then(sources[a].1.cmp(&sources[b].1))
@@ -264,7 +264,7 @@ pub fn flow_pass_threaded(
         obs.begin("apply");
         let mut applied = false;
         let mut exhausted: Option<(DieId, i64)> = None;
-        for &i in &order {
+        for &(i, path) in &order {
             let bin = sources[i].1;
             let sup = state.sup(bin);
             if sup <= 0 {
@@ -275,7 +275,6 @@ pub fn flow_pass_threaded(
                 break;
             }
             guard -= 1;
-            let path = candidates[i].0.as_ref().unwrap();
             stats.cells_moved += crate::augment::realize(state, path, &params.selection);
             stats.augmentations += 1;
             if let Some(p) = obs.as_deref_mut() {
@@ -522,7 +521,7 @@ pub fn placerow_all_threaded(
             let seg = &segs[i];
             let die = design.die(seg.die);
             let mut items: Vec<RowItem> = Vec::new();
-            let mut seen: HashSet<usize> = HashSet::new();
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
             for &bid in state.grid.bins_in_segment(seg.id) {
                 for frag in state.frags_in(bid) {
                     if !seen.insert(frag.cell.index()) {

@@ -18,6 +18,7 @@ impl BinId {
     /// Creates an id from a raw index.
     #[inline]
     pub fn new(index: usize) -> Self {
+        // flow3d-tidy: allow(panic-unwrap) — id overflow is a capacity bug worth a loud stop, not a recoverable error
         Self(u32::try_from(index).expect("bin id overflow"))
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # 3D-Flow: flow-based standard cell legalization for 3D ICs
 //!

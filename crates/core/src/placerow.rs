@@ -109,11 +109,11 @@ pub fn place_row(
             first: idx,
         };
         // Collapse with predecessors while overlapping.
-        while let Some(prev) = clusters.last() {
-            if prev.x + prev.w as f64 <= c.x {
-                break;
-            }
-            let prev = clusters.pop().expect("checked non-empty");
+        while clusters
+            .last()
+            .is_some_and(|prev| prev.x + prev.w as f64 > c.x)
+        {
+            let Some(prev) = clusters.pop() else { break };
             let merged_e = prev.e + c.e;
             // Items of `c` shift right by prev.w inside the merged cluster.
             let merged_q = prev.q + c.q - c.e * prev.w as f64;
@@ -445,11 +445,8 @@ pub fn place_row_l1(
             y: t,
             first: idx,
         };
-        while let Some(prev) = blocks.last() {
-            if prev.y <= block.y {
-                break;
-            }
-            let prev = blocks.pop().expect("checked non-empty");
+        while blocks.last().is_some_and(|prev| prev.y > block.y) {
+            let Some(prev) = blocks.pop() else { break };
             let mut members = prev.members;
             members.extend(block.members);
             members.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));

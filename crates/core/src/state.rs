@@ -111,6 +111,7 @@ impl<'a> FlowState<'a> {
     pub fn cell_die(&self, cell: CellId) -> DieId {
         let (bin, _) = self.cell_frags[cell.index()]
             .first()
+            // flow3d-tidy: allow(panic-unwrap) — documented # Panics: every placed cell keeps at least one fragment
             .expect("cell has no fragments");
         self.grid.bin(*bin).die
     }
@@ -170,6 +171,7 @@ impl<'a> FlowState<'a> {
         let x = seg
             .span
             .nearest_fit(desired_x, w)
+            // flow3d-tidy: allow(panic-unwrap) — invariant: callers only target segments at least as wide as the cell
             .unwrap_or_else(|| panic!("cell {cell} wider than segment {seg_id}"));
         let span = flow3d_geom::Interval::with_len(x, w);
         for &bid in self.grid.bins_in_segment(seg_id) {
@@ -212,6 +214,7 @@ impl<'a> FlowState<'a> {
             let pos = list
                 .iter()
                 .position(|f| f.cell == cell)
+                // flow3d-tidy: allow(panic-unwrap) — invariant: per-bin lists mirror cell_frags; desync is a state bug
                 .expect("fragment list out of sync");
             list.swap_remove(pos);
         }
@@ -239,6 +242,7 @@ impl<'a> FlowState<'a> {
         let idx = cf
             .iter()
             .position(|&(b, _)| b == from)
+            // flow3d-tidy: allow(panic-unwrap) — documented # Panics: caller moves only fragments it just looked up
             .expect("no fragment in source bin");
         assert!(cf[idx].1 >= width, "fragment smaller than move width");
         cf[idx].1 -= width;
@@ -247,7 +251,11 @@ impl<'a> FlowState<'a> {
             cf.remove(idx);
         }
         let list = &mut self.frags[from.index()];
-        let pos = list.iter().position(|f| f.cell == cell).unwrap();
+        let pos = list
+            .iter()
+            .position(|f| f.cell == cell)
+            // flow3d-tidy: allow(panic-unwrap) — invariant: per-bin lists mirror cell_frags; presence checked above
+            .expect("fragment list out of sync");
         if emptied {
             list.swap_remove(pos);
         } else {

@@ -5,7 +5,7 @@ use crate::error::DbError;
 use crate::ids::{CellId, DieId, LibCellId, MacroId, NetId, TechId};
 use crate::tech::{LibCell, Technology, TechnologySpec};
 use flow3d_geom::{Point, Rect};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A movable standard-cell instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +67,9 @@ pub struct Design {
     cells: Vec<CellInst>,
     macros: Vec<MacroInst>,
     nets: Vec<Net>,
-    cell_names: HashMap<String, CellId>,
-    macro_names: HashMap<String, MacroId>,
-    net_names: HashMap<String, NetId>,
+    cell_names: BTreeMap<String, CellId>,
+    macro_names: BTreeMap<String, MacroId>,
+    net_names: BTreeMap<String, NetId>,
 }
 
 impl Design {
@@ -422,7 +422,7 @@ impl DesignBuilder {
                     detail: "non-positive row height or site width".into(),
                 });
             }
-            if !(0.0..=1.0).contains(&spec.max_util) || spec.max_util == 0.0 {
+            if !(spec.max_util > 0.0 && spec.max_util <= 1.0) {
                 return Err(DbError::InvalidDie {
                     die: spec.name,
                     detail: format!("max_util {} outside (0, 1]", spec.max_util),
@@ -450,7 +450,7 @@ impl DesignBuilder {
         };
 
         let mut cells = Vec::with_capacity(self.cells.len());
-        let mut cell_names = HashMap::with_capacity(self.cells.len());
+        let mut cell_names = BTreeMap::new();
         for (name, lc) in self.cells {
             let lib_cell = lib_cell_index(&lc)?;
             if canon.lib_cells[lib_cell.index()].is_macro() {
@@ -469,7 +469,7 @@ impl DesignBuilder {
         }
 
         let mut macros: Vec<MacroInst> = Vec::with_capacity(self.macros.len());
-        let mut macro_names = HashMap::with_capacity(self.macros.len());
+        let mut macro_names = BTreeMap::new();
         for (name, lc, die_name, pos) in self.macros {
             let lib_cell = lib_cell_index(&lc)?;
             if !canon.lib_cells[lib_cell.index()].is_macro() {
@@ -530,7 +530,7 @@ impl DesignBuilder {
 
         // Nets.
         let mut nets = Vec::with_capacity(self.nets.len());
-        let mut net_names = HashMap::with_capacity(self.nets.len());
+        let mut net_names = BTreeMap::new();
         for (name, pins) in self.nets {
             let mut refs = Vec::with_capacity(pins.len());
             for (inst_name, pin) in pins {

@@ -20,6 +20,7 @@ macro_rules! define_id {
             /// Panics if `index` exceeds `u32::MAX`.
             #[inline]
             pub fn new(index: usize) -> Self {
+                // flow3d-tidy: allow(panic-unwrap) — documented # Panics: id overflow is a capacity bug, not recoverable
                 Self(u32::try_from(index).expect(concat!($tag, " id overflow")))
             }
 
@@ -101,6 +102,7 @@ impl DieId {
     /// Panics if `index` exceeds `u8::MAX` (no realistic stack comes close).
     #[inline]
     pub fn new(index: usize) -> Self {
+        // flow3d-tidy: allow(panic-unwrap) — documented # Panics: no realistic 3D stack exceeds u8::MAX dies
         Self(u8::try_from(index).expect("die id overflow"))
     }
 

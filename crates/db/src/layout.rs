@@ -233,6 +233,7 @@ impl RowLayout {
             if let Some(seg) =
                 self.nearest_segment_in_row(die, RowId::new(row_idx as usize), x, width)
             {
+                // flow3d-tidy: allow(panic-unwrap) — invariant: nearest_segment_in_row only returns segments that fit `width`
                 let sx = seg.span.nearest_fit(x, width).expect("filtered by width");
                 let sx = d.snap_to_site(sx).clamp(seg.span.lo, seg.span.hi - width);
                 let dist = (sx - x).abs() + dy;

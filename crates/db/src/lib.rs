@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Design database for the 3D-Flow legalizer reproduction.
 //!

@@ -328,7 +328,7 @@ impl GeneratorConfig {
             return fail("target_density must be in [0.05, 0.98]");
         }
         for u in [self.max_util_top, self.max_util_bottom] {
-            if !(0.0..=1.0).contains(&u) || u == 0.0 {
+            if !(u > 0.0 && u <= 1.0) {
                 return fail("max utilizations must be in (0, 1]");
             }
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Integer (database-unit) geometry primitives for the 3D-Flow legalizer.
 //!

@@ -3,7 +3,7 @@
 use crate::error::IoError;
 use crate::reader::LineReader;
 use flow3d_db::{Design, DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 /// Parses a case file into a validated [`Design`].
@@ -31,9 +31,9 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
 
     let mut tech_specs = Vec::with_capacity(num_techs);
     // lib cell name -> pin names (from the first tech) for net resolution.
-    let mut pin_names: HashMap<String, Vec<String>> = HashMap::new();
+    let mut pin_names: BTreeMap<String, Vec<String>> = BTreeMap::new();
     // lib cell name -> is_macro
-    let mut is_macro: HashMap<String, bool> = HashMap::new();
+    let mut is_macro: BTreeMap<String, bool> = BTreeMap::new();
 
     for t in 0..num_techs {
         let toks = r.expect_line("Tech")?;
@@ -178,7 +178,7 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
 
     // --- Instances ----------------------------------------------------------
     // Split std cells from macros; macro positions arrive later.
-    let mut inst_lib: HashMap<String, String> = HashMap::new();
+    let mut inst_lib: BTreeMap<String, String> = BTreeMap::new();
     let mut macro_insts: Vec<String> = Vec::new();
     for _ in 0..num_instances {
         let toks = r.expect_line("Inst")?;
@@ -237,7 +237,7 @@ pub fn parse_case(text: &str) -> Result<Design, IoError> {
     }
 
     // --- Fixed macro positions (extension section) ----------------------------
-    let mut placed: HashMap<String, (i64, i64, String)> = HashMap::new();
+    let mut placed: BTreeMap<String, (i64, i64, String)> = BTreeMap::new();
     if let Some(toks) = r.next_line() {
         r.expect_keyword(&toks, "NumMacroPositions")?;
         let n: usize = r.field(&toks, 1, "macro position count")?;

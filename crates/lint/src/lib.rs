@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # flow3d-tidy — project lints for determinism and panic safety
+//!
+//! A std-only static-analysis pass over the 3D-Flow workspace, in the
+//! spirit of rust-lang/rust's `tidy`: a small hand-rolled lexer (no
+//! `syn`, builds offline) feeds pattern checks that encode the
+//! invariants the engine's tests can only probe probabilistically:
+//!
+//! | id | name | guards against |
+//! |----|------|----------------|
+//! | D1 | `unordered-map`         | `HashMap`/`HashSet` iteration-order nondeterminism |
+//! | D2 | `nondet-source`         | wall-clock / unseeded RNG in algorithm crates |
+//! | D3 | `panic-unwrap`          | `unwrap`/`expect`/`panic!` in library non-test code |
+//! | D4 | `float-eq`              | exact float `==`/`!=` in geometry/cost code |
+//! | D5 | `missing-forbid-unsafe` | crate roots without `#![forbid(unsafe_code)]` |
+//!
+//! Why a *static* gate: PR 2/3 made the legalizer bit-identical across
+//! thread counts, but that contract was enforced only by runtime
+//! differential tests. One `HashMap` iteration on a result path can
+//! reintroduce nondeterminism that a test matrix catches only when the
+//! hash seed cooperates. `flow3d-tidy` rejects the pattern at CI time.
+//!
+//! Every lint supports inline suppression that **requires a reason**:
+//!
+//! ```text
+//! // flow3d-tidy: allow(panic-unwrap) — invariant: list checked non-empty above
+//! ```
+//!
+//! Reason-less allows, unknown lint names, and allows that match
+//! nothing are violations themselves, so the suppression inventory
+//! cannot rot.
+//!
+//! Entry points: `cargo run -p flow3d-lint` (standalone, `--json`,
+//! `--fix`, `--list`) and `flow3d tidy` (CLI subcommand).
+//!
+//! ```
+//! use flow3d_lint::{check_file, FilePolicy, Lint};
+//!
+//! let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+//! let violations = check_file(bad, &FilePolicy::strict());
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].lint, Lint::PanicUnwrap);
+//! ```
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+pub use diag::{render_human, render_json, FileViolation};
+pub use lints::{
+    check_file, fix_missing_forbid, FilePolicy, Lint, Violation, ALL_LINTS, FORBID_UNSAFE_LINE,
+};
+pub use workspace::{find_workspace_root, run, TidyReport};

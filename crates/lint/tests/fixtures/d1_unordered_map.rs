@@ -1,0 +1,10 @@
+// Fixture: D1/unordered-map — hash collections in deterministic code.
+use std::collections::HashMap;
+
+pub fn count(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,5 @@
+// Fixture: D2/nondet-source — wall-clock reads in algorithm code.
+pub fn elapsed_like() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,19 @@
+// Fixture: D3/panic-unwrap — panics in library non-test code. The
+// #[cfg(test)] module at the bottom must NOT be reported.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("bad flag");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1u32).unwrap(), 1);
+    }
+}

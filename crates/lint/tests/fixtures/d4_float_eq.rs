@@ -1,0 +1,4 @@
+// Fixture: D4/float-eq — exact float comparison in geometry/cost code.
+pub fn on_origin(x: f64) -> bool {
+    x == 0.0
+}

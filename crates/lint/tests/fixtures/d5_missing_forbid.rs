@@ -1,0 +1,6 @@
+//! Fixture: D5/missing-forbid-unsafe — a crate root without the
+//! `#![forbid(unsafe_code)]` attribute (checked with `crate_root` set).
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,11 @@
+// Fixture: S1/bad-suppression — a reason-less allow and an allow naming
+// an unknown lint. Neither suppresses, so the D3 findings survive too.
+pub fn f(x: Option<u32>) -> u32 {
+    // flow3d-tidy: allow(panic-unwrap)
+    x.unwrap()
+}
+
+pub fn g(x: Option<u32>) -> u32 {
+    // flow3d-tidy: allow(no-such-lint) — the name is wrong
+    x.unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: S2/unused-suppression — a well-formed allow that matches no
+// violation on its line or the next.
+pub fn id(x: u32) -> u32 {
+    // flow3d-tidy: allow(float-eq) — stale: the comparison was removed
+    x
+}

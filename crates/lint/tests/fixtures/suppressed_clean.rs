@@ -1,0 +1,5 @@
+// Fixture: a reasoned suppression silences the lint — no diagnostics.
+pub fn f(x: Option<u32>) -> u32 {
+    // flow3d-tidy: allow(panic-unwrap) — fixture: invariant documented at the call site
+    x.unwrap()
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Generic minimum-cost maximum-flow solver.
 //!

@@ -80,6 +80,7 @@ pub fn hpwl_legal(design: &Design, legal: &LegalPlacement) -> f64 {
 /// Returns 0 when the global HPWL is 0 (degenerate designs).
 pub fn delta_hpwl_pct(design: &Design, global: &Placement3d, legal: &LegalPlacement) -> f64 {
     let before = hpwl_global(design, global);
+    // flow3d-tidy: allow(float-eq) — exact-zero divide guard on a sum of absolute values, not a tolerance check
     if before == 0.0 {
         return 0.0;
     }

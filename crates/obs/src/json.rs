@@ -329,7 +329,9 @@ impl Parser<'_> {
                     // &str, so boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -360,7 +362,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Observability for the 3D-Flow legalization pipeline: hierarchical
 //! phase timers, named event counters, and serializable run reports.

@@ -166,6 +166,7 @@ impl Profile {
         let (open, started) = self
             .stack
             .pop()
+            // flow3d-tidy: allow(panic-unwrap) — documented # Panics: begin/end mismatch would misattribute time
             .unwrap_or_else(|| panic!("Profile::end(\"{name}\") with no open phase"));
         assert_eq!(
             open, name,
@@ -177,6 +178,7 @@ impl Profile {
             .phases
             .iter_mut()
             .find(|(p, _)| *p == path)
+            // flow3d-tidy: allow(panic-unwrap) — invariant: begin() registered this path before end() can pop it
             .expect("begin registered the path");
         stats.total += elapsed;
         stats.calls += 1;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Std-only deterministic fork-join parallelism for the 3D-Flow workspace.
 //!
@@ -151,6 +152,7 @@ where
     }
     let results = slots
         .into_iter()
+        // flow3d-tidy: allow(panic-unwrap) — invariant: workers claim disjoint index sets that cover 0..len
         .map(|s| s.expect("every index claimed exactly once"))
         .collect();
     (results, states)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! SVG visualization for the 3D-Flow reproduction.
 //!

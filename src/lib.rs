@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # flow3d — 3D-Flow legalization for 3D ICs
 //!

@@ -4,6 +4,15 @@
 //! (compared on the emitted `legal` file text) and identical
 //! `LegalizeStats`. This is the executable form of the determinism
 //! contract documented on `flow_pass_threaded`.
+//!
+//! Regression note (flow3d-tidy D1): this matrix only catches an
+//! iteration-order bug when the hash seed cooperates, so the contract is
+//! *also* enforced statically — `cargo run -p flow3d-lint` rejects
+//! `HashMap`/`HashSet` in the deterministic crates outright. The
+//! straddling-cell dedup in `crates/core/src/driver.rs` and the name
+//! interners in `crates/db`/`crates/io` were migrated to B-tree
+//! collections under that lint; if either ever regresses to hashing,
+//! the tidy gate fails before this harness has a chance to flake.
 
 use flow3d::prelude::*;
 use flow3d_core::LegalizeStats;
