@@ -3,12 +3,12 @@
 //! ```text
 //! flow3d gen --suite 2022 --case case3 [--scale 0.25] --out case.txt [--gp gp.txt]
 //! flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt \
-//!        --out legal.txt [--no-d2d] [--no-post] [--alpha 0.1] [--threads N] \
+//!        --out legal.txt [--no-d2d] [--no-post] [--no-memo] [--alpha 0.1] [--threads N] \
 //!        [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]
 //! flow3d check --case case.txt --legal legal.txt [--gp gp.txt]
 //! flow3d stats --case case.txt
 //! flow3d report show report.json
-//! flow3d report diff baseline.json current.json [--rt-warn-pct P] [--rt-fail-pct P] ...
+//! flow3d report diff baseline.json current.json [--phase SUBSTR] [--rt-warn-pct P] ...
 //! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
 //! flow3d viz --heatmaps run.heatmaps.json [--name flow_pass0/die0/overflow] --out grid.svg
 //! ```
@@ -137,11 +137,11 @@ fn run_report(argv: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      flow3d gen --suite 2022|2023 --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
-     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--alpha A] [--threads N] [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]\n  \
+     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--no-memo] [--alpha A] [--threads N] [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]\n  \
      flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
      flow3d stats --case case.txt\n  \
      flow3d report show <report.json>\n  \
-     flow3d report diff <baseline.json> <current.json> [--rt-warn-pct P] [--rt-fail-pct P] [--disp-warn-pct P] [--disp-fail-pct P] [--counter-warn-pct P] [--counter-fail-pct P] [--min-seconds S]\n  \
+     flow3d report diff <baseline.json> <current.json> [--phase SUBSTR] [--rt-warn-pct P] [--rt-fail-pct P] [--disp-warn-pct P] [--disp-fail-pct P] [--counter-warn-pct P] [--counter-fail-pct P] [--min-seconds S]\n  \
      flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg\n  \
      flow3d viz --heatmaps sidecar.json [--name <heatmap>] --out grid.svg\n  \
      flow3d tidy [--json] [--fix] [--list] [--root DIR]"
@@ -215,6 +215,9 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
             alpha: args.get_f64("alpha", 0.1)?,
             allow_d2d: !args.flag("no-d2d"),
             post_opt: !args.flag("no-post"),
+            // Memo off is an ablation knob: output is bit-identical
+            // either way, only the search wall-clock changes.
+            selection_memo: !args.flag("no-memo"),
             // 0 = auto: FLOW3D_THREADS, else available parallelism. The
             // result is bit-identical for every worker count.
             threads: args.get_usize("threads", 0)?,
@@ -360,7 +363,10 @@ fn cmd_report_diff(baseline_path: &str, current_path: &str, args: &Args) -> Resu
         counter_fail_pct: args.get_f64("counter-fail-pct", defaults.counter_fail_pct)?,
         min_seconds: args.get_f64("min-seconds", defaults.min_seconds)?,
     };
-    let diff = flow3d_obs::diff_reports(&baseline, &current, &tol);
+    let diff = flow3d_obs::diff_reports_phase(&baseline, &current, &tol, args.get("phase"));
+    if let Some(phase) = args.get("phase") {
+        println!("phase filter: {phase}");
+    }
     print!("{}", diff.to_pretty());
     match diff.worst() {
         flow3d_obs::DiffStatus::Fail => Err(format!(

@@ -29,6 +29,13 @@ pub struct Flow3dConfig {
     /// Row-legalization algorithm (§III-D): the paper's Abacus clustering
     /// or the L1-optimal isotonic variant.
     pub row_algo: RowAlgo,
+    /// Reuse `select_moves` results across the searches of one source's
+    /// retry ladder via the per-scratch
+    /// [`SelectionMemo`](crate::selection::SelectionMemo). Pure caching:
+    /// the legalizer's output is bit-identical with the memo on or off
+    /// (enforced by `tests/differential.rs`); disable only to measure the
+    /// cache's effect (`--no-memo` in the CLI, the `kernel` bench group).
+    pub selection_memo: bool,
     /// Worker threads for the parallel phases (flow-pass search batches,
     /// per-segment `PlaceRow`). `0` means auto: the `FLOW3D_THREADS`
     /// environment variable if set, otherwise all available cores (see
@@ -51,6 +58,7 @@ impl Default for Flow3dConfig {
             post_opt: true,
             post_passes: 3,
             row_algo: RowAlgo::default(),
+            selection_memo: true,
             threads: 0,
         }
     }
@@ -104,6 +112,7 @@ mod tests {
         assert_eq!(c.post_bin_width_factor, 5.0);
         assert!(c.allow_d2d);
         assert!(c.post_opt);
+        assert!(c.selection_memo, "memo is pure caching, on by default");
         assert_eq!(c.threads, 0, "default is auto-sized");
     }
 

@@ -108,8 +108,20 @@ pub fn post_optimize(
             break; // cannot re-seed (pathological layout); keep current
         }
 
+        // Accumulate the pass's counters into a scratch first: a rejected
+        // pass's placement is discarded, so its augmentations/moves must
+        // not pollute the reported run totals either. The observability
+        // counters (bumped inside flow_pass_threaded) still record the
+        // work — telemetry measures work done, stats the accepted outcome.
+        let mut pass_stats = LegalizeStats::default();
         obs.begin("flow_pass");
-        let flowed = flow_pass_threaded(&mut state, base_params, threads, stats, obs.reborrow());
+        let flowed = flow_pass_threaded(
+            &mut state,
+            base_params,
+            threads,
+            &mut pass_stats,
+            obs.reborrow(),
+        );
         obs.end("flow_pass");
         flowed?;
         obs.begin("placerow");
@@ -120,6 +132,7 @@ pub fn post_optimize(
         if new_max < current_max {
             *placement = candidate;
             current_max = new_max;
+            stats.absorb(&pass_stats);
             stats.post_passes += 1;
             obs.bump(keys::CYCLE_RELEGALIZATIONS, 1);
             obs.instant("cycle_pass_accepted");
@@ -181,6 +194,61 @@ mod tests {
             s_without.max_dbu,
             s_with.max_dbu
         );
+    }
+
+    /// One full row of identically-anchored cells: any permutation has the
+    /// same displacement multiset, so a post pass can shuffle cells but
+    /// never improve the maximum — every pass is rejected.
+    fn full_row_fixture() -> (Design, Placement3d) {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("W40", 40, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 10), 10, 1, 1.0))
+            // Too little area headroom for even one cell: nothing can
+            // escape to the top die.
+            .die(DieSpec::new("top", "T", (0, 0, 400, 10), 10, 1, 0.01));
+        for i in 0..10 {
+            b = b.cell(format!("u{i}"), "W40");
+        }
+        let d = b.build().unwrap();
+        let mut gp = Placement3d::new(10);
+        for i in 0..10 {
+            let c = CellId::new(i);
+            gp.set_pos(c, FPoint::new(400.0, 0.0));
+            gp.set_die_affinity(c, 0.1);
+        }
+        (d, gp)
+    }
+
+    #[test]
+    fn rejected_pass_does_not_pollute_stats() {
+        let (d, gp) = full_row_fixture();
+        let without = Flow3dLegalizer::new(Flow3dConfig {
+            post_opt: false,
+            ..Default::default()
+        })
+        .legalize(&d, &gp)
+        .unwrap();
+        let mut profile = flow3d_obs::Profile::new();
+        let with = Flow3dLegalizer::default()
+            .legalize_observed(&d, &gp, Some(&mut profile))
+            .unwrap();
+        assert!(check_legal(&d, &with.placement).is_legal());
+        assert_eq!(with.stats.post_passes, 0, "every pass must be rejected");
+        assert_eq!(
+            with.stats.augmentations, without.stats.augmentations,
+            "a rejected post pass must not leak augmentations into stats"
+        );
+        assert_eq!(with.stats.cells_moved, without.stats.cells_moved);
+        // The rejected pass still ran and did real search work, which
+        // stays visible in telemetry: stats report the accepted outcome,
+        // the profile reports the work performed.
+        let post_flow = profile
+            .phases()
+            .find(|(p, _)| *p == "legalize/post_opt/flow_pass")
+            .map(|(_, s)| s.calls)
+            .unwrap_or(0);
+        assert!(post_flow >= 1, "fixture never exercised a post pass");
+        assert!(profile.counters().get(keys::AUGMENTING_PATHS) >= with.stats.augmentations as u64);
     }
 
     #[test]

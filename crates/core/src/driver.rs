@@ -86,6 +86,11 @@ fn search_source(
 ) -> SourceSearch {
     let mut counters = SearchCounters::default();
     let mut searches: usize = 0;
+    // One memo scope per retry ladder: the searches of this ladder run
+    // against the same frozen state, so their selections are mutually
+    // reusable — but never across sources, which keeps the counters a
+    // pure function of (state, source) and thread-count invariant.
+    scratch.begin_source(state.generation());
     for relaxed in [false, true] {
         if relaxed && (params.alpha.is_infinite() || params.dijkstra) {
             break;
@@ -180,6 +185,10 @@ pub fn flow_pass_threaded(
     // Generous guard against cycling; each applied path normally drains
     // its source for good, so this should never trigger.
     let mut guard = 64 * state.overflowed_bins().len() + 4 * num_bins + 64;
+    // Worker search scratch (node arena, heap, selection memo) persists
+    // across rounds so its allocations amortize over the whole pass; the
+    // per-round profiles stay fresh in the worker state.
+    let mut scratch_pool: Vec<SearchScratch> = Vec::new();
 
     loop {
         // Round sources: every overflowed bin, most loaded first (bin id
@@ -199,16 +208,13 @@ pub fn flow_pass_threaded(
         // its epoch-visited marks across the items one worker claims.
         obs.begin("search_batch");
         let frozen: &FlowState<'_> = state;
-        let (candidates, worker_profiles) = flow3d_par::par_map_with(
+        let (candidates, worker_profiles) = flow3d_par::par_map_with_pool(
             threads,
             sources.len(),
-            || {
-                (
-                    SearchScratch::new(num_bins),
-                    Profile::new_worker(trace_epoch),
-                )
-            },
-            |(scratch, wprof), i| {
+            &mut scratch_pool,
+            || SearchScratch::new(num_bins),
+            || Profile::new_worker(trace_epoch),
+            |scratch, wprof, i| {
                 let (sup, bin) = sources[i];
                 if observing {
                     wprof.begin("source_search");
@@ -225,7 +231,7 @@ pub fn flow_pass_threaded(
                 // Merge while "search_batch" is open so worker spans nest
                 // under it; the worker's merge-order index becomes its
                 // trace track, so the timeline layout is deterministic.
-                for (w, (_, wprof)) in worker_profiles.iter().enumerate() {
+                for (w, wprof) in worker_profiles.iter().enumerate() {
                     p.merge_nested_worker(wprof, w as u32 + 1);
                 }
                 // Histograms are recorded coordinator-side in source
@@ -233,6 +239,12 @@ pub fn flow_pass_threaded(
                 // contents are thread-count invariant.
                 for (_, c, _) in &candidates {
                     p.record(hist_keys::SEARCH_NODES, c.expanded as f64);
+                    if params.use_memo {
+                        p.record(
+                            hist_keys::SELECTION_MEMO_HITS_PER_SOURCE,
+                            c.memo_hits as f64,
+                        );
+                    }
                 }
             }
         }
@@ -241,6 +253,9 @@ pub fn flow_pass_threaded(
             counters.expanded += c.expanded;
             counters.created += c.created;
             counters.pruned += c.pruned;
+            counters.pruned_stale += c.pruned_stale;
+            counters.memo_hits += c.memo_hits;
+            counters.memo_misses += c.memo_misses;
             retries += searches.saturating_sub(1);
         }
 
@@ -315,6 +330,9 @@ pub fn flow_pass_threaded(
     obs.bump(keys::NODES_EXPANDED, counters.expanded as u64);
     obs.bump(keys::NODES_CREATED, counters.created as u64);
     obs.bump(keys::BRANCHES_PRUNED, counters.pruned as u64);
+    obs.bump(keys::BRANCHES_PRUNED_STALE, counters.pruned_stale as u64);
+    obs.bump(keys::SELECTION_MEMO_HITS, counters.memo_hits as u64);
+    obs.bump(keys::SELECTION_MEMO_MISSES, counters.memo_misses as u64);
     obs.bump(
         keys::AUGMENTING_PATHS,
         (stats.augmentations - aug_before) as u64,
@@ -681,6 +699,7 @@ impl Flow3dLegalizer {
             alpha: cfg.alpha,
             slack,
             dijkstra: false,
+            use_memo: cfg.selection_memo,
             selection: SelectionParams {
                 clamp_negative: false,
                 d2d_congestion_cost: cfg.d2d_congestion_cost,

@@ -72,10 +72,22 @@ impl Bin {
 }
 
 /// The 3D grid graph.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: the
+/// neighbours of bin `i` are `adj_edges[adj_off[i] .. adj_off[i + 1]]`.
+/// One flat edge array plus an offset array replaces the per-bin
+/// `Vec<Vec<_>>` of earlier revisions, so the search kernel's inner loop
+/// touches two contiguous allocations instead of one heap object per
+/// bin. Per-bin neighbour *order* is part of the determinism contract
+/// (it drives tie-breaking in the search), so the builder preserves the
+/// exact append order of the edge-discovery passes.
 #[derive(Debug, Clone)]
 pub struct BinGrid {
     bins: Vec<Bin>,
-    adj: Vec<Vec<(BinId, EdgeKind)>>,
+    /// CSR offsets: `bins.len() + 1` entries, monotone non-decreasing.
+    adj_off: Vec<u32>,
+    /// Packed directed edges, grouped by source bin.
+    adj_edges: Vec<(BinId, EdgeKind)>,
     /// Bins of each segment, sorted by x.
     seg_bins: Vec<Vec<BinId>>,
 }
@@ -128,17 +140,19 @@ impl BinGrid {
             }
         }
 
-        let mut adj: Vec<Vec<(BinId, EdgeKind)>> = vec![Vec::new(); bins.len()];
-        let push_edge =
-            |a: BinId, b: BinId, kind: EdgeKind, adj: &mut Vec<Vec<(BinId, EdgeKind)>>| {
-                adj[a.index()].push((b, kind));
-                adj[b.index()].push((a, kind));
-            };
+        // Directed edges in discovery order; the stable counting sort
+        // below groups them by source bin without reordering any bin's
+        // neighbour list.
+        let mut edges: Vec<(u32, BinId, EdgeKind)> = Vec::new();
+        let push_edge = |a: BinId, b: BinId, kind: EdgeKind, edges: &mut Vec<_>| {
+            edges.push((a.0, b, kind));
+            edges.push((b.0, a, kind));
+        };
 
         // Horizontal edges: consecutive bins within a segment.
         for ids in &seg_bins {
             for pair in ids.windows(2) {
-                push_edge(pair[0], pair[1], EdgeKind::Horizontal, &mut adj);
+                push_edge(pair[0], pair[1], EdgeKind::Horizontal, &mut edges);
             }
         }
 
@@ -155,7 +169,7 @@ impl BinGrid {
         // Vertical edges: x-overlapping bins of adjacent rows, same die.
         for die_rows in &row_bins {
             for w in die_rows.windows(2) {
-                sweep_overlaps(&bins, &w[0], &w[1], EdgeKind::Vertical, &mut adj);
+                sweep_overlaps(&bins, &w[0], &w[1], EdgeKind::Vertical, &mut edges);
             }
         }
 
@@ -181,16 +195,36 @@ impl BinGrid {
                         if !lo_span.overlaps(&Interval::with_len(y_up, h_up)) {
                             continue;
                         }
-                        sweep_overlaps(&bins, bins_lo, bins_up, EdgeKind::DieToDie, &mut adj);
+                        sweep_overlaps(&bins, bins_lo, bins_up, EdgeKind::DieToDie, &mut edges);
                     }
                     let _ = r_lo;
                 }
             }
         }
 
+        // Stable counting sort by source bin into the CSR arrays. Edges
+        // of one source keep their discovery order, so `neighbors()`
+        // returns byte-for-byte the same slices as the old nested-Vec
+        // layout did.
+        let mut adj_off = vec![0u32; bins.len() + 1];
+        for &(src, _, _) in &edges {
+            adj_off[src as usize + 1] += 1;
+        }
+        for i in 0..bins.len() {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cursor: Vec<u32> = adj_off[..bins.len()].to_vec();
+        let mut adj_edges = vec![(BinId(0), EdgeKind::Horizontal); edges.len()];
+        for &(src, dst, kind) in &edges {
+            let pos = cursor[src as usize] as usize;
+            adj_edges[pos] = (dst, kind);
+            cursor[src as usize] += 1;
+        }
+
         Self {
             bins,
-            adj,
+            adj_off,
+            adj_edges,
             seg_bins,
         }
     }
@@ -215,10 +249,13 @@ impl BinGrid {
         &self.bins[id.index()]
     }
 
-    /// Neighbours of `id` with the connecting edge kind.
+    /// Neighbours of `id` with the connecting edge kind (a CSR slice of
+    /// the packed edge array).
     #[inline]
     pub fn neighbors(&self, id: BinId) -> &[(BinId, EdgeKind)] {
-        &self.adj[id.index()]
+        let lo = self.adj_off[id.index()] as usize;
+        let hi = self.adj_off[id.index() + 1] as usize;
+        &self.adj_edges[lo..hi]
     }
 
     /// Bins of `segment`, sorted by x.
@@ -244,8 +281,8 @@ impl BinGrid {
     /// undirected edge is counted once.
     pub fn edge_counts(&self) -> (usize, usize, usize) {
         let mut counts = (0usize, 0usize, 0usize);
-        for (i, nbrs) in self.adj.iter().enumerate() {
-            for &(to, kind) in nbrs {
+        for i in 0..self.bins.len() {
+            for &(to, kind) in self.neighbors(BinId::new(i)) {
                 if to.index() > i {
                     match kind {
                         EdgeKind::Horizontal => counts.0 += 1,
@@ -260,13 +297,15 @@ impl BinGrid {
 }
 
 /// Adds `kind` edges between every x-overlapping pair from two x-sorted
-/// bin lists (two-pointer sweep).
+/// bin lists (two-pointer sweep). Both directions of each edge are
+/// appended as the overlap is discovered — the append order is the
+/// per-bin neighbour order after the CSR counting sort.
 fn sweep_overlaps(
     bins: &[Bin],
     a: &[BinId],
     b: &[BinId],
     kind: EdgeKind,
-    adj: &mut [Vec<(BinId, EdgeKind)>],
+    edges: &mut Vec<(u32, BinId, EdgeKind)>,
 ) {
     let mut j = 0;
     for &ba in a {
@@ -278,8 +317,8 @@ fn sweep_overlaps(
         while k < b.len() && bins[b[k].index()].span.lo < sa.hi {
             let bb = b[k];
             if sa.overlaps(&bins[bb.index()].span) {
-                adj[ba.index()].push((bb, kind));
-                adj[bb.index()].push((ba, kind));
+                edges.push((ba.0, bb, kind));
+                edges.push((bb.0, ba, kind));
             }
             k += 1;
         }
@@ -434,6 +473,37 @@ mod tests {
         assert_eq!(g.bin_at(seg, 5000), last);
         let mid = g.bin_at(seg, 150);
         assert!(g.bin(mid).span.contains_point(150));
+    }
+
+    #[test]
+    fn csr_neighbour_order_groups_kinds_by_discovery_pass() {
+        // The builder discovers horizontal edges first, then vertical,
+        // then die-to-die, and the CSR counting sort is stable — so every
+        // bin's neighbour list must be grouped in that kind order. The
+        // search kernel's tie-breaking depends on this order staying put.
+        let (_, _, g) = grid(true, 100, true);
+        let rank = |k: EdgeKind| match k {
+            EdgeKind::Horizontal => 0,
+            EdgeKind::Vertical => 1,
+            EdgeKind::DieToDie => 2,
+        };
+        let mut total = 0usize;
+        for i in 0..g.num_bins() {
+            let nbrs = g.neighbors(BinId::new(i));
+            total += nbrs.len();
+            for pair in nbrs.windows(2) {
+                assert!(
+                    rank(pair[0].1) <= rank(pair[1].1),
+                    "bin {i}: neighbour kinds out of discovery order: {nbrs:?}"
+                );
+            }
+        }
+        let (h, v, d2d) = g.edge_counts();
+        assert_eq!(
+            total,
+            2 * (h + v + d2d),
+            "CSR slices must cover every directed edge once"
+        );
     }
 
     #[test]

@@ -91,8 +91,10 @@ impl Flow3dLegalizer {
         obs.begin("eco_seed");
         let mut anchors: Vec<Point> = (0..n).map(|i| base.pos(CellId::new(i))).collect();
         let mut target_die: Vec<DieId> = (0..n).map(|i| base.die(CellId::new(i))).collect();
+        let mut is_moved = vec![false; n];
         for mv in moves {
             anchors[mv.cell.index()] = mv.target;
+            is_moved[mv.cell.index()] = true;
             if let Some(die) = mv.die {
                 target_die[mv.cell.index()] = die;
             }
@@ -108,8 +110,14 @@ impl Flow3dLegalizer {
                 .nearest_position(design, die, a.x, a.y, w)
                 .or_else(|| {
                     // Requested die cannot host the cell at all: fall back
-                    // to any die (moved cells only; base positions always
-                    // resolve on their own die).
+                    // to any die — but only for cells the ECO actually
+                    // moved. An unmoved cell that fails to seed means the
+                    // base placement is not legal on its own die; silently
+                    // relocating it would hide the corruption, so let it
+                    // surface as `NoPosition` below.
+                    if !is_moved[i] {
+                        return None;
+                    }
                     (0..design.num_dies()).map(DieId::new).find_map(|d| {
                         layout.nearest_position(design, d, a.x, a.y, design.cell_width(cell, d))
                     })
@@ -143,6 +151,7 @@ impl Flow3dLegalizer {
             alpha: cfg.alpha,
             slack,
             dijkstra: false,
+            use_memo: cfg.selection_memo,
             selection: SelectionParams {
                 clamp_negative: false,
                 d2d_congestion_cost: cfg.d2d_congestion_cost,
@@ -258,6 +267,64 @@ mod tests {
         assert!(check_legal(&d, &outcome.placement).is_legal());
         assert_eq!(outcome.placement.die(CellId::new(2)), to);
         assert!(outcome.stats.cross_die_moves >= 1);
+    }
+
+    /// Two-die design whose top die is too narrow to host a single
+    /// width-30 cell: any cell "on top" is there illegally.
+    fn narrow_top_design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 20, 40), 10, 1, 1.0));
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "C");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn corrupt_base_surfaces_no_position_instead_of_silent_relocation() {
+        // Cell 0 sits on a die that cannot host it, and the ECO does not
+        // touch it: the die fallback is documented as "moved cells only",
+        // so the corruption must surface as NoPosition, not be papered
+        // over by quietly relocating the cell to another die.
+        let d = narrow_top_design(2);
+        let mut base = flow3d_db::LegalPlacement::new(2);
+        base.place(CellId::new(0), Point::new(0, 0), DieId::new(1));
+        base.place(CellId::new(1), Point::new(0, 0), DieId::new(0));
+        let err = Flow3dLegalizer::default()
+            .legalize_incremental(&d, &base, &[])
+            .unwrap_err();
+        assert!(
+            matches!(err, LegalizeError::NoPosition { cell } if cell == CellId::new(0)),
+            "expected NoPosition for the corrupt cell, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn moved_cell_keeps_the_any_die_fallback() {
+        // The same impossible die, but *requested by the ECO*: here the
+        // fallback applies — the cell seeds on a die that fits and the
+        // run succeeds.
+        let d = narrow_top_design(3);
+        let mut base = flow3d_db::LegalPlacement::new(3);
+        for i in 0..3 {
+            base.place(CellId::new(i), Point::new(30 * i as i64, 0), DieId::new(0));
+        }
+        let mv = CellMove {
+            cell: CellId::new(1),
+            target: Point::new(0, 0),
+            die: Some(DieId::new(1)),
+        };
+        let outcome = Flow3dLegalizer::default()
+            .legalize_incremental(&d, &base, &[mv])
+            .unwrap();
+        assert!(check_legal(&d, &outcome.placement).is_legal());
+        assert_eq!(
+            outcome.placement.die(CellId::new(1)),
+            DieId::new(0),
+            "the unhostable die request falls back to one that fits"
+        );
     }
 
     #[test]

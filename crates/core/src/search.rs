@@ -9,13 +9,26 @@
 //! negative best cost the bound degrades gracefully to
 //! `cost(p_best) + α·|cost(p_best)|` (see `DESIGN.md`).
 //!
+//! The kernel is engineered for the thousands of searches one
+//! legalization performs:
+//!
+//! * the node arena and the priority queue live in [`SearchScratch`] and
+//!   are cleared — not reallocated — per search;
+//! * the bound is also applied at **pop time**, so entries queued before
+//!   `best` tightened are dropped for the cost of one comparison instead
+//!   of a full expansion (and no longer inflate the `expanded` counter);
+//! * `select_moves` outcomes are memoized per source retry ladder in a
+//!   [`SelectionMemo`](crate::selection::SelectionMemo), keyed on
+//!   `(u, v, needed)` and invalidated by the
+//!   [`FlowState::generation`] mutation counter.
+//!
 //! The same routine runs in **Dijkstra mode** (for the BonnPlaceLegal
 //! baseline): costs are clamped non-negative by the selection layer, every
-//! node is pushed, and the first *candidate* popped is provably the
-//! cheapest — the classic early exit.
+//! node is pushed, nothing is pruned (at generation or pop), and the first
+//! *candidate* popped is provably the cheapest — the classic early exit.
 
 use crate::grid::{BinId, EdgeKind};
-use crate::selection::{select_moves, SelectionParams};
+use crate::selection::{select_moves, SelectionMemo, SelectionParams};
 use crate::state::FlowState;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -31,6 +44,12 @@ pub struct SearchParams {
     /// Dijkstra mode: no pruning, first candidate popped wins. Requires
     /// non-negative costs ([`SelectionParams::clamp_negative`]).
     pub dijkstra: bool,
+    /// Memoize `select_moves` outcomes in the scratch's
+    /// [`SelectionMemo`]. Results are bit-identical either way; off is
+    /// kept for ablation ([`Flow3dConfig::selection_memo`]).
+    ///
+    /// [`Flow3dConfig::selection_memo`]: crate::Flow3dConfig::selection_memo
+    pub use_memo: bool,
     /// Cost model shared with realization.
     pub selection: SelectionParams,
 }
@@ -41,6 +60,7 @@ impl Default for SearchParams {
             alpha: 0.1,
             slack: 1.0,
             dijkstra: false,
+            use_memo: true,
             selection: SelectionParams::default(),
         }
     }
@@ -79,21 +99,44 @@ impl AugmentingPath {
 /// Counters for one search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchCounters {
-    /// Nodes popped from the priority queue.
+    /// Nodes popped from the priority queue and expanded (pop-time-pruned
+    /// entries are *not* counted here).
     pub expanded: usize,
     /// Nodes created (edges traversed with a feasible selection).
     pub created: usize,
-    /// Branches cut by the `(1 + α)·cost(p_best)` bound (Algorithm 1
-    /// line 13). Always 0 in Dijkstra mode, which never prunes.
+    /// Branches cut by the `(1 + α)·cost(p_best)` bound at child
+    /// generation (Algorithm 1 line 13). Always 0 in Dijkstra mode, which
+    /// never prunes.
     pub pruned: usize,
+    /// Queued entries caught by the same bound at pop time because
+    /// `best` tightened after they were pushed. Under clamped
+    /// (non-negative) selection costs they are dropped outright; under
+    /// the default signed costs they are still expanded (their subtrees
+    /// can chain negative-cost moves into a better candidate) but kept
+    /// out of `expanded`. Each such entry was a created node, so
+    /// `pruned_stale ≤ created` always holds. Always 0 in Dijkstra
+    /// mode.
+    pub pruned_stale: usize,
+    /// `select_moves` calls answered by the [`SelectionMemo`]. 0 when
+    /// [`SearchParams::use_memo`] is off.
+    pub memo_hits: usize,
+    /// `select_moves` calls that missed the memo and ran the selection.
+    /// 0 when [`SearchParams::use_memo`] is off.
+    pub memo_misses: usize,
 }
 
 /// Reusable scratch buffers: allocate once per legalization, reuse across
-/// the thousands of searches.
+/// the thousands of searches. Holds the visited-epoch set, the node
+/// arena, the priority queue, and the selection memo; all are cleared (or
+/// epoch-invalidated), never reallocated, between searches, so their
+/// contents can never leak into a later search's result.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
     visited_epoch: Vec<u32>,
     epoch: u32,
+    nodes: Vec<Node>,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    memo: SelectionMemo,
 }
 
 impl SearchScratch {
@@ -102,7 +145,21 @@ impl SearchScratch {
         Self {
             visited_epoch: vec![0; num_bins],
             epoch: 0,
+            nodes: Vec::new(),
+            heap: BinaryHeap::new(),
+            memo: SelectionMemo::new(),
         }
+    }
+
+    /// Opens a new selection-memo scope (see
+    /// [`SelectionMemo::begin_source`]): call with the current
+    /// [`FlowState::generation`] once per source retry ladder, before the
+    /// ladder's first search. Searches for one source may then share memo
+    /// entries, while hit/miss telemetry stays a pure function of
+    /// `(state, source)` — independent of which searches this scratch
+    /// served before.
+    pub fn begin_source(&mut self, generation: u64) {
+        self.memo.begin_source(generation);
     }
 
     fn begin(&mut self, num_bins: usize) {
@@ -191,31 +248,61 @@ pub fn find_path_limited(
         return None;
     }
     scratch.begin(state.grid.num_bins());
+    if params.use_memo && scratch.memo.generation() != state.generation() {
+        // Safety net for callers that never open a memo scope: a state
+        // mutation invalidates the memo through the generation stamp.
+        // The driver additionally calls `begin_source` once per retry
+        // ladder so memo telemetry is a pure function of (state, source).
+        scratch.memo.begin_source(state.generation());
+    }
 
-    let mut nodes: Vec<Node> = vec![Node {
+    scratch.nodes.clear();
+    scratch.heap.clear();
+    scratch.nodes.push(Node {
         bin: source,
         parent: u32::MAX,
         inflow: supply,
         cost: 0.0,
         edge: EdgeKind::Horizontal,
-    }];
-    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
-    heap.push(Reverse((OrdF64(0.0), 0)));
+    });
+    scratch.heap.push(Reverse((OrdF64(0.0), 0)));
     scratch.mark(source);
 
     let mut best: Option<(u32, f64)> = None;
 
-    while let Some(Reverse((OrdF64(cost), idx))) = heap.pop() {
-        let node = nodes[idx as usize];
-        if cost > node.cost {
-            continue; // stale entry
+    while let Some(Reverse((OrdF64(cost), idx))) = scratch.heap.pop() {
+        let node = scratch.nodes[idx as usize];
+        // The visited-epoch set admits each bin at most once per search,
+        // so every node gets exactly one heap entry and the popped cost
+        // is the node's cost by construction.
+        debug_assert_eq!(
+            cost.to_bits(),
+            node.cost.to_bits(),
+            "each node is pushed exactly once"
+        );
+        let best_cost = best.map(|(_, c)| c).unwrap_or(f64::INFINITY);
+        if !params.dijkstra && cost >= bound(best_cost, params.alpha, params.slack) {
+            // Pop-time pruning: `best` tightened after this entry was
+            // queued, so the entry itself can no longer beat the bound.
+            // With clamped (non-negative) selection costs no descendant
+            // can either, and the entry is dropped for the price of one
+            // comparison. With the default signed costs its subtree can
+            // still chain negative-cost moves into a better candidate —
+            // exactly the exploration a loose `α` pays for — so the
+            // entry is expanded anyway and only excluded from
+            // `expanded`, which counts in-bound work.
+            counters.pruned_stale += 1;
+            if params.selection.clamp_negative {
+                continue;
+            }
+        } else {
+            counters.expanded += 1;
         }
-        counters.expanded += 1;
 
         if params.dijkstra {
             // Non-negative costs: the first candidate popped is optimal.
             if idx != 0 && node.inflow <= state.dem(node.bin) {
-                return Some(extract(&nodes, idx));
+                return Some(extract(&scratch.nodes, idx));
             }
         }
 
@@ -227,12 +314,33 @@ pub fn find_path_limited(
             if scratch.visited(nbr) {
                 continue;
             }
-            let Some(sel) = select_moves(state, node.bin, nbr, kind, needed, &params.selection)
-            else {
+            // The search consumes only the (cost, added_to_v) summary of
+            // a selection; `augment::realize` recomputes the full move
+            // list against the same frozen state when a path is applied.
+            let outcome = if params.use_memo {
+                match scratch.memo.lookup(node.bin, nbr, needed) {
+                    Some(cached) => {
+                        counters.memo_hits += 1;
+                        cached
+                    }
+                    None => {
+                        counters.memo_misses += 1;
+                        let computed =
+                            select_moves(state, node.bin, nbr, kind, needed, &params.selection)
+                                .map(|sel| (sel.cost, sel.added_to_v));
+                        scratch.memo.store(node.bin, nbr, needed, computed);
+                        computed
+                    }
+                }
+            } else {
+                select_moves(state, node.bin, nbr, kind, needed, &params.selection)
+                    .map(|sel| (sel.cost, sel.added_to_v))
+            };
+            let Some((sel_cost, added_to_v)) = outcome else {
                 continue;
             };
             scratch.mark(nbr);
-            let child_cost = node.cost + sel.cost;
+            let child_cost = node.cost + sel_cost;
             let best_cost = best.map(|(_, c)| c).unwrap_or(f64::INFINITY);
             if !params.dijkstra && child_cost >= bound(best_cost, params.alpha, params.slack) {
                 counters.pruned += 1;
@@ -241,12 +349,12 @@ pub fn find_path_limited(
             let child = Node {
                 bin: nbr,
                 parent: idx,
-                inflow: sel.added_to_v,
+                inflow: added_to_v,
                 cost: child_cost,
                 edge: kind,
             };
-            let child_idx = nodes.len() as u32;
-            nodes.push(child);
+            let child_idx = scratch.nodes.len() as u32;
+            scratch.nodes.push(child);
             counters.created += 1;
             if !params.dijkstra && child.inflow <= state.dem(nbr) {
                 // Candidate path found.
@@ -254,11 +362,11 @@ pub fn find_path_limited(
                     best = Some((child_idx, child_cost));
                 }
             } else {
-                heap.push(Reverse((OrdF64(child_cost), child_idx)));
+                scratch.heap.push(Reverse((OrdF64(child_cost), child_idx)));
             }
         }
     }
-    best.map(|(idx, _)| extract(&nodes, idx))
+    best.map(|(idx, _)| extract(&scratch.nodes, idx))
 }
 
 fn extract(nodes: &[Node], leaf: u32) -> AugmentingPath {
@@ -560,6 +668,85 @@ mod tests {
         assert!((b - -9.0).abs() < 1e-12);
         // Zero best cost: absolute slack applies.
         assert!((bound(0.0, 0.1, 12.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_does_not_change_the_path_and_counters_relate() {
+        let d = fixture();
+        let (layout, grid) = setup(&d, true);
+        let bins = grid.bins_in_segment(seg(&layout, DieId::BOTTOM, 0));
+        let mut st = FlowState::new(&d, &layout, &grid, vec![Point::ORIGIN; 8]);
+        for i in 0..3 {
+            st.insert_cell(CellId::new(i), bins[0], 0);
+        }
+        let run = |use_memo: bool| {
+            let mut scratch = SearchScratch::new(grid.num_bins());
+            scratch.begin_source(st.generation());
+            let mut counters = SearchCounters::default();
+            let p = find_path(
+                &st,
+                bins[0],
+                &SearchParams {
+                    use_memo,
+                    ..Default::default()
+                },
+                &mut scratch,
+                &mut counters,
+            )
+            .expect("path");
+            (p, counters)
+        };
+        let (with_memo, c_on) = run(true);
+        let (without, c_off) = run(false);
+        assert_eq!(with_memo.steps, without.steps);
+        assert_eq!(with_memo.cost.to_bits(), without.cost.to_bits());
+        assert_eq!(
+            (c_on.expanded, c_on.created, c_on.pruned, c_on.pruned_stale),
+            (
+                c_off.expanded,
+                c_off.created,
+                c_off.pruned,
+                c_off.pruned_stale
+            ),
+            "the memo may only change hit/miss telemetry"
+        );
+        assert_eq!(c_off.memo_hits + c_off.memo_misses, 0);
+        assert!(c_on.memo_misses > 0, "a fresh scope must miss");
+        assert!(c_on.pruned_stale <= c_on.created);
+        // Every pop is either expanded or stale-pruned; pushes are the
+        // root plus the non-candidate created nodes.
+        assert!(c_on.expanded + c_on.pruned_stale <= c_on.created + 1);
+    }
+
+    #[test]
+    fn memo_hits_within_a_retry_ladder_and_invalidates_on_mutation() {
+        let d = fixture();
+        let (layout, grid) = setup(&d, true);
+        let bins = grid.bins_in_segment(seg(&layout, DieId::BOTTOM, 0));
+        let mut st = FlowState::new(&d, &layout, &grid, vec![Point::ORIGIN; 8]);
+        for i in 0..4 {
+            st.insert_cell(CellId::new(i), bins[0], 0);
+        }
+        let mut scratch = SearchScratch::new(grid.num_bins());
+        scratch.begin_source(st.generation());
+        let params = SearchParams::default();
+        let mut c1 = SearchCounters::default();
+        let p1 = find_path(&st, bins[0], &params, &mut scratch, &mut c1).expect("path");
+        // Same ladder, same limit: the repeat search must be answered
+        // entirely from the memo and return the identical path.
+        let mut c2 = SearchCounters::default();
+        let p2 = find_path(&st, bins[0], &params, &mut scratch, &mut c2).expect("path");
+        assert_eq!(p1.steps, p2.steps);
+        assert_eq!(p1.cost.to_bits(), p2.cost.to_bits());
+        assert!(c2.memo_hits > 0, "repeat search must hit");
+        assert_eq!(c2.memo_misses, 0, "nothing new to compute");
+        // A state mutation invalidates the memo even without a new
+        // `begin_source` (the generation safety net).
+        st.insert_cell(CellId::new(4), bins[0], 0);
+        let mut c3 = SearchCounters::default();
+        let _ = find_path(&st, bins[0], &params, &mut scratch, &mut c3);
+        assert_eq!(c3.memo_hits, 0, "stale entries must not replay");
+        assert!(c3.memo_misses > 0);
     }
 
     #[test]

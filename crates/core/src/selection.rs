@@ -71,6 +71,141 @@ pub struct Selection {
     pub cost: f64,
 }
 
+/// Slot count of [`SelectionMemo`]: a power of two so the hash folds to
+/// an index with a mask. 1 KiB-scale — small enough to stay cache-warm
+/// per worker, large enough that one source's retry ladder rarely
+/// collides with itself.
+const MEMO_SLOTS: usize = 1024;
+
+/// One direct-mapped memo slot. `epoch == 0` marks an empty slot (the
+/// live epoch counter skips 0).
+#[derive(Debug, Clone, Copy)]
+struct MemoSlot {
+    epoch: u32,
+    u: u32,
+    v: u32,
+    needed: i64,
+    generation: u64,
+    outcome: Option<(f64, i64)>,
+}
+
+const EMPTY_SLOT: MemoSlot = MemoSlot {
+    epoch: 0,
+    u: u32::MAX,
+    v: u32::MAX,
+    needed: 0,
+    generation: 0,
+    outcome: None,
+};
+
+/// Direct-mapped memo of [`select_moves`] outcomes for the search
+/// kernel's hot loop.
+///
+/// The search consumes only two fields of a [`Selection`] — `cost` and
+/// `added_to_v` — so the memo caches that compact `Option<(f64, i64)>`
+/// summary (`None` = the edge cannot supply `needed`; negative results
+/// are worth caching too). Keys are `(u, v, needed)`; the edge kind is
+/// not part of the key because a bin pair has exactly one edge kind.
+///
+/// Two validity stamps guard staleness:
+/// * a **generation** captured from [`FlowState::generation`], so any
+///   state mutation invalidates every entry, and
+/// * an **epoch** bumped unconditionally by
+///   [`begin_source`](Self::begin_source), scoping entries to one
+///   source's retry ladder. This keeps hit/miss telemetry a pure
+///   function of `(state, source)` — and therefore invariant under the
+///   worker count — instead of depending on which searches a worker
+///   happened to run earlier.
+///
+/// Deliberately a fixed-size direct-mapped array, not a map: lookups are
+/// one multiply-xor hash and one slot probe, no allocation, no ordering
+/// concerns (flow3d-tidy D1 bans hash maps in this crate anyway).
+#[derive(Debug, Clone)]
+pub struct SelectionMemo {
+    slots: Vec<MemoSlot>,
+    epoch: u32,
+    generation: u64,
+}
+
+impl Default for SelectionMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SelectionMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![EMPTY_SLOT; MEMO_SLOTS],
+            epoch: 1,
+            generation: 0,
+        }
+    }
+
+    /// The [`FlowState::generation`] this memo's entries were computed
+    /// against.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Opens a new memo scope: every existing entry becomes invalid and
+    /// `generation` is recorded for the entries to come. Call once per
+    /// source retry ladder (and whenever the state may have mutated
+    /// since the last search).
+    pub fn begin_source(&mut self, generation: u64) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: hard-reset so no 4-billion-searches-old
+            // entry can alias the restarted counter.
+            self.slots.fill(EMPTY_SLOT);
+            self.epoch = 1;
+        }
+        self.generation = generation;
+    }
+
+    /// Deterministic multiplicative hash of the key, folded to a slot
+    /// index.
+    #[inline]
+    fn slot_index(u: BinId, v: BinId, needed: i64) -> usize {
+        let mut h = (u.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= (v.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= (needed as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        h ^= h >> 32;
+        (h as usize) & (MEMO_SLOTS - 1)
+    }
+
+    /// Looks up the memoized outcome for `(u, v, needed)`. Outer `None`
+    /// = miss; `Some(inner)` replays the exact [`select_moves`] summary
+    /// (including a cached "edge unusable" `None`).
+    #[inline]
+    pub fn lookup(&self, u: BinId, v: BinId, needed: i64) -> Option<Option<(f64, i64)>> {
+        let s = &self.slots[Self::slot_index(u, v, needed)];
+        (s.epoch == self.epoch
+            && s.generation == self.generation
+            && s.u == u.0
+            && s.v == v.0
+            && s.needed == needed)
+            .then_some(s.outcome)
+    }
+
+    /// Stores the `(cost, added_to_v)` summary (or `None` for an
+    /// unusable edge) for `(u, v, needed)`, evicting whatever occupied
+    /// the slot.
+    #[inline]
+    pub fn store(&mut self, u: BinId, v: BinId, needed: i64, outcome: Option<(f64, i64)>) {
+        self.slots[Self::slot_index(u, v, needed)] = MemoSlot {
+            epoch: self.epoch,
+            u: u.0,
+            v: v.0,
+            needed,
+            generation: self.generation,
+            outcome,
+        };
+    }
+}
+
 /// Selects the cheapest cell set moving at least `needed` DBU out of `u`
 /// across the `(u, v)` edge of the given kind. Returns `None` when the
 /// bin cannot supply `needed` width (the edge is unusable for this flow).
@@ -539,6 +674,29 @@ mod tests {
             &SelectionParams::default(),
         )
         .is_none());
+    }
+
+    #[test]
+    fn memo_replays_hits_and_scopes_by_epoch_and_generation() {
+        let u = crate::grid::BinId(3);
+        let v = crate::grid::BinId(4);
+        let mut memo = SelectionMemo::new();
+        memo.begin_source(7);
+        assert_eq!(memo.lookup(u, v, 40), None, "fresh scope starts empty");
+        memo.store(u, v, 40, Some((1.5, 40)));
+        memo.store(u, v, 60, None); // negative result cached too
+        assert_eq!(memo.lookup(u, v, 40), Some(Some((1.5, 40))));
+        assert_eq!(memo.lookup(u, v, 60), Some(None));
+        assert_eq!(memo.lookup(v, u, 40), None, "key includes direction");
+        // A new source scope invalidates everything, even at the same
+        // state generation.
+        memo.begin_source(7);
+        assert_eq!(memo.lookup(u, v, 40), None);
+        // Entries written against one generation never validate after a
+        // mutation bumps it.
+        memo.store(u, v, 40, Some((1.5, 40)));
+        memo.begin_source(8);
+        assert_eq!(memo.lookup(u, v, 40), None);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct FlowState<'a> {
     used_area: Vec<i64>,
     /// Utilization cap per die (`max_util · free_area`).
     allowed_area: Vec<i64>,
+    /// Mutation counter: bumped by every public mutator. Caches keyed on
+    /// state contents (the selection memo) validate against this.
+    generation: u64,
 }
 
 impl<'a> FlowState<'a> {
@@ -64,7 +67,20 @@ impl<'a> FlowState<'a> {
             anchor,
             used_area: vec![0; design.num_dies()],
             allowed_area,
+            generation: 0,
         }
+    }
+
+    /// The mutation generation: incremented by every call to
+    /// [`insert_cell`](Self::insert_cell),
+    /// [`insert_cell_whole`](Self::insert_cell_whole),
+    /// [`remove_cell`](Self::remove_cell), and
+    /// [`move_fraction`](Self::move_fraction). Two reads with the same
+    /// generation observe identical assignment state, so derived caches
+    /// may key on it.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The displacement anchor of `cell`.
@@ -160,6 +176,7 @@ impl<'a> FlowState<'a> {
     /// Panics if the cell already has fragments or is wider than the
     /// segment.
     pub fn insert_cell(&mut self, cell: CellId, bin_hint: BinId, desired_x: i64) {
+        self.generation = self.generation.wrapping_add(1);
         assert!(
             self.cell_frags[cell.index()].is_empty(),
             "cell {cell} already assigned"
@@ -190,6 +207,7 @@ impl<'a> FlowState<'a> {
     ///
     /// Panics if the cell already has fragments.
     pub fn insert_cell_whole(&mut self, cell: CellId, bin: BinId) {
+        self.generation = self.generation.wrapping_add(1);
         assert!(
             self.cell_frags[cell.index()].is_empty(),
             "cell {cell} already assigned"
@@ -206,6 +224,7 @@ impl<'a> FlowState<'a> {
     ///
     /// Panics if the cell has no fragments.
     pub fn remove_cell(&mut self, cell: CellId) -> DieId {
+        self.generation = self.generation.wrapping_add(1);
         let die = self.cell_die(cell);
         let frags = std::mem::take(&mut self.cell_frags[cell.index()]);
         for (bin, width) in frags {
@@ -231,6 +250,7 @@ impl<'a> FlowState<'a> {
     ///
     /// Panics if the cell has no fragment of at least `width` in `from`.
     pub fn move_fraction(&mut self, cell: CellId, from: BinId, to: BinId, width: i64) {
+        self.generation = self.generation.wrapping_add(1);
         debug_assert!(width > 0);
         debug_assert_eq!(
             self.grid.bin(from).segment,
@@ -502,6 +522,28 @@ mod tests {
         assert_eq!(st.disp_to(u0, grid.bin(b1)), 5);
         // b0: clamp to 100 -> x-cost 50, y-cost 5.
         assert_eq!(st.disp_to(u0, grid.bin(b0)), 55);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let (design,) = fixture();
+        let (layout, grid) = state_of(&design);
+        let mut st = FlowState::new(&design, &layout, &grid, vec![Point::ORIGIN; 3]);
+        assert_eq!(st.generation(), 0);
+        let seg = layout.segments()[0].id;
+        let bins = grid.bins_in_segment(seg);
+        let u1 = CellId::new(1);
+        st.insert_cell(u1, bins[0], 80); // straddles bins[0]/bins[1]
+        assert_eq!(st.generation(), 1);
+        st.move_fraction(u1, bins[0], bins[1], 20);
+        assert_eq!(st.generation(), 2);
+        st.remove_cell(u1);
+        assert_eq!(st.generation(), 3);
+        st.insert_cell_whole(u1, bins[0]);
+        assert_eq!(st.generation(), 4);
+        // Reads leave the generation alone.
+        let _ = (st.sup(bins[0]), st.dem(bins[0]), st.disp_current(u1));
+        assert_eq!(st.generation(), 4);
     }
 
     #[test]

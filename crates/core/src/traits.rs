@@ -30,6 +30,24 @@ pub struct LegalizeStats {
     pub cells_moved: usize,
 }
 
+impl LegalizeStats {
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Used by multi-stage drivers that accumulate a stage's counters
+    /// into a scratch `LegalizeStats` first and merge only when the
+    /// stage's result is *accepted* — a rejected post-optimization pass
+    /// must not pollute the reported run totals (its work is still
+    /// visible through the observability counters).
+    pub fn absorb(&mut self, other: &Self) {
+        self.augmentations += other.augmentations;
+        self.nodes_expanded += other.nodes_expanded;
+        self.cross_die_moves += other.cross_die_moves;
+        self.post_passes += other.post_passes;
+        self.fallback_moves += other.fallback_moves;
+        self.cells_moved += other.cells_moved;
+    }
+}
+
 /// Result of a legalization run: the placement plus run counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LegalizeOutcome {
@@ -87,6 +105,38 @@ pub trait Legalizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut a = LegalizeStats {
+            augmentations: 1,
+            nodes_expanded: 2,
+            cross_die_moves: 3,
+            post_passes: 4,
+            fallback_moves: 5,
+            cells_moved: 6,
+        };
+        let b = LegalizeStats {
+            augmentations: 10,
+            nodes_expanded: 20,
+            cross_die_moves: 30,
+            post_passes: 40,
+            fallback_moves: 50,
+            cells_moved: 60,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            LegalizeStats {
+                augmentations: 11,
+                nodes_expanded: 22,
+                cross_die_moves: 33,
+                post_passes: 44,
+                fallback_moves: 55,
+                cells_moved: 66,
+            }
+        );
+    }
 
     /// The trait must stay object-safe: harnesses hold `Box<dyn Legalizer>`.
     #[test]

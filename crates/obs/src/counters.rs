@@ -13,6 +13,13 @@ pub mod keys {
     pub const NODES_CREATED: &str = "nodes_created";
     /// Branches pruned by the cost bound `(1 + α)·c_min`.
     pub const BRANCHES_PRUNED: &str = "branches_pruned";
+    /// Frontier entries dropped at pop time because the bound tightened
+    /// after they were queued (they were never expanded).
+    pub const BRANCHES_PRUNED_STALE: &str = "branches_pruned_stale";
+    /// Selection-memo lookups answered from the cache during path search.
+    pub const SELECTION_MEMO_HITS: &str = "selection_memo_hits";
+    /// Selection-memo lookups that had to run `select_moves`.
+    pub const SELECTION_MEMO_MISSES: &str = "selection_memo_misses";
     /// Augmenting paths found and realized.
     pub const AUGMENTING_PATHS: &str = "augmenting_paths";
     /// Bounded-search retries after a no-path round (limit halving, then

@@ -54,7 +54,10 @@ mod report;
 pub mod trace;
 
 pub use counters::{keys, CounterSet};
-pub use diff::{diff_reports, DiffItem, DiffStatus, DiffTolerances, ReportDiff};
+pub use diff::{
+    diff_reports, diff_reports_phase, DiffItem, DiffStatus, DiffTolerances, ReportDiff,
+    ADVISORY_COUNTERS,
+};
 pub use heatmap::{heatmaps_from_json, heatmaps_to_json, Heatmap};
 pub use hist::{keys as hist_keys, HistSummary, Histogram, HistogramSet, DEFAULT_POW2_BOUNDS};
 pub use json::{Json, JsonError};

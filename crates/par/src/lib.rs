@@ -102,28 +102,85 @@ where
     FI: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    let mut pool: Vec<()> = Vec::new();
+    par_map_with_pool(
+        threads,
+        len,
+        &mut pool,
+        || (),
+        init,
+        |(), state, i| f(state, i),
+    )
+}
+
+/// [`par_map_with`] with an additional caller-owned **pool** of worker
+/// resources that persists across calls.
+///
+/// Each worker borrows one `&mut P` slot from `pool` for the duration of
+/// the call (the pool is grown with `mk_pool` up to the effective worker
+/// count first), while `init()` still produces a fresh per-call state
+/// `S`. This splits worker-local data by lifetime: amortized scratch
+/// that should keep its allocations across many calls (search arenas,
+/// heaps, memo tables) goes in the pool; data that must start fresh
+/// every call (per-round worker profiles, which would otherwise be
+/// merged twice) stays in `S`.
+///
+/// Which pool slot serves which items is scheduling-dependent, so pooled
+/// resources must never influence results — only carry reusable
+/// capacity. The determinism contract on the returned `(results,
+/// worker_states)` is exactly [`par_map_with`]'s.
+///
+/// # Panics
+///
+/// A panic inside `init` or `f` propagates to the caller once the scope
+/// joins.
+pub fn par_map_with_pool<P, S, T, FP, FI, F>(
+    threads: usize,
+    len: usize,
+    pool: &mut Vec<P>,
+    mk_pool: FP,
+    init: FI,
+    f: F,
+) -> (Vec<T>, Vec<S>)
+where
+    P: Send,
+    S: Send,
+    T: Send,
+    FP: Fn() -> P,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut P, &mut S, usize) -> T + Sync,
+{
     let workers = threads.max(1).min(len);
+    while pool.len() < workers.max(1) {
+        pool.push(mk_pool());
+    }
     if workers <= 1 {
         let mut state = init();
-        let results = (0..len).map(|i| f(&mut state, i)).collect();
+        let slot = &mut pool[0];
+        let results = (0..len).map(|i| f(slot, &mut state, i)).collect();
         return (results, vec![state]);
     }
 
     let next = AtomicUsize::new(0);
+    let next_ref = &next;
+    let f_ref = &f;
+    let init_ref = &init;
     let mut collected: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
     let mut states: Vec<S> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
+        let handles: Vec<_> = pool
+            .iter_mut()
+            .take(workers)
+            .map(|slot| {
+                scope.spawn(move || {
+                    let mut state = init_ref();
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
                         if i >= len {
                             break;
                         }
-                        out.push((i, f(&mut state, i)));
+                        out.push((i, f_ref(slot, &mut state, i)));
                     }
                     (out, state)
                 })
@@ -236,6 +293,51 @@ mod tests {
             Some(v) => std::env::set_var(THREADS_ENV, v),
             None => std::env::remove_var(THREADS_ENV),
         }
+    }
+
+    #[test]
+    fn pool_persists_and_grows_across_calls() {
+        let mut pool: Vec<Vec<usize>> = Vec::new();
+        // Serial call seeds exactly one slot and reuses it per item.
+        let (out, states) = par_map_with_pool(
+            1,
+            3,
+            &mut pool,
+            Vec::new,
+            || (),
+            |p, (), i| {
+                p.push(i);
+                p.len()
+            },
+        );
+        assert_eq!(pool.len(), 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(states.len(), 1);
+        // A wider call grows the pool to the worker count but keeps the
+        // capacity (here: contents) accumulated by the existing slot.
+        par_map_with_pool(4, 8, &mut pool, Vec::new, || (), |p, (), i| p.push(i));
+        assert_eq!(pool.len(), 4);
+        let total: usize = pool.iter().map(Vec::len).sum();
+        assert_eq!(total, 3 + 8, "old slot contents survive, 8 new claims");
+    }
+
+    #[test]
+    fn pool_zero_length_matches_par_map_with() {
+        let mut pool: Vec<u32> = Vec::new();
+        let (out, states) = par_map_with_pool(8, 0, &mut pool, || 0, || 41, |_, s, i| *s + i);
+        assert!(out.is_empty());
+        assert_eq!(states, vec![41], "len==0 still yields one init() state");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn pooled_results_match_unpooled_for_pure_work() {
+        let work = |i: usize| (0..i).fold(1u64, |a, b| a.wrapping_mul(b as u64 | 1));
+        let (plain, _) = par_map_with(6, 150, || (), |(), i| work(i));
+        let mut pool: Vec<[u64; 4]> = Vec::new();
+        let (pooled, _) =
+            par_map_with_pool(6, 150, &mut pool, || [0u64; 4], || (), |_, (), i| work(i));
+        assert_eq!(plain, pooled);
     }
 
     #[test]

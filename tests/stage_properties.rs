@@ -88,12 +88,257 @@ fn params_for(design: &flow3d::db::Design, cfg: &Flow3dConfig) -> SearchParams {
         alpha: cfg.alpha,
         slack,
         dijkstra: false,
+        use_memo: cfg.selection_memo,
         selection: SelectionParams {
             clamp_negative: false,
             d2d_congestion_cost: cfg.d2d_congestion_cost,
             d2d_penalty,
         },
     }
+}
+
+// ---------------------------------------------------------------------
+// Reference search kernel
+//
+// A deliberately naive re-implementation of the production kernel's
+// semantics: per-call Vec + BinaryHeap (no arena reuse), direct
+// `select_moves` (no memo), and its own 4-line bound and total-order
+// wrapper. Identical push/pop sequences give identical `BinaryHeap`
+// behaviour, so the optimized kernel must reproduce this one node for
+// node — path, cost bits, and every counter.
+// ---------------------------------------------------------------------
+
+struct RefCounters {
+    expanded: usize,
+    created: usize,
+    pruned: usize,
+    pruned_stale: usize,
+}
+
+#[derive(Clone, Copy)]
+struct RefNode {
+    bin: flow3d_core::grid::BinId,
+    parent: u32,
+    inflow: i64,
+    cost: f64,
+    edge: flow3d_core::grid::EdgeKind,
+}
+
+#[derive(PartialEq)]
+struct RefOrd(f64);
+impl Eq for RefOrd {}
+impl PartialOrd for RefOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RefOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+fn ref_bound(best: f64, alpha: f64, slack: f64) -> f64 {
+    if best.is_infinite() || alpha.is_infinite() {
+        f64::INFINITY
+    } else {
+        best + alpha * best.abs().max(slack)
+    }
+}
+
+fn reference_search(
+    state: &flow3d_core::state::FlowState<'_>,
+    source: flow3d_core::grid::BinId,
+    limit: i64,
+    params: &SearchParams,
+) -> (Option<flow3d_core::search::AugmentingPath>, RefCounters) {
+    use flow3d_core::search::{AugmentingPath, PathStep};
+    use flow3d_core::selection::select_moves;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut counters = RefCounters {
+        expanded: 0,
+        created: 0,
+        pruned: 0,
+        pruned_stale: 0,
+    };
+    let supply = state.sup(source).min(limit);
+    if supply <= 0 {
+        return (None, counters);
+    }
+    let mut visited = vec![false; state.grid.num_bins()];
+    let mut nodes: Vec<RefNode> = vec![RefNode {
+        bin: source,
+        parent: u32::MAX,
+        inflow: supply,
+        cost: 0.0,
+        edge: flow3d_core::grid::EdgeKind::Horizontal,
+    }];
+    let mut heap: BinaryHeap<Reverse<(RefOrd, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((RefOrd(0.0), 0)));
+    visited[source.index()] = true;
+
+    let mut best: Option<(u32, f64)> = None;
+    while let Some(Reverse((RefOrd(cost), idx))) = heap.pop() {
+        let node = nodes[idx as usize];
+        let best_cost = best.map(|(_, c)| c).unwrap_or(f64::INFINITY);
+        if !params.dijkstra && cost >= ref_bound(best_cost, params.alpha, params.slack) {
+            // Stale entry: dropped under clamped costs, expanded (but not
+            // counted as such) under signed costs — see the kernel.
+            counters.pruned_stale += 1;
+            if params.selection.clamp_negative {
+                continue;
+            }
+        } else {
+            counters.expanded += 1;
+        }
+        if params.dijkstra && idx != 0 && node.inflow <= state.dem(node.bin) {
+            best = Some((idx, node.cost));
+            break;
+        }
+        let needed = node.inflow - state.dem(node.bin);
+        if needed <= 0 {
+            continue;
+        }
+        for &(nbr, kind) in state.grid.neighbors(node.bin) {
+            if visited[nbr.index()] {
+                continue;
+            }
+            let Some(sel) = select_moves(state, node.bin, nbr, kind, needed, &params.selection)
+            else {
+                continue;
+            };
+            visited[nbr.index()] = true;
+            let child_cost = node.cost + sel.cost;
+            let best_cost = best.map(|(_, c)| c).unwrap_or(f64::INFINITY);
+            if !params.dijkstra && child_cost >= ref_bound(best_cost, params.alpha, params.slack) {
+                counters.pruned += 1;
+                continue;
+            }
+            let child = RefNode {
+                bin: nbr,
+                parent: idx,
+                inflow: sel.added_to_v,
+                cost: child_cost,
+                edge: kind,
+            };
+            let child_idx = nodes.len() as u32;
+            nodes.push(child);
+            counters.created += 1;
+            if !params.dijkstra && child.inflow <= state.dem(nbr) {
+                if child_cost < best_cost {
+                    best = Some((child_idx, child_cost));
+                }
+            } else {
+                heap.push(Reverse((RefOrd(child_cost), child_idx)));
+            }
+        }
+    }
+    let path = best.map(|(leaf, _)| {
+        let mut steps = Vec::new();
+        let cost = nodes[leaf as usize].cost;
+        let mut idx = leaf;
+        loop {
+            let n = &nodes[idx as usize];
+            steps.push(PathStep {
+                bin: n.bin,
+                inflow: n.inflow,
+                edge: n.edge,
+            });
+            if n.parent == u32::MAX {
+                break;
+            }
+            idx = n.parent;
+        }
+        steps.reverse();
+        AugmentingPath { steps, cost }
+    });
+    (path, counters)
+}
+
+/// Like [`arb_instance`], but anchors land in a narrow y-band so the
+/// initial assignment piles cells into one or two rows. Each bin here
+/// spans a whole 400-DBU row, so crowding a row past 400 DBU of cell
+/// width overflows its bin while the design stays globally feasible —
+/// exactly the states the search kernel is invoked on.
+fn arb_congested_instance() -> impl Strategy<Value = (Vec<i64>, Vec<(f64, f64, f64)>)> {
+    (14usize..30).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(2i64..=5, n),
+            proptest::collection::vec((-50.0f64..450.0, -5.0f64..15.0, 0.0f64..1.0), n),
+        )
+    })
+}
+
+/// The production kernel (arena reuse + pop-time pruning + selection
+/// memo, with the memo both on and off) must reproduce the naive
+/// reference search node for node on random designs, in both best-first
+/// and Dijkstra modes.
+#[test]
+fn kernel_matches_naive_reference_implementation() {
+    use flow3d_core::search::{find_path_limited, SearchCounters, SearchScratch};
+
+    let mut compared = 0usize;
+    proptest!(ProptestConfig::with_cases(24), |(
+        (widths, anchors) in arb_congested_instance()
+    )| {
+        let (design, gp) = build(&widths, &anchors);
+        let cfg = Flow3dConfig::default();
+        let layout = RowLayout::build(&design);
+        let Ok(mut dies) = assign::partition_dies(&design, &gp) else { return; };
+        let bw = bin_widths(&design, cfg.bin_width_factor);
+        let grid = BinGrid::build(&design, &layout, &bw, cfg.allow_d2d);
+        let Ok(state) = assign::build_state(&design, &layout, &grid, &gp, &mut dies)
+        else { return; };
+
+        let best_first = params_for(&design, &cfg);
+        let dijkstra = SearchParams {
+            dijkstra: true,
+            selection: SelectionParams {
+                clamp_negative: true,
+                ..best_first.selection
+            },
+            ..best_first
+        };
+        let mut scratch = SearchScratch::new(grid.num_bins());
+        for mode in [best_first, dijkstra] {
+            for bin in state.overflowed_bins() {
+                let limit = state.sup(bin);
+                let (want, rc) = reference_search(&state, bin, limit, &mode);
+                for use_memo in [false, true] {
+                    let params = SearchParams { use_memo, ..mode };
+                    scratch.begin_source(state.generation());
+                    let mut c = SearchCounters::default();
+                    let got =
+                        find_path_limited(&state, bin, limit, &params, &mut scratch, &mut c);
+                    match (&got, &want) {
+                        (Some(g), Some(w)) => {
+                            prop_assert_eq!(&g.steps, &w.steps, "steps (memo={})", use_memo);
+                            prop_assert_eq!(g.cost.to_bits(), w.cost.to_bits());
+                        }
+                        (None, None) => {}
+                        _ => prop_assert!(
+                            false,
+                            "path presence mismatch (memo={}): kernel={} reference={}",
+                            use_memo, got.is_some(), want.is_some()
+                        ),
+                    }
+                    prop_assert_eq!(c.expanded, rc.expanded);
+                    prop_assert_eq!(c.created, rc.created);
+                    prop_assert_eq!(c.pruned, rc.pruned);
+                    prop_assert_eq!(c.pruned_stale, rc.pruned_stale);
+                    prop_assert!(c.pruned_stale <= c.created, "pruned_stale ≤ created");
+                    prop_assert!(c.expanded + c.pruned_stale <= c.created + 1);
+                    compared += 1;
+                }
+            }
+        }
+    });
+    assert!(
+        compared >= 8,
+        "only {compared} kernel-vs-reference comparisons ran — fixture too sparse"
+    );
 }
 
 #[test]
