@@ -11,7 +11,13 @@
 //! flow3d report diff baseline.json current.json [--phase SUBSTR] [--rt-warn-pct P] ...
 //! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
 //! flow3d viz --heatmaps run.heatmaps.json [--name flow_pass0/die0/overflow] --out grid.svg
+//! flow3d eco --case case.txt --base legal.txt --moves moves.txt --out out.txt [--threads N]
+//! flow3d serve [--listen HOST:PORT | --unix PATH] [--workers N] [--queue-depth N] [--threads N]
+//! flow3d request --script reqs.jsonl [--connect HOST:PORT | --unix PATH] [--out resp.jsonl]
 //! ```
+//!
+//! The serve-mode commands (`serve`, `request`, `eco`) are documented in
+//! `SERVING.md`.
 
 use flow3d_baselines::{AbacusLegalizer, BonnLegalizer, TetrisLegalizer};
 use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
@@ -20,6 +26,8 @@ use flow3d_gen::GeneratorConfig;
 use flow3d_gp::{GlobalPlacer, GpConfig};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+mod serve_cmd;
 
 fn main() -> ExitCode {
     match run() {
@@ -106,6 +114,9 @@ fn run() -> Result<(), String> {
         "stats" => cmd_stats(&args),
         "viz" => cmd_viz(&args),
         "tidy" => cmd_tidy(&args),
+        "eco" => serve_cmd::cmd_eco(&args),
+        "serve" => serve_cmd::cmd_serve(&args),
+        "request" => serve_cmd::cmd_request(&args),
         "--help" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -144,7 +155,10 @@ fn usage() -> String {
      flow3d report diff <baseline.json> <current.json> [--phase SUBSTR] [--rt-warn-pct P] [--rt-fail-pct P] [--disp-warn-pct P] [--disp-fail-pct P] [--counter-warn-pct P] [--counter-fail-pct P] [--min-seconds S]\n  \
      flow3d viz --case case.txt --gp gp.txt --legal legal.txt [--die top|bottom] --out plot.svg\n  \
      flow3d viz --heatmaps sidecar.json [--name <heatmap>] --out grid.svg\n  \
-     flow3d tidy [--json] [--fix] [--list] [--root DIR]"
+     flow3d tidy [--json] [--fix] [--list] [--root DIR]\n  \
+     flow3d eco --case case.txt --base legal.txt --moves moves.txt --out out.txt [--threads N] [--profile out.json]\n  \
+     flow3d serve [--listen HOST:PORT | --unix PATH] [--workers N] [--queue-depth N] [--threads N]\n  \
+     flow3d request --script reqs.jsonl [--connect HOST:PORT | --unix PATH] [--out resp.jsonl] [--allow-errors]"
         .to_string()
 }
 

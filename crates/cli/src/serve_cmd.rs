@@ -1,0 +1,222 @@
+//! `flow3d serve`, `flow3d request`, and `flow3d eco` — the resident
+//! legalization service, its scripted client, and the one-shot ECO
+//! command the service is measured against. Protocol and operations are
+//! documented in `SERVING.md`.
+
+use crate::{read, write, Args};
+use flow3d_core::{CellMove, Flow3dConfig, Flow3dLegalizer};
+use flow3d_serve::{Client, Json, Server, ServerConfig};
+
+/// `flow3d serve`: run the resident service until a client sends
+/// `shutdown`.
+pub(crate) fn cmd_serve(args: &Args) -> Result<(), String> {
+    let config = ServerConfig {
+        workers: args.get_usize("workers", 2)?,
+        queue_depth: args.get_usize("queue-depth", 64)?,
+        default_threads: args.get_usize("threads", 1)?,
+    };
+    let server = Server::new(config);
+    if let Some(path) = args.get("unix") {
+        return serve_unix(&server, path);
+    }
+    let addr = args.get("listen").unwrap_or("127.0.0.1:7333");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Printed before accepting so scripts binding port 0 can discover
+    // the real port.
+    println!("flow3d-serve listening on {local}");
+    server
+        .serve_listener(listener)
+        .map_err(|e| format!("{local}: {e}"))
+}
+
+#[cfg(unix)]
+fn serve_unix(server: &Server, path: &str) -> Result<(), String> {
+    println!("flow3d-serve listening on unix:{path}");
+    server
+        .serve_unix(std::path::Path::new(path))
+        .map_err(|e| format!("unix:{path}: {e}"))
+}
+
+#[cfg(not(unix))]
+fn serve_unix(_server: &Server, path: &str) -> Result<(), String> {
+    Err(format!(
+        "--unix {path}: unix sockets are unavailable on this platform"
+    ))
+}
+
+/// `flow3d request`: fire a JSONL script of requests at a running
+/// server, one frame per line, and print each response as a JSON line.
+pub(crate) fn cmd_request(args: &Args) -> Result<(), String> {
+    let script = read(args.require("script")?)?;
+    let mut requests = Vec::new();
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("script line {}: {e}", lineno + 1))?;
+        requests.push(inline_files(json).map_err(|e| format!("script line {}: {e}", lineno + 1))?);
+    }
+
+    let responses = match args.get("unix") {
+        Some(path) => request_unix(path, &requests)?,
+        None => {
+            let addr = args.require("connect")?;
+            let client = Client::connect_tcp(addr).map_err(|e| format!("{addr}: {e}"))?;
+            run_script(client, &requests)?
+        }
+    };
+
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for response in &responses {
+        if response.get("ok") != Some(&Json::Bool(true)) {
+            failures += 1;
+        }
+        out.push_str(&response.to_string());
+        out.push('\n');
+    }
+    match args.get("out") {
+        Some(path) => write(path, &out)?,
+        None => print!("{out}"),
+    }
+    if failures > 0 && !args.flag("allow-errors") {
+        return Err(format!(
+            "{failures} of {} requests failed (pass --allow-errors to tolerate)",
+            responses.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn request_unix(path: &str, requests: &[Json]) -> Result<Vec<Json>, String> {
+    let client = Client::connect_unix(std::path::Path::new(path))
+        .map_err(|e| format!("unix:{path}: {e}"))?;
+    run_script(client, requests)
+}
+
+#[cfg(not(unix))]
+fn request_unix(path: &str, _requests: &[Json]) -> Result<Vec<Json>, String> {
+    Err(format!(
+        "--unix {path}: unix sockets are unavailable on this platform"
+    ))
+}
+
+fn run_script(
+    mut client: Client<impl std::io::Read + std::io::Write>,
+    requests: &[Json],
+) -> Result<Vec<Json>, String> {
+    let mut responses = Vec::with_capacity(requests.len());
+    for request in requests {
+        responses.push(client.request(request).map_err(|e| e.to_string())?);
+    }
+    Ok(responses)
+}
+
+/// Script convenience: a string field `foo_file` is replaced by `foo`
+/// holding the named file's contents, so scripts reference case and
+/// placement files instead of embedding them. `moves_file` additionally
+/// converts the `flow3d_io` move-list format into the wire's JSON move
+/// array (textually — names resolve server-side).
+fn inline_files(json: Json) -> Result<Json, String> {
+    let Json::Obj(pairs) = json else {
+        return Ok(json);
+    };
+    let mut out = Vec::with_capacity(pairs.len());
+    for (key, value) in pairs {
+        match (key.strip_suffix("_file"), &value) {
+            (Some(target), Json::Str(path)) => {
+                let contents = read(path)?;
+                if target == "moves" {
+                    out.push(("moves".to_string(), moves_text_to_json(&contents)?));
+                } else {
+                    out.push((target.to_string(), Json::Str(contents)));
+                }
+            }
+            _ => out.push((key, value)),
+        }
+    }
+    Ok(Json::Obj(out))
+}
+
+/// Parses the `NumMoves`/`Move` grammar of [`flow3d_io::parse_moves`]
+/// into the wire's move array, without needing the design (the server
+/// resolves instance names).
+fn moves_text_to_json(text: &str) -> Result<Json, String> {
+    let mut moves = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("NumMoves") {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks[0] != "Move" || (toks.len() != 4 && toks.len() != 5) {
+            return Err(format!("moves file: bad line `{line}`"));
+        }
+        let num = |s: &str| -> Result<f64, String> {
+            s.parse::<i64>()
+                .map(|v| v as f64)
+                .map_err(|_| format!("moves file: bad number `{s}`"))
+        };
+        let mut pairs = vec![
+            ("cell".to_string(), Json::Str(toks[1].to_string())),
+            ("x".to_string(), Json::num(num(toks[2])?)),
+            ("y".to_string(), Json::num(num(toks[3])?)),
+        ];
+        if toks.len() == 5 {
+            pairs.push(("die".to_string(), Json::num(num(toks[4])?)));
+        }
+        moves.push(Json::Obj(pairs));
+    }
+    Ok(Json::Arr(moves))
+}
+
+/// `flow3d eco`: one-shot incremental legalization — the golden
+/// reference the serve-mode smoke test diffs against.
+pub(crate) fn cmd_eco(args: &Args) -> Result<(), String> {
+    let design = crate::load_design(args)?;
+    let base_path = args.require("base")?;
+    let base = flow3d_io::parse_legal(&design, &read(base_path)?)
+        .map_err(|e| format!("{base_path}: {e}"))?;
+    let moves_path = args.require("moves")?;
+    let records = flow3d_io::parse_moves(&design, &read(moves_path)?)
+        .map_err(|e| format!("{moves_path}: {e}"))?;
+    let moves: Vec<CellMove> = records
+        .iter()
+        .map(|r| CellMove {
+            cell: r.cell,
+            target: r.target,
+            die: r.die,
+        })
+        .collect();
+
+    let legalizer = Flow3dLegalizer::new(Flow3dConfig {
+        threads: args.get_usize("threads", 1)?,
+        ..Default::default()
+    });
+    let profile_path = args.get("profile");
+    let mut profile = profile_path.is_some().then(flow3d_obs::Profile::new);
+    let outcome = legalizer
+        .legalize_incremental_observed(&design, &base, &moves, profile.as_mut())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "eco: {} moves requested, {} cells moved, {} cross-die, {} augmentations",
+        moves.len(),
+        outcome.stats.cells_moved,
+        outcome.stats.cross_die_moves,
+        outcome.stats.augmentations
+    );
+    if let (Some(path), Some(profile)) = (profile_path, &profile) {
+        let report = flow3d_obs::RunReport::from_profile(design.name(), "flow3d-eco", profile);
+        write(path, &report.to_json())?;
+        println!("wrote {path}");
+    }
+    let mut text = String::new();
+    flow3d_io::write_legal(&design, &outcome.placement, &mut text).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    write(out, &text)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -89,8 +89,16 @@ fn search_source(
     // One memo scope per retry ladder: the searches of this ladder run
     // against the same frozen state, so their selections are mutually
     // reusable — but never across sources, which keeps the counters a
-    // pure function of (state, source) and thread-count invariant.
-    scratch.begin_source(state.generation());
+    // pure function of (state, source) and thread-count invariant. Warm
+    // mode (resident engines) keeps earlier scopes' entries live instead,
+    // trading that counter purity for cross-request reuse; results are
+    // bit-identical either way because a memo hit replays exactly what
+    // the selection would recompute.
+    if params.warm_memo {
+        scratch.begin_source_warm(state.generation());
+    } else {
+        scratch.begin_source(state.generation());
+    }
     for relaxed in [false, true] {
         if relaxed && (params.alpha.is_infinite() || params.dijkstra) {
             break;
@@ -153,7 +161,34 @@ pub fn flow_pass_threaded(
     params: &SearchParams,
     threads: usize,
     stats: &mut LegalizeStats,
+    obs: Obs<'_>,
+) -> Result<(), LegalizeError> {
+    let mut scratch_pool: Vec<SearchScratch> = Vec::new();
+    flow_pass_threaded_pooled(state, params, threads, stats, obs, &mut scratch_pool)
+}
+
+/// [`flow_pass_threaded`] with a caller-owned [`SearchScratch`] pool.
+///
+/// The pool (node arenas, heaps, selection memos) is grown to the worker
+/// count and persists across calls, so a resident engine amortizes its
+/// allocations over many requests instead of one pass. Which slot serves
+/// which source is scheduling-dependent; pooled scratch never influences
+/// results (memo replay equals recomputation), so the determinism
+/// contract of [`flow_pass_threaded`] is unchanged. With
+/// [`SearchParams::warm_memo`] set, memo entries additionally survive in
+/// the pool across calls — see [`crate::EcoEngine`] for the lifecycle
+/// that makes that sound.
+///
+/// # Errors
+///
+/// Same as [`flow_pass`].
+pub fn flow_pass_threaded_pooled(
+    state: &mut FlowState<'_>,
+    params: &SearchParams,
+    threads: usize,
+    stats: &mut LegalizeStats,
     mut obs: Obs<'_>,
+    scratch_pool: &mut Vec<SearchScratch>,
 ) -> Result<(), LegalizeError> {
     let aug_before = stats.augmentations;
     let moved_before = stats.cells_moved;
@@ -186,10 +221,9 @@ pub fn flow_pass_threaded(
     // its source for good, so this should never trigger.
     let mut guard = 64 * state.overflowed_bins().len() + 4 * num_bins + 64;
     // Worker search scratch (node arena, heap, selection memo) persists
-    // across rounds so its allocations amortize over the whole pass; the
-    // per-round profiles stay fresh in the worker state.
-    let mut scratch_pool: Vec<SearchScratch> = Vec::new();
-
+    // across rounds so its allocations amortize over the whole pass — and
+    // across whole passes when the caller owns the pool; the per-round
+    // profiles stay fresh in the worker state.
     loop {
         // Round sources: every overflowed bin, most loaded first (bin id
         // breaks ties) — a deterministic function of the state alone.
@@ -211,7 +245,7 @@ pub fn flow_pass_threaded(
         let (candidates, worker_profiles) = flow3d_par::par_map_with_pool(
             threads,
             sources.len(),
-            &mut scratch_pool,
+            &mut *scratch_pool,
             || SearchScratch::new(num_bins),
             || Profile::new_worker(trace_epoch),
             |scratch, wprof, i| {
@@ -700,6 +734,7 @@ impl Flow3dLegalizer {
             slack,
             dijkstra: false,
             use_memo: cfg.selection_memo,
+            warm_memo: false,
             selection: SelectionParams {
                 clamp_negative: false,
                 d2d_congestion_cost: cfg.d2d_congestion_cost,

@@ -56,6 +56,7 @@ pub mod error;
 pub mod grid;
 pub mod incremental;
 pub mod placerow;
+pub mod resident;
 pub mod search;
 pub mod selection;
 pub mod state;
@@ -65,4 +66,5 @@ pub use config::Flow3dConfig;
 pub use driver::Flow3dLegalizer;
 pub use error::LegalizeError;
 pub use incremental::CellMove;
+pub use resident::EcoEngine;
 pub use traits::{LegalizeOutcome, LegalizeStats, Legalizer};

@@ -1,0 +1,445 @@
+//! Resident ECO engine: warm-cache lifecycle for repeated incremental
+//! legalization.
+//!
+//! [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental) re-derives everything on
+//! every call: it re-parses nothing, but it does rebuild the
+//! [`RowLayout`], the [`BinGrid`], re-resolves a seed position for every
+//! cell, and allocates fresh search scratch — the wrong shape for a
+//! service that replays small ECO batches against one design. This
+//! module hoists all of that into an [`EcoEngine`] that owns the design
+//! and keeps resident, across requests:
+//!
+//! * the **row layout** and **bin grid** (CSR adjacency) of the design,
+//! * a **seed cache**: the resolved `(bin, x)` slot of every cell at its
+//!   base position, so unmoved cells skip `nearest_position` entirely,
+//! * the **scratch pool**: per-worker [`SearchScratch`] arenas (node
+//!   arena, heap, selection memo) that keep their allocations — and, for
+//!   replayed requests, their memoized selections — warm.
+//!
+//! # Bit-identity with the one-shot path
+//!
+//! [`EcoEngine::eco`] and [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental) run
+//! the *same* pipeline (`crate::incremental::run_eco`): the per-request
+//! [`FlowState`](crate::state::FlowState) is rebuilt by the same insert loop in cell
+//! order, with cached seeds replaying exactly what fresh resolution
+//! would compute. Every downstream phase is deterministic in the seeded
+//! state, so the engine's placements are bit-identical to the one-shot
+//! API for every request — the caches carry capacity, never decisions.
+//!
+//! # Warm selection memo
+//!
+//! The selection memo survives in the pool between requests under a
+//! strict discipline (see
+//! [`SelectionMemo::warm_scope`](crate::selection::SelectionMemo::warm_scope)):
+//! entries replay only when the next request is an exact **replay** of
+//! the previous one (same move list), in which case the mutation
+//! sequence — and therefore every `(generation, state content)` pair —
+//! repeats exactly. Any other request first epoch-invalidates every
+//! pooled memo. Replays are the common shape of ECO serving traffic
+//! (idempotent retries, what-if re-evaluation, A/B timing loops), and a
+//! replayed request answers its first-round selections from the memo
+//! instead of recomputing them. With more than one worker the *hit
+//! counts* are scheduling-dependent (which scratch served which source
+//! last time decides what it remembers) and are reported as advisory
+//! telemetry; the results are not affected.
+
+use crate::config::Flow3dConfig;
+use crate::driver::bin_widths;
+use crate::error::LegalizeError;
+use crate::grid::{BinGrid, BinId};
+use crate::incremental::{resolve_seed, run_eco, CellMove, EcoContext};
+use crate::search::SearchScratch;
+use crate::traits::LegalizeOutcome;
+use flow3d_db::{CellId, Design, LegalPlacement, RowLayout};
+use flow3d_obs::Obs;
+
+/// A resident incremental-legalization engine: one design, one base
+/// placement, warm caches across ECO requests.
+///
+/// See the [module docs](self) for the cache lifecycle and the
+/// bit-identity argument. Typical use:
+///
+/// ```
+/// use flow3d_core::{EcoEngine, Flow3dConfig, Flow3dLegalizer, Legalizer};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let case = flow3d_gen::GeneratorConfig::small_demo(7).generate()?;
+/// let legalizer = Flow3dLegalizer::new(Flow3dConfig::default());
+/// let base = legalizer.legalize(&case.design, &case.natural)?.placement;
+/// let mut engine = EcoEngine::new(Flow3dConfig::default(), case.design, base)?;
+/// let outcome = engine.eco(&[])?; // no-op ECO returns the base placement
+/// assert_eq!(&outcome.placement, engine.base());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EcoEngine {
+    cfg: Flow3dConfig,
+    design: Design,
+    layout: RowLayout,
+    grid: BinGrid,
+    base: LegalPlacement,
+    /// Resolved `(bin, x)` seed of every cell at its base anchor/die;
+    /// `None` = the base cell fits nowhere on its own die (surfaces as
+    /// [`LegalizeError::NoPosition`] on the next request, exactly like
+    /// the one-shot path).
+    seed_cache: Vec<Option<(BinId, i64)>>,
+    scratch_pool: Vec<SearchScratch>,
+    threads: usize,
+    /// The previous request's move list: the warm-replay key.
+    last_moves: Option<Vec<CellMove>>,
+    requests: u64,
+}
+
+impl EcoEngine {
+    /// Builds a resident engine for `design` with `base` as the current
+    /// legal placement.
+    ///
+    /// Builds the row layout and bin grid (at the post-optimization bin
+    /// width, like [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental)) and
+    /// resolves the seed cache. Cheap relative to a legalization but not
+    /// free — the point is to pay it once.
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::PlacementMismatch`] if `base` has the wrong cell
+    /// count. A base cell that fits nowhere on its die is *not* an error
+    /// here; it surfaces as [`LegalizeError::NoPosition`] on the next
+    /// [`eco`](Self::eco), matching the one-shot API's error order.
+    pub fn new(
+        cfg: Flow3dConfig,
+        design: Design,
+        base: LegalPlacement,
+    ) -> Result<Self, LegalizeError> {
+        let n = design.num_cells();
+        if base.num_cells() != n {
+            return Err(LegalizeError::PlacementMismatch {
+                design_cells: n,
+                placement_cells: base.num_cells(),
+            });
+        }
+        let layout = RowLayout::build(&design);
+        let widths = bin_widths(&design, cfg.post_bin_width_factor);
+        let grid = BinGrid::build(&design, &layout, &widths, cfg.allow_d2d);
+        let seed_cache = Self::resolve_cache(&design, &layout, &grid, &base);
+        let threads = flow3d_par::resolve_threads(cfg.threads);
+        Ok(Self {
+            cfg,
+            design,
+            layout,
+            grid,
+            base,
+            seed_cache,
+            scratch_pool: Vec::new(),
+            threads,
+            last_moves: None,
+            requests: 0,
+        })
+    }
+
+    fn resolve_cache(
+        design: &Design,
+        layout: &RowLayout,
+        grid: &BinGrid,
+        base: &LegalPlacement,
+    ) -> Vec<Option<(BinId, i64)>> {
+        (0..design.num_cells())
+            .map(|i| {
+                let cell = CellId::new(i);
+                resolve_seed(design, layout, grid, base.die(cell), base.pos(cell), cell)
+            })
+            .collect()
+    }
+
+    /// The resident design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The current base placement ECO requests perturb.
+    pub fn base(&self) -> &LegalPlacement {
+        &self.base
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &Flow3dConfig {
+        &self.cfg
+    }
+
+    /// Number of successfully served ECO requests.
+    pub fn requests_served(&self) -> u64 {
+        self.requests
+    }
+
+    /// Overrides the worker count resolved from the configuration.
+    /// Thread count never changes results, only wall-clock and (in warm
+    /// mode) advisory memo-hit telemetry.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = flow3d_par::resolve_threads(threads);
+    }
+
+    /// Re-legalizes the resident base after the changes in `moves`,
+    /// without instrumentation. See [`eco_observed`](Self::eco_observed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental).
+    pub fn eco(&mut self, moves: &[CellMove]) -> Result<LegalizeOutcome, LegalizeError> {
+        self.eco_observed(moves, None)
+    }
+
+    /// Re-legalizes the resident base after the changes in `moves`,
+    /// recording `"eco_seed"`, `"flow_pass"` and `"placerow"` phases plus
+    /// the usual search counters into `obs` when it is `Some`.
+    ///
+    /// The placement is bit-identical to
+    /// [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental) on `(design, base,
+    /// moves)` with the same configuration. If `moves` equals the
+    /// previous request's move list, the request is a **replay** and the
+    /// pooled selection memos answer its selections warm (memo hits > 0
+    /// from the second identical request on, guaranteed for a
+    /// single-worker engine; advisory with more workers). Any other
+    /// request invalidates the memos first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental). An error
+    /// resets the warm state: the next request starts memo-cold.
+    pub fn eco_observed(
+        &mut self,
+        moves: &[CellMove],
+        obs: Obs<'_>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
+        let replay = self.last_moves.as_deref() == Some(moves);
+        if !replay {
+            // The memo discipline (see the module docs) only admits
+            // exact replays; anything else must start from an empty
+            // memo so a recurring generation value can never replay a
+            // selection computed against different content.
+            self.invalidate_memos();
+        }
+        let ctx = EcoContext {
+            design: &self.design,
+            layout: &self.layout,
+            grid: &self.grid,
+            cfg: &self.cfg,
+            base: &self.base,
+            seed_cache: Some(&self.seed_cache),
+            warm_memo: true,
+            threads: self.threads,
+        };
+        let out = run_eco(&ctx, moves, &mut self.scratch_pool, obs);
+        match &out {
+            Ok(_) => {
+                self.requests += 1;
+                if !replay {
+                    self.last_moves = Some(moves.to_vec());
+                }
+            }
+            Err(_) => {
+                // A failed pass may have stored entries for states the
+                // next (even identical) request will not reach the same
+                // way; drop the replay key and the memos.
+                self.last_moves = None;
+                self.invalidate_memos();
+            }
+        }
+        out
+    }
+
+    /// Adopts `placement` as the new base: recomputes the seed cache and
+    /// drops the warm memo/replay state. Call with an accepted ECO
+    /// outcome to make follow-up requests relative to it.
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::PlacementMismatch`] if `placement` has the wrong
+    /// cell count.
+    pub fn commit(&mut self, placement: LegalPlacement) -> Result<(), LegalizeError> {
+        let n = self.design.num_cells();
+        if placement.num_cells() != n {
+            return Err(LegalizeError::PlacementMismatch {
+                design_cells: n,
+                placement_cells: placement.num_cells(),
+            });
+        }
+        self.base = placement;
+        self.seed_cache = Self::resolve_cache(&self.design, &self.layout, &self.grid, &self.base);
+        self.last_moves = None;
+        self.invalidate_memos();
+        Ok(())
+    }
+
+    fn invalidate_memos(&mut self) {
+        for s in &mut self.scratch_pool {
+            s.invalidate_memo();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Flow3dLegalizer;
+    use crate::traits::Legalizer;
+    use flow3d_db::{DesignBuilder, DieId, DieSpec, LibCellSpec, Placement3d, TechnologySpec};
+    use flow3d_geom::{FPoint, Point};
+    use flow3d_obs::{keys, Profile};
+
+    fn design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 400, 40), 10, 1, 1.0));
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "C");
+        }
+        b.build().unwrap()
+    }
+
+    fn base_placement(d: &Design) -> LegalPlacement {
+        let n = d.num_cells();
+        let mut gp = Placement3d::new(n);
+        for i in 0..n {
+            gp.set_pos(
+                CellId::new(i),
+                FPoint::new((i as f64 * 35.0) % 350.0, 10.0 * ((i / 10) as f64)),
+            );
+        }
+        Flow3dLegalizer::default()
+            .legalize(d, &gp)
+            .unwrap()
+            .placement
+    }
+
+    fn clash_move(base: &LegalPlacement, from: usize, onto: usize) -> CellMove {
+        CellMove {
+            cell: CellId::new(from),
+            target: base.pos(CellId::new(onto)),
+            die: Some(base.die(CellId::new(onto))),
+        }
+    }
+
+    /// Piles `from` onto `onto`'s position: enough clashing cells
+    /// overflow the bin, which forces flow-pass searches (a lone clash
+    /// is absorbed by PlaceRow without any search running).
+    fn pileup(base: &LegalPlacement, from: &[usize], onto: usize) -> Vec<CellMove> {
+        from.iter().map(|&i| clash_move(base, i, onto)).collect()
+    }
+
+    #[test]
+    fn engine_matches_one_shot_bit_identically() {
+        let d = design(12);
+        let base = base_placement(&d);
+        let legalizer = Flow3dLegalizer::default();
+        let mut engine = EcoEngine::new(Flow3dConfig::default(), d.clone(), base.clone()).unwrap();
+        // A mixed batch: clashes, a cross-die request, replays, a no-op.
+        let sets: Vec<Vec<CellMove>> = vec![
+            vec![],
+            pileup(&base, &[0, 1, 2, 3, 4], 5),
+            pileup(&base, &[0, 1, 2, 3, 4], 5), // replay (memo-warm)
+            vec![clash_move(&base, 5, 6), clash_move(&base, 7, 6)],
+            vec![CellMove {
+                cell: CellId::new(2),
+                target: base.pos(CellId::new(2)),
+                die: Some(DieId::new(1 - base.die(CellId::new(2)).index())),
+            }],
+            pileup(&base, &[0, 1, 2, 3, 4], 5), // back to an earlier set, cold
+        ];
+        for (k, moves) in sets.iter().enumerate() {
+            let warm = engine.eco(moves).unwrap();
+            let cold = legalizer.legalize_incremental(&d, &base, moves).unwrap();
+            assert_eq!(warm.placement, cold.placement, "request {k} diverged");
+            assert_eq!(
+                warm.stats.cross_die_moves, cold.stats.cross_die_moves,
+                "request {k} stats diverged"
+            );
+        }
+        assert_eq!(engine.requests_served(), 6);
+    }
+
+    #[test]
+    fn second_identical_call_is_memo_warm() {
+        let d = design(12);
+        let base = base_placement(&d);
+        // One worker makes memo-hit counters deterministic: the same
+        // scratch serves every source, so everything stored by the first
+        // request is visible to its replay.
+        let cfg = Flow3dConfig {
+            threads: 1,
+            ..Flow3dConfig::default()
+        };
+        let mut engine = EcoEngine::new(cfg, d, base.clone()).unwrap();
+        let moves = pileup(&base, &[0, 1, 2, 3, 4, 5], 6);
+        let run = |engine: &mut EcoEngine, moves: &[CellMove]| {
+            let mut profile = Profile::new();
+            let outcome = engine.eco_observed(moves, Some(&mut profile)).unwrap();
+            (
+                outcome,
+                profile.counters().get(keys::SELECTION_MEMO_HITS),
+                profile.counters().get(keys::SELECTION_MEMO_MISSES),
+            )
+        };
+        let (out1, hits1, misses1) = run(&mut engine, &moves);
+        let (out2, hits2, misses2) = run(&mut engine, &moves);
+        assert_eq!(out1.placement, out2.placement, "replay must not diverge");
+        assert!(misses1 > 0, "the first request runs selections cold");
+        assert!(
+            hits2 > hits1,
+            "the replay must answer selections from the resident memo \
+             (hits {hits1} -> {hits2})"
+        );
+        assert!(
+            misses2 < misses1,
+            "warm selections replace cold ones (misses {misses1} -> {misses2})"
+        );
+    }
+
+    #[test]
+    fn commit_rebases_follow_up_requests() {
+        let d = design(12);
+        let base = base_placement(&d);
+        let mut engine = EcoEngine::new(Flow3dConfig::default(), d, base.clone()).unwrap();
+        let moved = engine.eco(&[clash_move(&base, 0, 1)]).unwrap().placement;
+        engine.commit(moved.clone()).unwrap();
+        assert_eq!(engine.base(), &moved);
+        // A no-op ECO against the committed base returns it unchanged.
+        let out = engine.eco(&[]).unwrap();
+        assert_eq!(out.placement, moved);
+        // And a mismatched commit is rejected.
+        assert!(matches!(
+            engine.commit(LegalPlacement::new(2)),
+            Err(LegalizeError::PlacementMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_base_errors_match_the_one_shot_path() {
+        // Top die too narrow for any cell; cell 0 sits there illegally.
+        let mut b = DesignBuilder::new("t")
+            .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+            .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+            .die(DieSpec::new("top", "T", (0, 0, 20, 40), 10, 1, 1.0));
+        for i in 0..2 {
+            b = b.cell(format!("u{i}"), "C");
+        }
+        let d = b.build().unwrap();
+        let mut base = LegalPlacement::new(2);
+        base.place(CellId::new(0), Point::new(0, 0), DieId::new(1));
+        base.place(CellId::new(1), Point::new(0, 0), DieId::new(0));
+        // Construction succeeds; the corruption surfaces on the request,
+        // exactly like `legalize_incremental`.
+        let mut engine = EcoEngine::new(Flow3dConfig::default(), d, base).unwrap();
+        let err = engine.eco(&[]).unwrap_err();
+        assert!(
+            matches!(err, LegalizeError::NoPosition { cell } if cell == CellId::new(0)),
+            "expected NoPosition for the corrupt cell, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_base_is_rejected_at_construction() {
+        let d = design(4);
+        let err = EcoEngine::new(Flow3dConfig::default(), d, LegalPlacement::new(2)).unwrap_err();
+        assert!(matches!(err, LegalizeError::PlacementMismatch { .. }));
+    }
+}

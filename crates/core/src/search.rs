@@ -18,7 +18,7 @@
 //!   `best` tightened are dropped for the cost of one comparison instead
 //!   of a full expansion (and no longer inflate the `expanded` counter);
 //! * `select_moves` outcomes are memoized per source retry ladder in a
-//!   [`SelectionMemo`](crate::selection::SelectionMemo), keyed on
+//!   [`SelectionMemo`], keyed on
 //!   `(u, v, needed)` and invalidated by the
 //!   [`FlowState::generation`] mutation counter.
 //!
@@ -50,6 +50,20 @@ pub struct SearchParams {
     ///
     /// [`Flow3dConfig::selection_memo`]: crate::Flow3dConfig::selection_memo
     pub use_memo: bool,
+    /// Warm-memo mode for resident engines: memo scopes are opened with
+    /// [`SelectionMemo::warm_scope`] instead of
+    /// [`SelectionMemo::begin_source`], so entries survive across retry
+    /// ladders, rounds, and whole requests, replaying whenever the state
+    /// generation they were computed against recurs.
+    ///
+    /// Results stay bit-identical (a memo hit replays exactly what the
+    /// selection would recompute), but hit/miss *telemetry* becomes
+    /// advisory: it depends on which searches a scratch served before.
+    /// Only sound when the caller upholds the generation-uniqueness
+    /// discipline documented on [`SelectionMemo::warm_scope`] — the
+    /// one-shot pipeline keeps this `false`. Ignored when
+    /// [`use_memo`](Self::use_memo) is off.
+    pub warm_memo: bool,
     /// Cost model shared with realization.
     pub selection: SelectionParams,
 }
@@ -61,6 +75,7 @@ impl Default for SearchParams {
             slack: 1.0,
             dijkstra: false,
             use_memo: true,
+            warm_memo: false,
             selection: SelectionParams::default(),
         }
     }
@@ -162,6 +177,24 @@ impl SearchScratch {
         self.memo.begin_source(generation);
     }
 
+    /// Warm variant of [`begin_source`](Self::begin_source) for resident
+    /// engines ([`SearchParams::warm_memo`]): records the generation via
+    /// [`SelectionMemo::warm_scope`] without invalidating existing
+    /// entries, so memoized selections replay across ladders and
+    /// requests whenever their generation recurs. See
+    /// [`SelectionMemo::warm_scope`] for the soundness discipline.
+    pub fn begin_source_warm(&mut self, generation: u64) {
+        self.memo.warm_scope(generation);
+    }
+
+    /// Invalidates every selection-memo entry (epoch bump). Resident
+    /// engines call this on each pooled scratch when the request lineage
+    /// diverges — i.e. the next request is not a replay of the previous
+    /// one — so stale generations can never alias new content.
+    pub fn invalidate_memo(&mut self) {
+        self.memo.invalidate();
+    }
+
     fn begin(&mut self, num_bins: usize) {
         if self.visited_epoch.len() < num_bins {
             self.visited_epoch.resize(num_bins, 0);
@@ -253,7 +286,13 @@ pub fn find_path_limited(
         // mutation invalidates the memo through the generation stamp.
         // The driver additionally calls `begin_source` once per retry
         // ladder so memo telemetry is a pure function of (state, source).
-        scratch.memo.begin_source(state.generation());
+        // Warm mode only re-aims the scope — entries from other
+        // generations stay stored and fail the generation check instead.
+        if params.warm_memo {
+            scratch.memo.warm_scope(state.generation());
+        } else {
+            scratch.memo.begin_source(state.generation());
+        }
     }
 
     scratch.nodes.clear();

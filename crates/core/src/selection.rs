@@ -155,6 +155,36 @@ impl SelectionMemo {
     /// source retry ladder (and whenever the state may have mutated
     /// since the last search).
     pub fn begin_source(&mut self, generation: u64) {
+        self.bump_epoch();
+        self.generation = generation;
+    }
+
+    /// Opens a **warm** memo scope: `generation` is recorded for lookups
+    /// and stores, but the epoch is *not* bumped, so entries written in
+    /// earlier scopes stay live and replay whenever a later scope returns
+    /// to their generation.
+    ///
+    /// This is only sound under a discipline the caller must enforce: a
+    /// generation value must never denote two different state contents
+    /// within this memo's lifetime. [`crate::EcoEngine`] guarantees it by
+    /// replaying identical requests (identical mutation sequence ⇒
+    /// identical `(generation, content)` pairs) and calling
+    /// [`invalidate`](Self::invalidate) before any request that is not a
+    /// replay of the previous one. Hit/miss counts under warm scopes
+    /// depend on what the scratch served before, so they are advisory
+    /// telemetry, not a pure function of `(state, source)`.
+    pub fn warm_scope(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Invalidates every entry (epoch bump) without opening a new scope.
+    /// Warm users call this when the state lineage diverges — e.g. a new
+    /// ECO request that is not a replay of the previous one.
+    pub fn invalidate(&mut self) {
+        self.bump_epoch();
+    }
+
+    fn bump_epoch(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Epoch wrapped: hard-reset so no 4-billion-searches-old
@@ -162,7 +192,6 @@ impl SelectionMemo {
             self.slots.fill(EMPTY_SLOT);
             self.epoch = 1;
         }
-        self.generation = generation;
     }
 
     /// Deterministic multiplicative hash of the key, folded to a slot
@@ -696,6 +725,34 @@ mod tests {
         // mutation bumps it.
         memo.store(u, v, 40, Some((1.5, 40)));
         memo.begin_source(8);
+        assert_eq!(memo.lookup(u, v, 40), None);
+    }
+
+    #[test]
+    fn warm_scope_replays_across_scopes_until_invalidated() {
+        let u = crate::grid::BinId(3);
+        let v = crate::grid::BinId(4);
+        let mut memo = SelectionMemo::new();
+        memo.warm_scope(7);
+        memo.store(u, v, 40, Some((1.5, 40)));
+        // A warm scope at a different generation hides the entry (the
+        // per-slot generation stamp fails), but does not erase it…
+        memo.warm_scope(8);
+        assert_eq!(memo.lookup(u, v, 40), None);
+        // …so returning to the original generation replays it — this is
+        // the cross-request warmth an identical-replay ECO relies on.
+        memo.warm_scope(7);
+        assert_eq!(memo.lookup(u, v, 40), Some(Some((1.5, 40))));
+        // Storing the same key under another generation evicts the slot
+        // (direct-mapped, generation is not part of the index) …
+        memo.warm_scope(8);
+        memo.store(u, v, 40, Some((2.5, 40)));
+        memo.warm_scope(7);
+        assert_eq!(memo.lookup(u, v, 40), None);
+        // … and invalidate() kills every generation's entries at once.
+        memo.warm_scope(8);
+        assert_eq!(memo.lookup(u, v, 40), Some(Some((2.5, 40))));
+        memo.invalidate();
         assert_eq!(memo.lookup(u, v, 40), None);
     }
 

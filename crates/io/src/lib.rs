@@ -14,6 +14,10 @@
 //!   cell, `z` being the die affinity.
 //! * **Legal placement files** ([`parse_legal`], [`write_legal`]) carry
 //!   the legalizer output: integer position and die per cell.
+//! * **ECO move lists** ([`parse_moves`], [`write_moves`]) carry the
+//!   cells an optimization step displaced with their requested positions
+//!   and dies — the input of `flow3d eco` and the serve-mode `eco`
+//!   request (an extension; the grammar is on [`parse_moves`]).
 //!
 //! # Case grammar
 //!
@@ -75,9 +79,11 @@
 
 mod case;
 mod error;
+mod moves;
 mod placement;
 mod reader;
 
 pub use case::{parse_case, write_case};
 pub use error::IoError;
+pub use moves::{parse_moves, write_moves, EcoMoveRecord};
 pub use placement::{parse_legal, parse_placement3d, write_legal, write_placement3d};

@@ -55,6 +55,14 @@ fn crate_policy(dir_name: &str) -> FilePolicy {
             p.d2 = false;
             p.d3 = false;
         }
+        // The server times request latency (operational telemetry that
+        // never feeds an algorithm) and its worker threads use
+        // panic-isolation idioms; D1 (hash-order determinism) still
+        // applies in full.
+        "serve" => {
+            p.d2 = false;
+            p.d3 = false;
+        }
         _ => {}
     }
     // Unknown crates: everything on, including float-eq.
@@ -76,6 +84,7 @@ fn crate_policy(dir_name: &str) -> FilePolicy {
             | "cli"
             | "bench"
             | "lint"
+            | "serve"
     ) {
         p.d4 = true;
     }
@@ -226,6 +235,15 @@ mod tests {
         assert!(!crate_policy("obs").d2, "obs is the profiling layer");
         assert!(!crate_policy("cli").d3, "the binary may exit on bad input");
         assert!(crate_policy("cli").d1, "determinism applies everywhere");
+        let serve = crate_policy("serve");
+        assert!(
+            !serve.d2 && !serve.d3,
+            "the server times latency and isolates request panics"
+        );
+        assert!(
+            serve.d1 && serve.d5,
+            "determinism and no-unsafe still apply"
+        );
         let future = crate_policy("brand-new-crate");
         assert!(future.d1 && future.d2 && future.d3 && future.d4 && future.d5);
     }

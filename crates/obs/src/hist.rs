@@ -31,6 +31,11 @@ pub mod keys {
     /// Selection-memo hits per source search (recorded only when the
     /// memo is enabled; one sample per overflowed source bin per round).
     pub const SELECTION_MEMO_HITS_PER_SOURCE: &str = "selection_memo_hits_per_source";
+    /// End-to-end serve-mode request latency in microseconds (admission
+    /// to response), one sample per request; recorded by `flow3d-serve`
+    /// into its server-level profile and surfaced by the `stats`
+    /// request.
+    pub const SERVE_REQUEST_MICROS: &str = "serve_request_micros";
 }
 
 /// Default bucket upper bounds: powers of two from 1 to 2²³.

@@ -1,0 +1,98 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! [`Client`] wraps any `Read + Write` stream, frames requests with
+//! [`crate::protocol::write_frame`], and blocks for the matching
+//! response (the protocol answers requests on a connection strictly in
+//! order, so no correlation machinery is needed). It is what `flow3d
+//! request` and the integration tests use; serious clients in other
+//! languages only need the ~40 lines of framing in `SERVING.md`.
+
+use crate::protocol::{read_frame, write_frame, FrameError};
+use flow3d_obs::Json;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking request/response client over one connection.
+pub struct Client<S> {
+    stream: S,
+}
+
+/// A client-side request failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing or transport failed.
+    Frame(FrameError),
+    /// The server closed the connection before answering.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Client::new(TcpStream::connect(addr)?))
+    }
+}
+
+#[cfg(unix)]
+impl Client<std::os::unix::net::UnixStream> {
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_unix(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Client::new(std::os::unix::net::UnixStream::connect(path)?))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream (a `UnixStream::pair` half, a
+    /// TCP stream, anything `Read + Write`).
+    pub fn new(stream: S) -> Self {
+        Client { stream }
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or if the server closes
+    /// before answering. A server-side *refusal* is not an error here —
+    /// inspect the returned response's `"ok"` field.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?.ok_or(ClientError::Closed)
+    }
+
+    /// Consumes the client and returns the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}

@@ -1,0 +1,405 @@
+//! Client/server integration tests: the full frame protocol over real
+//! sockets, checked for bit-identity against the one-shot incremental
+//! API, warm-memo reuse across replayed ECO batches, malformed-frame
+//! rejection, sharded concurrent connections, and graceful drain.
+
+use flow3d_core::{CellMove, Flow3dConfig, Flow3dLegalizer, Legalizer};
+use flow3d_db::{
+    CellId, Design, DesignBuilder, DieId, DieSpec, LegalPlacement, LibCellSpec, Placement3d,
+    TechnologySpec,
+};
+use flow3d_geom::{FPoint, Point};
+use flow3d_obs::RunReport;
+use flow3d_serve::{Client, Json, Server, ServerConfig};
+
+// ---------------------------------------------------------------- fixtures
+
+fn design(n: usize) -> Design {
+    let mut b = DesignBuilder::new("serve-demo")
+        .technology(TechnologySpec::new("T").lib_cell(LibCellSpec::std_cell("C", 30, 10)))
+        .die(DieSpec::new("bottom", "T", (0, 0, 400, 40), 10, 1, 1.0))
+        .die(DieSpec::new("top", "T", (0, 0, 400, 40), 10, 1, 1.0));
+    for i in 0..n {
+        b = b.cell(format!("u{i}"), "C");
+    }
+    b.build().unwrap()
+}
+
+fn base_placement(d: &Design) -> LegalPlacement {
+    let n = d.num_cells();
+    let mut gp = Placement3d::new(n);
+    for i in 0..n {
+        gp.set_pos(
+            CellId::new(i),
+            FPoint::new((i as f64 * 35.0) % 350.0, 10.0 * ((i / 10) as f64)),
+        );
+    }
+    Flow3dLegalizer::default()
+        .legalize(d, &gp)
+        .unwrap()
+        .placement
+}
+
+/// One requested move, in a form convertible both to the wire JSON and
+/// to the one-shot API's [`CellMove`].
+type Spec = (usize, i64, i64, Option<usize>);
+
+/// Piles `from` onto `onto`'s position — enough clashing cells overflow
+/// a bin and force flow searches, which is what makes memo telemetry
+/// observable (a lone clash is absorbed by PlaceRow without a search).
+fn pileup(base: &LegalPlacement, from: &[usize], onto: usize) -> Vec<Spec> {
+    let p = base.pos(CellId::new(onto));
+    let die = base.die(CellId::new(onto)).index();
+    from.iter().map(|&i| (i, p.x, p.y, Some(die))).collect()
+}
+
+fn cell_moves(spec: &[Spec]) -> Vec<CellMove> {
+    spec.iter()
+        .map(|&(i, x, y, die)| CellMove {
+            cell: CellId::new(i),
+            target: Point::new(x, y),
+            die: die.map(DieId::new),
+        })
+        .collect()
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn moves_json(spec: &[Spec]) -> Json {
+    Json::Arr(
+        spec.iter()
+            .map(|&(i, x, y, die)| {
+                let mut pairs = vec![
+                    ("cell", Json::Str(format!("u{i}"))),
+                    ("x", Json::num(x as f64)),
+                    ("y", Json::num(y as f64)),
+                ];
+                if let Some(d) = die {
+                    pairs.push(("die", Json::num(d as f64)));
+                }
+                obj(pairs)
+            })
+            .collect(),
+    )
+}
+
+fn case_text(d: &Design) -> String {
+    let mut s = String::new();
+    flow3d_io::write_case(d, &mut s).unwrap();
+    s
+}
+
+fn legal_text(d: &Design, p: &LegalPlacement) -> String {
+    let mut s = String::new();
+    flow3d_io::write_legal(d, p, &mut s).unwrap();
+    s
+}
+
+fn load_request(name: &str, d: &Design, base: &LegalPlacement) -> Json {
+    obj(vec![
+        ("cmd", Json::Str("load".into())),
+        ("name", Json::Str(name.into())),
+        ("case", Json::Str(case_text(d))),
+        ("legal", Json::Str(legal_text(d, base))),
+    ])
+}
+
+fn eco_request(name: &str, spec: &[Spec]) -> Json {
+    obj(vec![
+        ("cmd", Json::Str("eco".into())),
+        ("name", Json::Str(name.into())),
+        ("moves", moves_json(spec)),
+    ])
+}
+
+fn assert_ok(resp: &Json) -> &Json {
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "request failed: {resp}"
+    );
+    resp.get("result").expect("ok responses carry a result")
+}
+
+fn result_str<'a>(result: &'a Json, key: &str) -> &'a str {
+    result
+        .get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing string `{key}` in {result}"))
+}
+
+fn report_counter(result: &Json, counter: &str) -> u64 {
+    let report = result.get("report").expect("response carries a report");
+    let report = RunReport::from_json(&report.to_string()).expect("report round-trips");
+    report
+        .counters
+        .iter()
+        .find(|(name, _)| name == counter)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+fn one_shot(d: &Design, base: &LegalPlacement, spec: &[Spec]) -> String {
+    // The server's default engine runs one thread; match it exactly.
+    let legalizer = Flow3dLegalizer::new(Flow3dConfig {
+        threads: 1,
+        ..Flow3dConfig::default()
+    });
+    let outcome = legalizer
+        .legalize_incremental(d, base, &cell_moves(spec))
+        .unwrap();
+    legal_text(d, &outcome.placement)
+}
+
+fn shutdown_and_join(client: &mut Client<impl std::io::Read + std::io::Write>, server: &Server) {
+    let resp = client
+        .request(&obj(vec![("cmd", Json::Str("shutdown".into()))]))
+        .unwrap();
+    assert_ok(&resp);
+    server.join();
+    assert!(server.is_done());
+}
+
+// ------------------------------------------------------------------- tests
+
+#[cfg(unix)]
+fn socketpair_client(server: &Server) -> Client<std::os::unix::net::UnixStream> {
+    let (ours, theirs) = std::os::unix::net::UnixStream::pair().unwrap();
+    let handler = server.clone();
+    std::thread::spawn(move || handler.handle_connection(theirs));
+    Client::new(ours)
+}
+
+/// The acceptance batch: 8 ECO requests (4 distinct move sets, each
+/// fired twice in a row) against one resident case. Every response must
+/// be bit-identical to the one-shot incremental API, every replay must
+/// be answered memo-warm, and the server stats must expose the request
+/// latency histogram.
+#[cfg(unix)]
+#[test]
+fn eco_batch_is_bit_identical_and_memo_warm() {
+    let d = design(12);
+    let base = base_placement(&d);
+    let server = Server::new(ServerConfig::default());
+    let mut client = socketpair_client(&server);
+
+    let resp = client.request(&load_request("demo", &d, &base)).unwrap();
+    let result = assert_ok(&resp);
+    assert_eq!(result.get("cells"), Some(&Json::num(12.0)));
+
+    let sets: Vec<Vec<Spec>> = vec![
+        pileup(&base, &[0, 1, 2, 3, 4], 5),
+        pileup(&base, &[6, 7, 8, 9, 10], 11),
+        pileup(&base, &[1, 3, 5, 7, 9, 11], 0),
+        {
+            let mut s = pileup(&base, &[2, 4, 6, 8, 10], 1);
+            // One cross-die request on top of the pile.
+            let p = base.pos(CellId::new(0));
+            s.push((0, p.x, p.y, Some(1 - base.die(CellId::new(0)).index())));
+            s
+        },
+    ];
+    let mut requests = 0u64;
+    for spec in &sets {
+        let expected = one_shot(&d, &base, spec);
+        for round in 0..2 {
+            let resp = client.request(&eco_request("demo", spec)).unwrap();
+            let result = assert_ok(&resp);
+            requests += 1;
+            assert_eq!(
+                result_str(result, "legal"),
+                expected,
+                "serve-mode result diverged from the one-shot API (round {round})"
+            );
+            assert_eq!(
+                result.get("requests_served"),
+                Some(&Json::num(requests as f64))
+            );
+            let hits = report_counter(result, "selection_memo_hits");
+            if round == 1 {
+                assert!(
+                    hits > 0,
+                    "replayed request must be answered memo-warm, got {hits} hits"
+                );
+            }
+        }
+    }
+
+    let resp = client
+        .request(&obj(vec![("cmd", Json::Str("stats".into()))]))
+        .unwrap();
+    let result = assert_ok(&resp);
+    // load + 8 ecos so far; the stats request itself is not yet counted
+    // at snapshot time but may be — accept either.
+    let counted = result.get("requests").and_then(Json::as_u64).unwrap();
+    assert!(counted >= 9, "stats undercounts: {counted}");
+    let report = result.get("report").expect("stats carry a server report");
+    let report = RunReport::from_json(&report.to_string()).unwrap();
+    let latency = report
+        .hists
+        .iter()
+        .find(|h| h.name == "serve_request_micros")
+        .expect("stats expose the request latency histogram");
+    assert!(latency.count >= 9);
+    assert!(latency.max >= latency.min && latency.min > 0.0);
+
+    shutdown_and_join(&mut client, &server);
+}
+
+/// A malformed frame is answered once with `malformed_frame`, then the
+/// connection closes; the server itself keeps serving other clients.
+#[cfg(unix)]
+#[test]
+fn malformed_frame_is_answered_then_connection_closes() {
+    use flow3d_serve::{read_frame, write_frame};
+
+    let server = Server::new(ServerConfig::default());
+    let (mut ours, theirs) = std::os::unix::net::UnixStream::pair().unwrap();
+    let handler = server.clone();
+    std::thread::spawn(move || handler.handle_connection(theirs));
+
+    // A healthy request first, to prove the connection was fine.
+    write_frame(&mut ours, &obj(vec![("cmd", Json::Str("ping".into()))])).unwrap();
+    let resp = read_frame(&mut ours).unwrap().unwrap();
+    assert_ok(&resp);
+
+    // Now garbage: a frame whose payload is not JSON.
+    use std::io::Write;
+    ours.write_all(&3u32.to_be_bytes()).unwrap();
+    ours.write_all(b"{x}").unwrap();
+    ours.flush().unwrap();
+    let resp = read_frame(&mut ours).unwrap().unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("code")),
+        Some(&Json::Str("malformed_frame".into()))
+    );
+    // The connection is dropped after the error response.
+    assert!(read_frame(&mut ours).unwrap().is_none());
+
+    // The server survives and serves a fresh connection.
+    let mut client = socketpair_client(&server);
+    let resp = client
+        .request(&obj(vec![("cmd", Json::Str("ping".into()))]))
+        .unwrap();
+    assert_ok(&resp);
+    shutdown_and_join(&mut client, &server);
+}
+
+/// Two cases served concurrently from two connections: every response
+/// is still bit-identical to the one-shot API — sharding must never
+/// leak state across cases.
+#[cfg(unix)]
+#[test]
+fn concurrent_connections_stay_deterministic() {
+    let d = design(12);
+    let base = base_placement(&d);
+    let server = Server::new(ServerConfig::default());
+
+    let mut setup = socketpair_client(&server);
+    for name in ["a", "b"] {
+        let resp = setup.request(&load_request(name, &d, &base)).unwrap();
+        assert_ok(&resp);
+    }
+
+    let sets = [
+        pileup(&base, &[0, 1, 2, 3, 4], 5),
+        pileup(&base, &[6, 7, 8, 9, 10], 11),
+    ];
+    let expected: Vec<String> = sets.iter().map(|s| one_shot(&d, &base, s)).collect();
+
+    std::thread::scope(|scope| {
+        for (name, (spec, want)) in ["a", "b"].into_iter().zip(sets.iter().zip(&expected)) {
+            let server = &server;
+            scope.spawn(move || {
+                let mut client = socketpair_client(server);
+                for _ in 0..4 {
+                    let resp = client.request(&eco_request(name, spec)).unwrap();
+                    let result = assert_ok(&resp);
+                    assert_eq!(result_str(result, "legal"), want.as_str(), "case {name}");
+                }
+            });
+        }
+    });
+
+    shutdown_and_join(&mut setup, &server);
+}
+
+/// Shutdown drains: requests admitted before the shutdown all complete
+/// and answer `ok`; requests after it are refused with `shutting_down`.
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let d = design(12);
+    let base = base_placement(&d);
+    let server = Server::new(ServerConfig::default());
+    let result = server.process(1, parse_request(&load_request("demo", &d, &base)));
+    assert_ok(&result);
+
+    let spec = pileup(&base, &[0, 1, 2, 3, 4], 5);
+    let expected = one_shot(&d, &base, &spec);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for id in 2..5 {
+            let (server, spec) = (&server, &spec);
+            workers.push(
+                scope.spawn(move || server.process(id, parse_request(&eco_request("demo", spec)))),
+            );
+        }
+        // Give the three ECOs time to be *admitted* (admission is a
+        // lock-push-unlock, execution can take as long as it likes).
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let resp = server.process(
+            5,
+            parse_request(&obj(vec![("cmd", Json::Str("shutdown".into()))])),
+        );
+        assert_ok(&resp);
+        for worker in workers {
+            let resp = worker.join().unwrap();
+            let result = assert_ok(&resp);
+            assert_eq!(
+                result_str(result, "legal"),
+                expected,
+                "drained request diverged"
+            );
+        }
+    });
+    server.join();
+    assert!(server.is_done());
+
+    // Late work is refused, but inspection still answers.
+    let resp = server.process(6, parse_request(&eco_request("demo", &spec)));
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("code")),
+        Some(&Json::Str("shutting_down".into()))
+    );
+    let resp = server.process(
+        7,
+        parse_request(&obj(vec![("cmd", Json::Str("ping".into()))])),
+    );
+    assert_ok(&resp);
+}
+
+/// The TCP listener path: bind an ephemeral port, serve, shut down, and
+/// observe the accept loop exit cleanly.
+#[test]
+fn tcp_listener_round_trips_and_stops() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Server::new(ServerConfig::default());
+    let acceptor = server.clone();
+    let accept_thread = std::thread::spawn(move || acceptor.serve_listener(listener));
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    let resp = client
+        .request(&obj(vec![("cmd", Json::Str("ping".into()))]))
+        .unwrap();
+    assert_ok(&resp);
+    shutdown_and_join(&mut client, &server);
+    accept_thread.join().unwrap().unwrap();
+}
+
+fn parse_request(json: &Json) -> flow3d_serve::Request {
+    flow3d_serve::Request::parse(json).unwrap()
+}

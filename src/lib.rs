@@ -20,6 +20,8 @@
 //! * [`par`] — std-only deterministic worker pool used by the parallel
 //!   legalization phases.
 //! * [`core`] — the 3D-Flow legalizer itself.
+//! * [`serve`] — the resident legalization service (`flow3d serve`):
+//!   length-prefixed JSON protocol, request queue, warm ECO engines.
 //! * [`baselines`] — Tetris, Abacus, and BonnPlaceLegal-style reference
 //!   legalizers.
 //! * [`viz`] — SVG visualization of placements and results.
@@ -54,6 +56,7 @@ pub use flow3d_mcmf as mcmf;
 pub use flow3d_metrics as metrics;
 pub use flow3d_obs as obs;
 pub use flow3d_par as par;
+pub use flow3d_serve as serve;
 pub use flow3d_viz as viz;
 
 /// Convenience re-exports of the types most programs need.

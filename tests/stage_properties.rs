@@ -89,6 +89,7 @@ fn params_for(design: &flow3d::db::Design, cfg: &Flow3dConfig) -> SearchParams {
         slack,
         dijkstra: false,
         use_memo: cfg.selection_memo,
+        warm_memo: false,
         selection: SelectionParams {
             clamp_negative: false,
             d2d_congestion_cost: cfg.d2d_congestion_cost,
