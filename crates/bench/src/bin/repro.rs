@@ -14,7 +14,8 @@
 //! repro profile [scale]   # phase/counter profiles (+ JSON sidecars)
 //! repro threads [scale]   # thread-scaling: flow_pass/placerow at 1/2/4/8 workers
 //! repro bench [scale] [out]  # perf-gate baseline RunReport (default BENCH_legalize.json)
-//! repro all   [scale]     # everything above (except bench)
+//! repro scale [scale]     # million-cell family: stream read / SoA build / legalize / peak RSS
+//! repro all   [scale]     # everything above (except bench and scale)
 //! ```
 //!
 //! `scale` (default 1.0) multiplies every case's cell/net/macro counts;
@@ -25,8 +26,8 @@
 //! and all legalization results are bit-identical to serial runs.
 
 use flow3d_bench::{
-    evaluate, evaluate_profiled, format_case_rows, normalized_averages, prepare, prepare_all,
-    standard_legalizers, table_header, CaseRun, Row, Suite,
+    evaluate, evaluate_profiled, evaluate_profiled_into, format_case_rows, normalized_averages,
+    prepare, prepare_all, standard_legalizers, table_header, CaseRun, Row, Suite,
 };
 use flow3d_core::{Flow3dConfig, Flow3dLegalizer, Legalizer};
 use flow3d_db::DieId;
@@ -64,6 +65,7 @@ fn main() {
                 .map(String::as_str)
                 .unwrap_or("BENCH_legalize.json"),
         ),
+        "scale" => scale_experiment(scale),
         "all" => {
             table2();
             comparison_table(Suite::Iccad2022, "Table III (ICCAD 2022)", scale);
@@ -80,7 +82,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|threads|bench|all] [scale]");
+            eprintln!("usage: repro [table2|table3|table4|table5|fig7|fig8|alpha|binwidth|rowalgo|eco|profile|threads|bench|scale|all] [scale]");
             std::process::exit(2);
         }
     }
@@ -501,10 +503,74 @@ fn bench_baseline(scale: f64, out: &str) {
     println!("== perf-gate baseline (ICCAD 2022 case2), scale {scale} ==");
     let mut run = prepare(Suite::Iccad2022, "case2", scale);
     run.name = format!("iccad2022_case2@{scale}");
-    let (row, report) = evaluate_profiled(&run, &Flow3dLegalizer::default());
+    // The baseline also times the streaming contest-format read as its
+    // own top-level phase (the SoA build is timed inside `legalize` as
+    // `legalize/soa_build`), so the perf gate watches the full
+    // read -> build -> legalize path, not just the solver.
+    let mut text = String::new();
+    flow3d_io::write_case(&run.design, &mut text).expect("serialize case");
+    let mut profile = flow3d_obs::Profile::new();
+    profile.begin("stream_read");
+    let reparsed = flow3d_io::parse_case_reader(text.as_bytes()).expect("streaming reparse");
+    profile.end("stream_read");
+    assert_eq!(reparsed, run.design, "streaming reader must round-trip");
+    drop((reparsed, text));
+    let (row, report) = evaluate_profiled_into(&run, &Flow3dLegalizer::default(), &mut profile);
     std::fs::write(out, report.to_json()).expect("write baseline report");
     print!("{}", report.to_pretty());
     println!("{:.2}s -> {out}", row.runtime_s);
+}
+
+/// Million-cell scaling: for every case of the million family, time the
+/// streaming contest-format read, the SoA view build, and the full
+/// legalization, and report the process peak RSS after each case. At
+/// the default scale this is minutes of work — use e.g. `0.05` for a
+/// quick pass.
+fn scale_experiment(scale: f64) {
+    println!("== million-cell scaling (streaming read + SoA view), scale {scale} ==");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "case", "#cells", "read(s)", "soa(s)", "legal(s)", "avg.disp", "rss(MiB)"
+    );
+    for case in flow3d_gen::MILLION_CASES {
+        let run = prepare(Suite::Million, case, scale);
+        // Serialize once and stream-parse the bytes back: the same code
+        // path `flow3d legalize` takes when reading a case file.
+        let mut text = String::new();
+        flow3d_io::write_case(&run.design, &mut text).expect("serialize case");
+        let start = std::time::Instant::now();
+        let reparsed = flow3d_io::parse_case_reader(text.as_bytes()).expect("streaming reparse");
+        let rt_read = start.elapsed().as_secs_f64();
+        assert_eq!(reparsed, run.design, "streaming reader must round-trip");
+        drop((reparsed, text));
+
+        let mut profile = flow3d_obs::Profile::new();
+        let start = std::time::Instant::now();
+        let outcome = Flow3dLegalizer::default()
+            .legalize_observed(&run.design, &run.global, Some(&mut profile))
+            .expect("legalization failed");
+        let rt_legal = start.elapsed().as_secs_f64();
+        let rt_soa = profile
+            .phase("legalize/soa_build")
+            .map(|s| s.total.as_secs_f64())
+            .unwrap_or(0.0);
+        let stats =
+            flow3d_metrics::displacement_stats(&run.design, &run.global, &outcome.placement);
+        let rss_mib = flow3d_obs::peak_rss_bytes()
+            .map(|b| b as f64 / (1024.0 * 1024.0))
+            .unwrap_or(0.0);
+        println!(
+            "{:<14} {:>9} {:>9.3} {:>9.3} {:>10.2} {:>10.3} {:>10.1}",
+            format!("million_{case}"),
+            run.design.num_cells(),
+            rt_read,
+            rt_soa,
+            rt_legal,
+            stats.avg,
+            rss_mib
+        );
+    }
+    println!();
 }
 
 /// Keep `CaseRun` referenced so the harness API stays exercised from the

@@ -32,6 +32,8 @@ pub enum Suite {
     Iccad2022,
     /// ICCAD 2023 (with macros).
     Iccad2023,
+    /// Million-cell scaling family (beyond the contest suites).
+    Million,
 }
 
 impl Suite {
@@ -40,6 +42,7 @@ impl Suite {
         match self {
             Suite::Iccad2022 => &flow3d_gen::ICCAD2022_CASES,
             Suite::Iccad2023 => &flow3d_gen::ICCAD2023_CASES,
+            Suite::Million => &flow3d_gen::MILLION_CASES,
         }
     }
 
@@ -48,6 +51,7 @@ impl Suite {
         match self {
             Suite::Iccad2022 => GeneratorConfig::iccad2022(case),
             Suite::Iccad2023 => GeneratorConfig::iccad2023(case),
+            Suite::Million => GeneratorConfig::million(case),
         }
     }
 }
@@ -152,9 +156,20 @@ pub fn evaluate(run: &CaseRun, legalizer: &dyn Legalizer) -> Row {
 /// Same as [`evaluate`].
 pub fn evaluate_profiled(run: &CaseRun, legalizer: &dyn Legalizer) -> (Row, RunReport) {
     let mut profile = Profile::new();
+    evaluate_profiled_into(run, legalizer, &mut profile)
+}
+
+/// Like [`evaluate_profiled`], but records into a caller-supplied
+/// [`Profile`], so phases timed before the legalization call (e.g. a
+/// streaming case read) land in the same [`RunReport`].
+pub fn evaluate_profiled_into(
+    run: &CaseRun,
+    legalizer: &dyn Legalizer,
+    profile: &mut Profile,
+) -> (Row, RunReport) {
     let start = Instant::now();
     let outcome = legalizer
-        .legalize_observed(&run.design, &run.global, Some(&mut profile))
+        .legalize_observed(&run.design, &run.global, Some(profile))
         .unwrap_or_else(|e| panic!("{} failed on {}: {e}", legalizer.name(), run.name));
     let runtime_s = start.elapsed().as_secs_f64();
     let report = flow3d_metrics::check_legal(&run.design, &outcome.placement);
@@ -175,7 +190,7 @@ pub fn evaluate_profiled(run: &CaseRun, legalizer: &dyn Legalizer) -> (Row, RunR
         cross_die_moves: outcome.stats.cross_die_moves,
     };
     let report =
-        RunReport::from_profile(&run.name, legalizer.name(), &profile).with_quality(Quality {
+        RunReport::from_profile(&run.name, legalizer.name(), profile).with_quality(Quality {
             avg_disp: stats.avg_dbu,
             max_disp: stats.max_dbu,
             dhpwl_pct: dhpwl,
@@ -292,8 +307,11 @@ mod tests {
     fn suites_expose_paper_cases() {
         assert_eq!(Suite::Iccad2022.cases().len(), 6);
         assert_eq!(Suite::Iccad2023.cases().len(), 7);
+        assert_eq!(Suite::Million.cases().len(), 3);
         assert!(Suite::Iccad2023.config("case3h").is_some());
+        assert!(Suite::Million.config("m1h").is_some());
         assert!(Suite::Iccad2022.config("nope").is_none());
+        assert!(Suite::Million.config("nope").is_none());
     }
 
     #[test]

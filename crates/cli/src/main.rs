@@ -147,7 +147,7 @@ fn run_report(argv: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     flow3d gen --suite 2022|2023 --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
+     flow3d gen --suite 2022|2023|million|demo --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
      flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--no-memo] [--alpha A] [--threads N] [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]\n  \
      flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
      flow3d stats --case case.txt\n  \
@@ -172,7 +172,10 @@ fn write(path: &str, contents: &str) -> Result<(), String> {
 
 fn load_design(args: &Args) -> Result<flow3d_db::Design, String> {
     let path = args.require("case")?;
-    flow3d_io::parse_case(&read(path)?).map_err(|e| format!("{path}: {e}"))
+    // Stream straight off the file: a million-cell case never has to be
+    // resident as one giant String alongside the Design being built.
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    flow3d_io::parse_case_reader(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -181,8 +184,13 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let mut cfg: GeneratorConfig = match suite {
         "2022" => GeneratorConfig::iccad2022(case),
         "2023" => GeneratorConfig::iccad2023(case),
+        "million" => GeneratorConfig::million(case),
         "demo" => Some(GeneratorConfig::small_demo(1)),
-        other => return Err(format!("unknown suite `{other}` (2022, 2023, demo)")),
+        other => {
+            return Err(format!(
+                "unknown suite `{other}` (2022, 2023, million, demo)"
+            ))
+        }
     }
     .ok_or_else(|| format!("unknown case `{case}` in suite {suite}"))?;
     cfg.scale = args.get_f64("scale", 1.0)?;
@@ -271,12 +279,16 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
     );
 
     if let (Some(path), Some(profile)) = (profile_path, &profile) {
-        let report = flow3d_obs::RunReport::from_profile(design.name(), legalizer.name(), profile)
-            .with_quality(flow3d_obs::Quality {
-                avg_disp: stats.avg_dbu,
-                max_disp: stats.max_dbu,
-                dhpwl_pct: dhpwl,
-            });
+        let mut report =
+            flow3d_obs::RunReport::from_profile(design.name(), legalizer.name(), profile)
+                .with_quality(flow3d_obs::Quality {
+                    avg_disp: stats.avg_dbu,
+                    max_disp: stats.max_dbu,
+                    dhpwl_pct: dhpwl,
+                });
+        if let Some(rss) = flow3d_obs::peak_rss_bytes() {
+            report = report.with_peak_rss(rss);
+        }
         write(path, &report.to_json())?;
         print!("{}", report.to_pretty());
         println!("wrote {path}");

@@ -209,7 +209,10 @@ pub(crate) fn cmd_eco(args: &Args) -> Result<(), String> {
         outcome.stats.augmentations
     );
     if let (Some(path), Some(profile)) = (profile_path, &profile) {
-        let report = flow3d_obs::RunReport::from_profile(design.name(), "flow3d-eco", profile);
+        let mut report = flow3d_obs::RunReport::from_profile(design.name(), "flow3d-eco", profile);
+        if let Some(rss) = flow3d_obs::peak_rss_bytes() {
+            report = report.with_peak_rss(rss);
+        }
         write(path, &report.to_json())?;
         println!("wrote {path}");
     }

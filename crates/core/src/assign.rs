@@ -3,7 +3,7 @@
 
 use crate::error::LegalizeError;
 use crate::grid::BinGrid;
-use crate::state::FlowState;
+use crate::state::{FlowState, GeomSource};
 use flow3d_db::{CellId, Design, DieId, Placement3d, RowLayout};
 use flow3d_geom::Point;
 
@@ -25,6 +25,21 @@ pub fn anchors(design: &Design, global: &Placement3d) -> Vec<Point> {
 ///
 /// [`LegalizeError::DieOverflow`] if no rebalance fits the cells.
 pub fn partition_dies(design: &Design, global: &Placement3d) -> Result<Vec<DieId>, LegalizeError> {
+    partition_dies_with(design, global, &GeomSource::IdMap)
+}
+
+/// [`partition_dies`] reading cell geometry through `geom` (the driver
+/// passes its prebuilt [`SoaView`](flow3d_db::SoaView); values are
+/// identical either way, only the access pattern differs).
+///
+/// # Errors
+///
+/// Same as [`partition_dies`].
+pub fn partition_dies_with(
+    design: &Design,
+    global: &Placement3d,
+    geom: &GeomSource<'_>,
+) -> Result<Vec<DieId>, LegalizeError> {
     if global.num_cells() != design.num_cells() {
         return Err(LegalizeError::PlacementMismatch {
             design_cells: design.num_cells(),
@@ -37,7 +52,7 @@ pub fn partition_dies(design: &Design, global: &Placement3d) -> Result<Vec<DieId
         .collect();
 
     let area = |cell: usize, die: DieId| {
-        design.cell_width(CellId::new(cell), die) * design.cell_height(die)
+        geom.cell_width(design, CellId::new(cell), die) * geom.cell_height(design, die)
     };
     let allowed: Vec<i64> = (0..num_dies)
         .map(|d| {
@@ -109,6 +124,31 @@ pub fn build_state<'a>(
     global: &Placement3d,
     dies: &mut [DieId],
 ) -> Result<FlowState<'a>, LegalizeError> {
+    build_state_with_geom(
+        design,
+        layout,
+        grid,
+        global,
+        dies,
+        GeomSource::Owned(flow3d_db::SoaView::geometry(design)),
+    )
+}
+
+/// [`build_state`] with an explicit geometry source for the new state
+/// (the driver borrows its prebuilt full view; `GeomSource::IdMap`
+/// selects the reference path).
+///
+/// # Errors
+///
+/// Same as [`build_state`].
+pub fn build_state_with_geom<'a>(
+    design: &'a Design,
+    layout: &'a RowLayout,
+    grid: &'a BinGrid,
+    global: &Placement3d,
+    dies: &mut [DieId],
+    geom: GeomSource<'a>,
+) -> Result<FlowState<'a>, LegalizeError> {
     if global.num_cells() != design.num_cells() {
         return Err(LegalizeError::PlacementMismatch {
             design_cells: design.num_cells(),
@@ -116,7 +156,7 @@ pub fn build_state<'a>(
         });
     }
     let anchor = anchors(design, global);
-    let mut state = FlowState::new(design, layout, grid, anchor.clone());
+    let mut state = FlowState::with_geom(design, layout, grid, anchor.clone(), geom);
     for i in 0..design.num_cells() {
         let cell = CellId::new(i);
         let a = anchor[i];
@@ -129,7 +169,7 @@ pub fn build_state<'a>(
                 .filter(|&d| d != dies[i]),
         );
         for die in order {
-            let w = design.cell_width(cell, die);
+            let w = state.cell_width(cell, die);
             if let Some((seg, x)) = layout.nearest_position(design, die, a.x, a.y, w) {
                 let hint = grid.bin_at(seg.id, x);
                 state.insert_cell(cell, hint, x);

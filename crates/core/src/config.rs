@@ -45,6 +45,13 @@ pub struct Flow3dConfig {
     /// in a fixed order (see [`crate::driver::flow_pass_threaded`]) — so
     /// this knob trades wall-clock only, never quality or reproducibility.
     pub threads: usize,
+    /// Read cell geometry through the flat [`SoaView`](flow3d_db::SoaView)
+    /// columns instead of chasing the `Design` id maps. Pure data-layout
+    /// choice: the view copies its values out of the design, so the
+    /// output is bit-identical either way (enforced by
+    /// `tests/soa_equivalence.rs`); disable only to benchmark the layout
+    /// or as the differential-testing reference path.
+    pub soa_view: bool,
 }
 
 impl Default for Flow3dConfig {
@@ -60,6 +67,7 @@ impl Default for Flow3dConfig {
             row_algo: RowAlgo::default(),
             selection_memo: true,
             threads: 0,
+            soa_view: true,
         }
     }
 }
@@ -114,6 +122,7 @@ mod tests {
         assert!(c.post_opt);
         assert!(c.selection_memo, "memo is pure caching, on by default");
         assert_eq!(c.threads, 0, "default is auto-sized");
+        assert!(c.soa_view, "SoA layout is pure caching, on by default");
     }
 
     #[test]

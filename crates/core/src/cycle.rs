@@ -14,7 +14,7 @@ use crate::driver::{bin_widths, flow_pass_threaded, placerow_all_threaded};
 use crate::error::LegalizeError;
 use crate::grid::BinGrid;
 use crate::search::SearchParams;
-use crate::state::FlowState;
+use crate::state::{FlowState, GeomSource};
 use crate::traits::LegalizeStats;
 use flow3d_db::{CellId, Design, LegalPlacement, Placement3d, RowLayout};
 use flow3d_obs::{keys, Obs, ObsExt};
@@ -39,6 +39,37 @@ pub fn post_optimize(
     base_params: &SearchParams,
     placement: &mut LegalPlacement,
     stats: &mut LegalizeStats,
+    mut obs: Obs<'_>,
+) -> Result<(), LegalizeError> {
+    post_optimize_with_geom(
+        design,
+        layout,
+        global,
+        config,
+        base_params,
+        placement,
+        stats,
+        &GeomSource::Owned(flow3d_db::SoaView::geometry(design)),
+        obs.reborrow(),
+    )
+}
+
+/// [`post_optimize`] with an explicit geometry source shared by every
+/// pass's re-seeded [`FlowState`] (the driver passes its prebuilt view).
+///
+/// # Errors
+///
+/// Same as [`post_optimize`].
+#[allow(clippy::too_many_arguments)]
+pub fn post_optimize_with_geom(
+    design: &Design,
+    layout: &RowLayout,
+    global: &Placement3d,
+    config: &Flow3dConfig,
+    base_params: &SearchParams,
+    placement: &mut LegalPlacement,
+    stats: &mut LegalizeStats,
+    geom: &GeomSource<'_>,
     mut obs: Obs<'_>,
 ) -> Result<(), LegalizeError> {
     let n = design.num_cells();
@@ -76,7 +107,7 @@ pub fn post_optimize(
 
         // Re-seed: selected cells at the midpoint toward their origin,
         // everything else at its current legal position.
-        let mut state = FlowState::new(design, layout, &grid, anchors.clone());
+        let mut state = FlowState::with_geom(design, layout, &grid, anchors.clone(), geom.clone());
         let mut is_selected = vec![false; n];
         for &c in &selected {
             is_selected[c.index()] = true;
@@ -92,7 +123,7 @@ pub fn post_optimize(
             } else {
                 (p.x, p.y)
             };
-            let w = design.cell_width(c, die);
+            let w = state.cell_width(c, die);
             match layout.nearest_position(design, die, x, y, w) {
                 Some((seg, sx)) => {
                     let hint = state.grid.bin_at(seg.id, sx);

@@ -11,9 +11,9 @@ use crate::search::{
     find_path_limited, AugmentingPath, SearchCounters, SearchParams, SearchScratch,
 };
 use crate::selection::SelectionParams;
-use crate::state::FlowState;
+use crate::state::{FlowState, GeomSource};
 use crate::traits::{LegalizeOutcome, LegalizeStats, Legalizer};
-use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout};
+use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout, SoaView};
 use flow3d_geom::Point;
 use flow3d_obs::{hist_keys, keys, Heatmap, Obs, ObsExt, Profile};
 use std::collections::{BTreeMap, BTreeSet};
@@ -217,8 +217,12 @@ pub fn flow_pass_threaded_pooled(
     };
     let mut retries: usize = 0;
     let mut counters = SearchCounters::default();
-    // Generous guard against cycling; each applied path normally drains
-    // its source for good, so this should never trigger.
+    // Apply budget: each applied path normally drains its source for
+    // good, so this bound is generous. On pathological geometry (e.g. a
+    // macro next to heterogeneous row heights) applications can ping-pong
+    // supply between near-full bins without the total converging; once
+    // the budget is spent, the small residue is relocated directly
+    // instead of burning more rounds.
     let mut guard = 64 * state.overflowed_bins().len() + 4 * num_bins + 64;
     // Worker search scratch (node arena, heap, selection memo) persists
     // across rounds so its allocations amortize over the whole pass — and
@@ -312,7 +316,7 @@ pub fn flow_pass_threaded_pooled(
         // supply they leave behind re-enters the next round.
         obs.begin("apply");
         let mut applied = false;
-        let mut exhausted: Option<(DieId, i64)> = None;
+        let mut exhausted = false;
         for &(i, path) in &order {
             let bin = sources[i].1;
             let sup = state.sup(bin);
@@ -320,7 +324,7 @@ pub fn flow_pass_threaded_pooled(
                 continue; // an earlier application already drained it
             }
             if guard == 0 {
-                exhausted = Some((state.grid.bin(bin).die, sup));
+                exhausted = true;
                 break;
             }
             guard -= 1;
@@ -335,8 +339,25 @@ pub fn flow_pass_threaded_pooled(
             applied = true;
         }
         obs.end("apply");
-        if let Some((die, supply)) = exhausted {
-            return Err(LegalizeError::NoAugmentingPath { die, supply });
+        if exhausted {
+            // The apply budget ran out while paths were still being found:
+            // the flow is shuffling supply between near-full bins faster
+            // than it drains. Relocate whatever overflow remains directly
+            // (most loaded bin first, bin id breaking ties — the same
+            // deterministic order the rounds use) and finish the pass.
+            let allow_cross_die = grid_has_d2d(state);
+            let mut leftovers: Vec<(i64, BinId)> = state
+                .overflowed_bins()
+                .into_iter()
+                .map(|b| (state.sup(b), b))
+                .collect();
+            leftovers.sort_by_key(|&(sup, b)| (std::cmp::Reverse(sup), b));
+            for &(_, bin) in &leftovers {
+                if state.sup(bin) > 0 {
+                    teleport_fallback(state, bin, allow_cross_die, stats)?;
+                }
+            }
+            break;
         }
 
         if !applied {
@@ -467,12 +488,12 @@ pub fn teleport_fallback(
                 if !allow_cross_die && b.die != src_die {
                     continue;
                 }
-                let w_v = state.design.cell_width(cell, b.die);
+                let w_v = state.cell_width(cell, b.die);
                 if state.dem(cand) < w_v {
                     continue;
                 }
                 if b.die != src_die {
-                    let need = w_v * state.design.cell_height(b.die);
+                    let need = w_v * state.cell_height(b.die);
                     if need > state.area_headroom(b.die) {
                         continue;
                     }
@@ -579,7 +600,7 @@ pub fn placerow_all_threaded(
                     if !seen.insert(frag.cell.index()) {
                         continue; // other fragment of a straddling cell
                     }
-                    let w = design.cell_width(frag.cell, seg.die);
+                    let w = state.cell_width(frag.cell, seg.die);
                     // The flow phase decides the *segment*; within it,
                     // trust PlaceRow's quadratic optimum from the raw
                     // anchor (the total width fits by construction).
@@ -701,9 +722,22 @@ impl Flow3dLegalizer {
         let cfg = &self.config;
         let threads = flow3d_par::resolve_threads(cfg.threads);
 
+        // Build the flat SoA geometry columns once, up front; every later
+        // phase borrows them. Skipped (falling back to the id-map path)
+        // when disabled or when the placement is malformed — the count
+        // mismatch is then reported as an error by `partition_dies_with`.
+        obs.begin("soa_build");
+        let soa = (cfg.soa_view && global.num_cells() == design.num_cells())
+            .then(|| SoaView::build(design, global));
+        obs.end("soa_build");
+        let geom = match soa.as_ref() {
+            Some(view) => GeomSource::Soa(view),
+            None => GeomSource::IdMap,
+        };
+
         obs.begin("partition");
         let layout = RowLayout::build(design);
-        let dies = assign::partition_dies(design, global);
+        let dies = assign::partition_dies_with(design, global, &geom);
         obs.end("partition");
         let mut dies = dies?;
 
@@ -713,7 +747,8 @@ impl Flow3dLegalizer {
         obs.end("grid_build");
 
         obs.begin("assign");
-        let state = assign::build_state(design, &layout, &grid, global, &mut dies);
+        let state =
+            assign::build_state_with_geom(design, &layout, &grid, global, &mut dies, geom.clone());
         obs.end("assign");
         let mut state = state?;
 
@@ -755,7 +790,7 @@ impl Flow3dLegalizer {
 
         if cfg.post_opt {
             obs.begin("post_opt");
-            let post = cycle::post_optimize(
+            let post = cycle::post_optimize_with_geom(
                 design,
                 &layout,
                 global,
@@ -763,6 +798,7 @@ impl Flow3dLegalizer {
                 &params,
                 &mut placement,
                 &mut stats,
+                &geom,
                 obs.reborrow(),
             );
             obs.end("post_opt");

@@ -22,7 +22,7 @@ use crate::error::LegalizeError;
 use crate::grid::{BinGrid, BinId};
 use crate::search::{SearchParams, SearchScratch};
 use crate::selection::SelectionParams;
-use crate::state::FlowState;
+use crate::state::{FlowState, GeomSource};
 use crate::traits::{LegalizeOutcome, LegalizeStats};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, RowLayout};
 use flow3d_geom::Point;
@@ -91,6 +91,11 @@ impl Flow3dLegalizer {
         let grid = BinGrid::build(design, &layout, &widths, cfg.allow_d2d);
         let threads = flow3d_par::resolve_threads(cfg.threads);
         let mut scratch_pool: Vec<SearchScratch> = Vec::new();
+        let geom = if cfg.soa_view {
+            GeomSource::Owned(flow3d_db::SoaView::geometry(design))
+        } else {
+            GeomSource::IdMap
+        };
         let ctx = EcoContext {
             design,
             layout: &layout,
@@ -100,6 +105,7 @@ impl Flow3dLegalizer {
             seed_cache: None,
             warm_memo: false,
             threads,
+            geom,
         };
         run_eco(&ctx, moves, &mut scratch_pool, obs)
     }
@@ -129,6 +135,9 @@ pub(crate) struct EcoContext<'a> {
     pub warm_memo: bool,
     /// Worker count for the flow and PlaceRow phases.
     pub threads: usize,
+    /// Geometry source for the seeded state (a resident engine borrows
+    /// its long-lived view; one-shot ECOs own a fresh one).
+    pub geom: GeomSource<'a>,
 }
 
 /// Resolves the seed slot for `cell` anchored at `a` on `die`: the
@@ -137,11 +146,12 @@ pub(crate) fn resolve_seed(
     design: &Design,
     layout: &RowLayout,
     grid: &BinGrid,
+    geom: &GeomSource<'_>,
     die: DieId,
     a: Point,
     cell: CellId,
 ) -> Option<(BinId, i64)> {
-    let w = design.cell_width(cell, die);
+    let w = geom.cell_width(design, cell, die);
     layout
         .nearest_position(design, die, a.x, a.y, w)
         .map(|(seg, x)| (grid.bin_at(seg.id, x), x))
@@ -178,7 +188,7 @@ pub(crate) fn run_eco(
         }
     }
 
-    let mut state = FlowState::new(design, layout, grid, anchors.clone());
+    let mut state = FlowState::with_geom(design, layout, grid, anchors.clone(), ctx.geom.clone());
     for i in 0..n {
         let cell = CellId::new(i);
         let seeded = if !is_moved[i] {
@@ -190,16 +200,33 @@ pub(crate) fn run_eco(
             // as `NoPosition` below.
             match ctx.seed_cache {
                 Some(cache) => cache[i],
-                None => resolve_seed(design, layout, grid, target_die[i], anchors[i], cell),
+                None => resolve_seed(
+                    design,
+                    layout,
+                    grid,
+                    &ctx.geom,
+                    target_die[i],
+                    anchors[i],
+                    cell,
+                ),
             }
         } else {
             // Moved cell: resolve the requested target fresh; if the
             // requested die cannot host the cell at all, fall back to any
             // die that can.
-            resolve_seed(design, layout, grid, target_die[i], anchors[i], cell).or_else(|| {
-                (0..design.num_dies())
-                    .map(DieId::new)
-                    .find_map(|d| resolve_seed(design, layout, grid, d, anchors[i], cell))
+            resolve_seed(
+                design,
+                layout,
+                grid,
+                &ctx.geom,
+                target_die[i],
+                anchors[i],
+                cell,
+            )
+            .or_else(|| {
+                (0..design.num_dies()).map(DieId::new).find_map(|d| {
+                    resolve_seed(design, layout, grid, &ctx.geom, d, anchors[i], cell)
+                })
             })
         };
         match seeded {

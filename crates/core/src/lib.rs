@@ -67,4 +67,5 @@ pub use driver::Flow3dLegalizer;
 pub use error::LegalizeError;
 pub use incremental::CellMove;
 pub use resident::EcoEngine;
+pub use state::{FlowState, GeomSource};
 pub use traits::{LegalizeOutcome, LegalizeStats, Legalizer};

@@ -49,8 +49,9 @@ use crate::error::LegalizeError;
 use crate::grid::{BinGrid, BinId};
 use crate::incremental::{resolve_seed, run_eco, CellMove, EcoContext};
 use crate::search::SearchScratch;
+use crate::state::GeomSource;
 use crate::traits::LegalizeOutcome;
-use flow3d_db::{CellId, Design, LegalPlacement, RowLayout};
+use flow3d_db::{CellId, Design, LegalPlacement, RowLayout, SoaView};
 use flow3d_obs::Obs;
 
 /// A resident incremental-legalization engine: one design, one base
@@ -83,6 +84,9 @@ pub struct EcoEngine {
     /// [`LegalizeError::NoPosition`] on the next request, exactly like
     /// the one-shot path).
     seed_cache: Vec<Option<(BinId, i64)>>,
+    /// Resident geometry columns (`None` when `cfg.soa_view` is off):
+    /// built once with the layout/grid and borrowed by every request.
+    soa: Option<SoaView>,
     scratch_pool: Vec<SearchScratch>,
     threads: usize,
     /// The previous request's move list: the warm-replay key.
@@ -120,7 +124,8 @@ impl EcoEngine {
         let layout = RowLayout::build(&design);
         let widths = bin_widths(&design, cfg.post_bin_width_factor);
         let grid = BinGrid::build(&design, &layout, &widths, cfg.allow_d2d);
-        let seed_cache = Self::resolve_cache(&design, &layout, &grid, &base);
+        let soa = cfg.soa_view.then(|| SoaView::geometry(&design));
+        let seed_cache = Self::resolve_cache(&design, &layout, &grid, &soa, &base);
         let threads = flow3d_par::resolve_threads(cfg.threads);
         Ok(Self {
             cfg,
@@ -129,6 +134,7 @@ impl EcoEngine {
             grid,
             base,
             seed_cache,
+            soa,
             scratch_pool: Vec::new(),
             threads,
             last_moves: None,
@@ -140,12 +146,25 @@ impl EcoEngine {
         design: &Design,
         layout: &RowLayout,
         grid: &BinGrid,
+        soa: &Option<SoaView>,
         base: &LegalPlacement,
     ) -> Vec<Option<(BinId, i64)>> {
+        let geom = match soa {
+            Some(view) => GeomSource::Soa(view),
+            None => GeomSource::IdMap,
+        };
         (0..design.num_cells())
             .map(|i| {
                 let cell = CellId::new(i);
-                resolve_seed(design, layout, grid, base.die(cell), base.pos(cell), cell)
+                resolve_seed(
+                    design,
+                    layout,
+                    grid,
+                    &geom,
+                    base.die(cell),
+                    base.pos(cell),
+                    cell,
+                )
             })
             .collect()
     }
@@ -226,6 +245,10 @@ impl EcoEngine {
             seed_cache: Some(&self.seed_cache),
             warm_memo: true,
             threads: self.threads,
+            geom: match &self.soa {
+                Some(view) => GeomSource::Soa(view),
+                None => GeomSource::IdMap,
+            },
         };
         let out = run_eco(&ctx, moves, &mut self.scratch_pool, obs);
         match &out {
@@ -263,7 +286,13 @@ impl EcoEngine {
             });
         }
         self.base = placement;
-        self.seed_cache = Self::resolve_cache(&self.design, &self.layout, &self.grid, &self.base);
+        self.seed_cache = Self::resolve_cache(
+            &self.design,
+            &self.layout,
+            &self.grid,
+            &self.soa,
+            &self.base,
+        );
         self.last_moves = None;
         self.invalidate_memos();
         Ok(())

@@ -312,7 +312,7 @@ fn select_fractional(
             if movable <= 0 {
                 return None;
             }
-            let w_c = state.design.cell_width(f.cell, bin_u.die) as f64;
+            let w_c = state.cell_width(f.cell, bin_u.die) as f64;
             let delta = (state.disp_to(f.cell, bin_v) - state.disp_to(f.cell, bin_u)) as f64;
             let mut unit = delta / w_c;
             if params.clamp_negative {
@@ -378,7 +378,7 @@ fn select_whole(
         .frags_in(u)
         .iter()
         .filter_map(|f| {
-            let w_v = state.design.cell_width(f.cell, die_v);
+            let w_v = state.cell_width(f.cell, die_v);
             if w_v > seg_v.width() {
                 return None; // does not fit in the target segment at all
             }
@@ -401,7 +401,7 @@ fn select_whole(
     } else {
         i64::MAX
     };
-    let h_v = state.design.cell_height(die_v);
+    let h_v = state.cell_height(die_v);
     for (_, c_cost, cell, fw, w_v) in options {
         if removed >= needed {
             break;

@@ -3,7 +3,7 @@
 //! area accounting for the utilization constraint (§III-F).
 
 use crate::grid::{Bin, BinGrid, BinId};
-use flow3d_db::{CellId, Design, DieId, RowLayout};
+use flow3d_db::{CellId, Design, DieId, RowLayout, SoaView};
 use flow3d_geom::Point;
 
 /// A fragment: part (or all) of a cell's width assigned to one bin.
@@ -13,6 +13,47 @@ pub struct Frag {
     pub cell: CellId,
     /// Width of this fragment in DBU (the paper's `ρ_γ · w_c`).
     pub width: i64,
+}
+
+/// Where the legalization hot path reads cell geometry (widths and row
+/// heights) from.
+///
+/// The values are identical across variants by construction —
+/// [`SoaView`] copies them out of the [`Design`] — so switching the
+/// source never changes results, only the memory-access pattern. The
+/// id-map variant is kept as the differential-testing comparand (see
+/// `Flow3dConfig::soa_view`).
+#[derive(Debug, Clone)]
+pub enum GeomSource<'a> {
+    /// Borrow a prebuilt view (the driver and the resident ECO engine
+    /// build one per design and share it across passes).
+    Soa(&'a SoaView),
+    /// Own a geometry-only view built at state construction.
+    Owned(SoaView),
+    /// Reference path: chase the `Design` id maps on every lookup.
+    IdMap,
+}
+
+impl GeomSource<'_> {
+    /// Width of `cell` on `die`.
+    #[inline]
+    pub fn cell_width(&self, design: &Design, cell: CellId, die: DieId) -> i64 {
+        match self {
+            GeomSource::Soa(v) => v.cell_width(cell, die),
+            GeomSource::Owned(v) => v.cell_width(cell, die),
+            GeomSource::IdMap => design.cell_width(cell, die),
+        }
+    }
+
+    /// Row height of `die`.
+    #[inline]
+    pub fn cell_height(&self, design: &Design, die: DieId) -> i64 {
+        match self {
+            GeomSource::Soa(v) => v.cell_height(die),
+            GeomSource::Owned(v) => v.cell_height(die),
+            GeomSource::IdMap => design.cell_height(die),
+        }
+    }
 }
 
 /// The mutable state of a flow-based legalization pass.
@@ -37,18 +78,38 @@ pub struct FlowState<'a> {
     used_area: Vec<i64>,
     /// Utilization cap per die (`max_util · free_area`).
     allowed_area: Vec<i64>,
+    /// Geometry source for the hot path (SoA columns or id maps).
+    geom: GeomSource<'a>,
     /// Mutation counter: bumped by every public mutator. Caches keyed on
     /// state contents (the selection memo) validate against this.
     generation: u64,
 }
 
 impl<'a> FlowState<'a> {
-    /// Creates an empty state (no cells assigned).
+    /// Creates an empty state (no cells assigned) reading geometry from
+    /// an owned SoA view built here.
     pub fn new(
         design: &'a Design,
         layout: &'a RowLayout,
         grid: &'a BinGrid,
         anchor: Vec<Point>,
+    ) -> Self {
+        Self::with_geom(
+            design,
+            layout,
+            grid,
+            anchor,
+            GeomSource::Owned(SoaView::geometry(design)),
+        )
+    }
+
+    /// Creates an empty state reading geometry from `geom`.
+    pub fn with_geom(
+        design: &'a Design,
+        layout: &'a RowLayout,
+        grid: &'a BinGrid,
+        anchor: Vec<Point>,
+        geom: GeomSource<'a>,
     ) -> Self {
         assert_eq!(anchor.len(), design.num_cells());
         let allowed_area = (0..design.num_dies())
@@ -67,8 +128,22 @@ impl<'a> FlowState<'a> {
             anchor,
             used_area: vec![0; design.num_dies()],
             allowed_area,
+            geom,
             generation: 0,
         }
+    }
+
+    /// Width of `cell` on `die`, read through the configured geometry
+    /// source. Hot-path replacement for `Design::cell_width`.
+    #[inline]
+    pub fn cell_width(&self, cell: CellId, die: DieId) -> i64 {
+        self.geom.cell_width(self.design, cell, die)
+    }
+
+    /// Row height of `die`, read through the configured geometry source.
+    #[inline]
+    pub fn cell_height(&self, die: DieId) -> i64 {
+        self.geom.cell_height(self.design, die)
     }
 
     /// The mutation generation: incremented by every call to
@@ -184,7 +259,7 @@ impl<'a> FlowState<'a> {
         let seg_id = self.grid.bin(bin_hint).segment;
         let seg = self.layout.segment(seg_id);
         let die = seg.die;
-        let w = self.design.cell_width(cell, die);
+        let w = self.cell_width(cell, die);
         let x = seg
             .span
             .nearest_fit(desired_x, w)
@@ -197,7 +272,7 @@ impl<'a> FlowState<'a> {
                 self.add_frag(cell, bid, overlap);
             }
         }
-        self.used_area[die.index()] += w * self.design.cell_height(die);
+        self.used_area[die.index()] += w * self.cell_height(die);
     }
 
     /// Inserts the whole cell into one bin (whole-cell moves across rows
@@ -213,9 +288,9 @@ impl<'a> FlowState<'a> {
             "cell {cell} already assigned"
         );
         let die = self.grid.bin(bin).die;
-        let w = self.design.cell_width(cell, die);
+        let w = self.cell_width(cell, die);
         self.add_frag(cell, bin, w);
-        self.used_area[die.index()] += w * self.design.cell_height(die);
+        self.used_area[die.index()] += w * self.cell_height(die);
     }
 
     /// Removes every fragment of `cell`, returning its former die.
@@ -237,8 +312,8 @@ impl<'a> FlowState<'a> {
                 .expect("fragment list out of sync");
             list.swap_remove(pos);
         }
-        let w = self.design.cell_width(cell, die);
-        self.used_area[die.index()] -= w * self.design.cell_height(die);
+        let w = self.cell_width(cell, die);
+        self.used_area[die.index()] -= w * self.cell_height(die);
         die
     }
 

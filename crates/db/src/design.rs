@@ -362,81 +362,9 @@ impl DesignBuilder {
         if self.techs.is_empty() || self.dies.is_empty() {
             return Err(DbError::EmptyStack);
         }
-
-        // Technologies: unique names, aligned lib cell tables.
-        let mut techs = Vec::with_capacity(self.techs.len());
-        for spec in self.techs {
-            if techs.iter().any(|t: &Technology| t.name == spec.name) {
-                return Err(DbError::DuplicateName {
-                    kind: "technology",
-                    name: spec.name,
-                });
-            }
-            techs.push(Technology {
-                name: spec.name,
-                lib_cells: spec.lib_cells,
-            });
-        }
+        let techs = validate_techs(self.techs)?;
+        let dies = validate_dies(self.dies, &techs)?;
         let canon = &techs[0];
-        for t in &techs[1..] {
-            if t.lib_cells.len() != canon.lib_cells.len() {
-                return Err(DbError::MisalignedTechnologies {
-                    tech: t.name.clone(),
-                    detail: format!(
-                        "{} lib cells vs {} in `{}`",
-                        t.lib_cells.len(),
-                        canon.lib_cells.len(),
-                        canon.name
-                    ),
-                });
-            }
-            for (a, b) in t.lib_cells.iter().zip(&canon.lib_cells) {
-                if a.name != b.name || a.kind != b.kind || a.pins.len() != b.pins.len() {
-                    return Err(DbError::MisalignedTechnologies {
-                        tech: t.name.clone(),
-                        detail: format!("lib cell `{}` does not match `{}`", a.name, b.name),
-                    });
-                }
-            }
-        }
-
-        // Dies.
-        let mut dies = Vec::with_capacity(self.dies.len());
-        for spec in self.dies {
-            if dies.iter().any(|d: &Die| d.name == spec.name) {
-                return Err(DbError::DuplicateName {
-                    kind: "die",
-                    name: spec.name,
-                });
-            }
-            let tech_idx = techs
-                .iter()
-                .position(|t| t.name == spec.tech)
-                .ok_or_else(|| DbError::UnknownName {
-                    kind: "technology",
-                    name: spec.tech.clone(),
-                })?;
-            if spec.row_height <= 0 || spec.site_width <= 0 {
-                return Err(DbError::InvalidDie {
-                    die: spec.name,
-                    detail: "non-positive row height or site width".into(),
-                });
-            }
-            if !(spec.max_util > 0.0 && spec.max_util <= 1.0) {
-                return Err(DbError::InvalidDie {
-                    die: spec.name,
-                    detail: format!("max_util {} outside (0, 1]", spec.max_util),
-                });
-            }
-            dies.push(Die::with_uniform_rows(
-                spec.name,
-                TechId::new(tech_idx),
-                spec.outline,
-                spec.row_height,
-                spec.site_width,
-                spec.max_util,
-            ));
-        }
 
         // Instances.
         let lib_cell_index = |name: &str| -> Result<LibCellId, DbError> {
@@ -503,30 +431,7 @@ impl DesignBuilder {
             });
         }
 
-        // Macro placement validity: inside die, pairwise disjoint per die.
-        let rect_of = |m: &MacroInst| {
-            let tech = dies[m.die.index()].tech;
-            let lc = &techs[tech.index()].lib_cells[m.lib_cell.index()];
-            Rect::with_size(m.pos, lc.width, lc.height)
-        };
-        for (i, m) in macros.iter().enumerate() {
-            let r = rect_of(m);
-            let die = &dies[m.die.index()];
-            if !die.outline.contains_rect(&r) {
-                return Err(DbError::InvalidMacro {
-                    name: m.name.clone(),
-                    detail: format!("footprint {r} outside die outline {}", die.outline),
-                });
-            }
-            for other in &macros[..i] {
-                if other.die == m.die && rect_of(other).overlaps(&r) {
-                    return Err(DbError::InvalidMacro {
-                        name: m.name.clone(),
-                        detail: format!("overlaps macro `{}`", other.name),
-                    });
-                }
-            }
-        }
+        validate_macro_placements(&macros, &dies, &techs)?;
 
         // Nets.
         let mut nets = Vec::with_capacity(self.nets.len());
@@ -563,6 +468,293 @@ impl DesignBuilder {
 
         Ok(Design {
             name: self.name,
+            techs,
+            dies,
+            cells,
+            macros,
+            nets,
+            cell_names,
+            macro_names,
+            net_names,
+        })
+    }
+}
+
+/// Technologies: unique names, aligned lib cell tables.
+fn validate_techs(specs: Vec<TechnologySpec>) -> Result<Vec<Technology>, DbError> {
+    let mut techs = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if techs.iter().any(|t: &Technology| t.name == spec.name) {
+            return Err(DbError::DuplicateName {
+                kind: "technology",
+                name: spec.name,
+            });
+        }
+        techs.push(Technology {
+            name: spec.name,
+            lib_cells: spec.lib_cells,
+        });
+    }
+    let canon = &techs[0];
+    for t in &techs[1..] {
+        if t.lib_cells.len() != canon.lib_cells.len() {
+            return Err(DbError::MisalignedTechnologies {
+                tech: t.name.clone(),
+                detail: format!(
+                    "{} lib cells vs {} in `{}`",
+                    t.lib_cells.len(),
+                    canon.lib_cells.len(),
+                    canon.name
+                ),
+            });
+        }
+        for (a, b) in t.lib_cells.iter().zip(&canon.lib_cells) {
+            if a.name != b.name || a.kind != b.kind || a.pins.len() != b.pins.len() {
+                return Err(DbError::MisalignedTechnologies {
+                    tech: t.name.clone(),
+                    detail: format!("lib cell `{}` does not match `{}`", a.name, b.name),
+                });
+            }
+        }
+    }
+    Ok(techs)
+}
+
+/// Dies: unique names, known technologies, sane geometry and utilization.
+fn validate_dies(specs: Vec<DieSpec>, techs: &[Technology]) -> Result<Vec<Die>, DbError> {
+    let mut dies = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if dies.iter().any(|d: &Die| d.name == spec.name) {
+            return Err(DbError::DuplicateName {
+                kind: "die",
+                name: spec.name,
+            });
+        }
+        let tech_idx = techs
+            .iter()
+            .position(|t| t.name == spec.tech)
+            .ok_or_else(|| DbError::UnknownName {
+                kind: "technology",
+                name: spec.tech.clone(),
+            })?;
+        if spec.row_height <= 0 || spec.site_width <= 0 {
+            return Err(DbError::InvalidDie {
+                die: spec.name,
+                detail: "non-positive row height or site width".into(),
+            });
+        }
+        if !(spec.max_util > 0.0 && spec.max_util <= 1.0) {
+            return Err(DbError::InvalidDie {
+                die: spec.name,
+                detail: format!("max_util {} outside (0, 1]", spec.max_util),
+            });
+        }
+        dies.push(Die::with_uniform_rows(
+            spec.name,
+            TechId::new(tech_idx),
+            spec.outline,
+            spec.row_height,
+            spec.site_width,
+            spec.max_util,
+        ));
+    }
+    Ok(dies)
+}
+
+/// Macro placement validity: inside die, pairwise disjoint per die.
+fn validate_macro_placements(
+    macros: &[MacroInst],
+    dies: &[Die],
+    techs: &[Technology],
+) -> Result<(), DbError> {
+    let rect_of = |m: &MacroInst| {
+        let tech = dies[m.die.index()].tech;
+        let lc = &techs[tech.index()].lib_cells[m.lib_cell.index()];
+        Rect::with_size(m.pos, lc.width, lc.height)
+    };
+    for (i, m) in macros.iter().enumerate() {
+        let r = rect_of(m);
+        let die = &dies[m.die.index()];
+        if !die.outline.contains_rect(&r) {
+            return Err(DbError::InvalidMacro {
+                name: m.name.clone(),
+                detail: format!("footprint {r} outside die outline {}", die.outline),
+            });
+        }
+        for other in &macros[..i] {
+            if other.die == m.die && rect_of(other).overlaps(&r) {
+                return Err(DbError::InvalidMacro {
+                    name: m.name.clone(),
+                    detail: format!("overlaps macro `{}`", other.name),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolved, id-indexed construction input for [`Design::from_resolved`].
+///
+/// This is the handoff from a streaming parser that resolves names to
+/// ids *while reading*: cell `i` (`CellId::new(i)`) has lib cell
+/// `cell_libs[i]`, and `cell_names` is the finished name index that
+/// becomes the design's own lookup map verbatim — no instance-scale
+/// intermediate maps are rebuilt. Macros and nets arrive fully resolved
+/// ([`MacroInst`] / [`Net`] carry ids, not names).
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedCase {
+    /// Design name.
+    pub name: String,
+    /// Technology specs, first one canonical.
+    pub techs: Vec<TechnologySpec>,
+    /// Die specs in stack order (first is [`DieId::BOTTOM`]).
+    pub dies: Vec<DieSpec>,
+    /// Lib cell of cell `i`, parallel to `cell_names`'s ids.
+    pub cell_libs: Vec<LibCellId>,
+    /// Instance name → cell id; must map onto `0..cell_libs.len()`
+    /// bijectively.
+    pub cell_names: BTreeMap<String, CellId>,
+    /// Fixed macros in id order.
+    pub macros: Vec<MacroInst>,
+    /// Nets in id order, pins already resolved.
+    pub nets: Vec<Net>,
+}
+
+impl Design {
+    /// Builds a design from already-resolved parts, performing the same
+    /// validation as [`DesignBuilder::build`] minus the name→id
+    /// resolution the caller has done.
+    ///
+    /// # Errors
+    ///
+    /// Every [`DbError`] the builder raises, plus
+    /// [`DbError::InvalidResolved`] when an id is out of range or the
+    /// name index does not cover the cell list bijectively.
+    pub fn from_resolved(parts: ResolvedCase) -> Result<Design, DbError> {
+        if parts.techs.is_empty() || parts.dies.is_empty() {
+            return Err(DbError::EmptyStack);
+        }
+        let techs = validate_techs(parts.techs)?;
+        let dies = validate_dies(parts.dies, &techs)?;
+        let canon = &techs[0];
+
+        let check_lib = |id: LibCellId, owner: &dyn Fn() -> String| -> Result<(), DbError> {
+            if id.index() >= canon.lib_cells.len() {
+                return Err(DbError::InvalidResolved {
+                    detail: format!("lib cell id {id} out of range for `{}`", owner()),
+                });
+            }
+            Ok(())
+        };
+
+        // Cells: the name index must cover 0..n exactly once each, and
+        // every lib id must name a standard (non-macro) cell.
+        let n = parts.cell_libs.len();
+        if parts.cell_names.len() != n {
+            return Err(DbError::InvalidResolved {
+                detail: format!("{} cell names for {} cells", parts.cell_names.len(), n),
+            });
+        }
+        let mut names: Vec<Option<&String>> = vec![None; n];
+        for (name, id) in &parts.cell_names {
+            let slot = names
+                .get_mut(id.index())
+                .ok_or_else(|| DbError::InvalidResolved {
+                    detail: format!("cell id {id} out of range for `{name}`"),
+                })?;
+            if slot.replace(name).is_some() {
+                return Err(DbError::InvalidResolved {
+                    detail: format!("cell id {id} mapped twice (`{name}`)"),
+                });
+            }
+        }
+        let mut cells = Vec::with_capacity(n);
+        for (&lib_cell, slot) in parts.cell_libs.iter().zip(&names) {
+            // flow3d-tidy: allow(panic-unwrap) — invariant: the map has n entries, every id in range and none repeated, so pigeonhole fills every slot
+            let name = slot.expect("name index covers every cell id");
+            check_lib(lib_cell, &|| name.clone())?;
+            if canon.lib_cells[lib_cell.index()].is_macro() {
+                return Err(DbError::InvalidMacro {
+                    name: name.clone(),
+                    detail: "macro lib cell used for a movable cell instance".into(),
+                });
+            }
+            cells.push(CellInst {
+                name: name.clone(),
+                lib_cell,
+            });
+        }
+        let cell_names = parts.cell_names;
+
+        // Macros: unique instance names, macro-kind libs, known dies.
+        let mut macro_names = BTreeMap::new();
+        for (i, m) in parts.macros.iter().enumerate() {
+            check_lib(m.lib_cell, &|| m.name.clone())?;
+            if !canon.lib_cells[m.lib_cell.index()].is_macro() {
+                return Err(DbError::InvalidMacro {
+                    name: m.name.clone(),
+                    detail: "standard lib cell used for a fixed macro instance".into(),
+                });
+            }
+            if m.die.index() >= dies.len() {
+                return Err(DbError::InvalidResolved {
+                    detail: format!("die id {} out of range for `{}`", m.die, m.name),
+                });
+            }
+            if cell_names.contains_key(&m.name)
+                || macro_names
+                    .insert(m.name.clone(), MacroId::new(i))
+                    .is_some()
+            {
+                return Err(DbError::DuplicateName {
+                    kind: "instance",
+                    name: m.name.clone(),
+                });
+            }
+        }
+        let macros = parts.macros;
+        validate_macro_placements(&macros, &dies, &techs)?;
+
+        // Nets: unique names, in-range instance ids and pin indices.
+        let mut net_names = BTreeMap::new();
+        for (i, net) in parts.nets.iter().enumerate() {
+            for pin in &net.pins {
+                let (lib_cell, inst_name) = match pin.inst {
+                    InstRef::Cell(c) => match cells.get(c.index()) {
+                        Some(ci) => (ci.lib_cell, &ci.name),
+                        None => {
+                            return Err(DbError::InvalidResolved {
+                                detail: format!("cell id {c} out of range in net `{}`", net.name),
+                            })
+                        }
+                    },
+                    InstRef::Macro(m) => match macros.get(m.index()) {
+                        Some(mi) => (mi.lib_cell, &mi.name),
+                        None => {
+                            return Err(DbError::InvalidResolved {
+                                detail: format!("macro id {m} out of range in net `{}`", net.name),
+                            })
+                        }
+                    },
+                };
+                if pin.pin >= canon.lib_cells[lib_cell.index()].pins.len() {
+                    return Err(DbError::InvalidPin {
+                        inst: inst_name.clone(),
+                        pin: pin.pin,
+                    });
+                }
+            }
+            if net_names.insert(net.name.clone(), NetId::new(i)).is_some() {
+                return Err(DbError::DuplicateName {
+                    kind: "net",
+                    name: net.name.clone(),
+                });
+            }
+        }
+        let nets = parts.nets;
+
+        Ok(Design {
+            name: parts.name,
             techs,
             dies,
             cells,

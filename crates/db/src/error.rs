@@ -53,6 +53,14 @@ pub enum DbError {
     },
     /// The design has no dies or no technologies.
     EmptyStack,
+    /// Pre-resolved construction input
+    /// ([`ResolvedCase`](crate::ResolvedCase)) is internally
+    /// inconsistent: an id out of range, or a name index that does not
+    /// cover its id space bijectively.
+    InvalidResolved {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -80,6 +88,9 @@ impl fmt::Display for DbError {
                 write!(f, "invalid macro `{name}`: {detail}")
             }
             DbError::EmptyStack => write!(f, "design has no dies or no technologies"),
+            DbError::InvalidResolved { detail } => {
+                write!(f, "inconsistent resolved design parts: {detail}")
+            }
         }
     }
 }

@@ -20,6 +20,12 @@
 //! * [`Placement3d`] — a continuous global placement (positions plus soft
 //!   die affinity) as produced by a true-3D analytical placer, and
 //!   [`LegalPlacement`] — the discrete output of a legalizer.
+//! * [`SoaView`] — a flat structure-of-arrays projection of the design
+//!   (parallel `Vec<i64>` columns for width / height / target / die /
+//!   row, u32-indexed) that the legalization hot path reads instead of
+//!   chasing the id maps. [`ResolvedCase`] is the mirror-image input
+//!   side: id-resolved parts a streaming parser hands to
+//!   [`Design::from_resolved`].
 //!
 //! # Examples
 //!
@@ -50,12 +56,16 @@ pub mod error;
 pub mod ids;
 pub mod layout;
 pub mod placement;
+pub mod soa;
 pub mod tech;
 
-pub use design::{CellInst, Design, DesignBuilder, DieSpec, InstRef, MacroInst, Net, PinRef};
+pub use design::{
+    CellInst, Design, DesignBuilder, DieSpec, InstRef, MacroInst, Net, PinRef, ResolvedCase,
+};
 pub use die::{Die, Row};
 pub use error::DbError;
 pub use ids::{CellId, DieId, LibCellId, MacroId, NetId, RowId, SegmentId, TechId};
 pub use layout::{RowLayout, Segment};
 pub use placement::{LegalPlacement, Placement3d};
+pub use soa::SoaView;
 pub use tech::{LibCell, LibCellKind, LibCellSpec, PinDef, Technology, TechnologySpec};

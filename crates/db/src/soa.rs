@@ -1,0 +1,310 @@
+//! Flat structure-of-arrays legalization view.
+//!
+//! [`Design`] is id-map shaped: reading a cell's width on a die chases
+//! `cells[cell] -> lib_cell -> dies[die].tech -> techs[tech].lib_cells`
+//! through three indirections. That is the right shape for construction
+//! and validation, but the legalization hot path reads the same few
+//! scalars millions of times. [`SoaView`] flattens everything the flow
+//! engine needs into parallel, u32-indexed columns — one contiguous
+//! `Vec<i64>` per attribute, in the style of Coloquinte's legalizer
+//! (`cellWidth_` / `targetX_` / `cellToRow_`) — so the inner loops read
+//! columns instead of walking maps.
+//!
+//! # Columns
+//!
+//! * `width` — cell width per `(die, cell)`, die-major
+//!   (`die * num_cells + cell`); heterogeneous stacks give each die its
+//!   own width row.
+//! * `row_height` — per die (every standard cell is one row tall).
+//! * `target_x` / `target_y` — the rounded global-placement anchor per
+//!   cell, identical to the legalizer's displacement reference.
+//! * `die` — the nearest-die snap of the global placement per cell
+//!   (the flow pass's initial assignment input).
+//! * `row` — the row band on that die containing the cell's target,
+//!   clamped to the die.
+//!
+//! # Build / invalidation rules
+//!
+//! A view is built **once** per `(design, global placement)` pair and is
+//! immutable afterwards; it holds no back-references, so it can be kept
+//! resident (e.g. by a serving engine) for as long as the design lives.
+//! Any change to the design's libraries, dies, or cell list — or a new
+//! global placement — invalidates the view; rebuild it. The geometry
+//! columns ([`SoaView::geometry`] builds only those) depend on the
+//! design alone and survive placement changes.
+
+use crate::design::Design;
+use crate::ids::{CellId, DieId};
+use crate::placement::Placement3d;
+use flow3d_geom::Point;
+
+/// Flat, u32-indexed parallel columns of everything the legalization hot
+/// path reads per cell. See the [module docs](self) for the layout and
+/// the build/invalidation rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaView {
+    num_cells: usize,
+    /// Cell width per `(die, cell)`, die-major.
+    width: Vec<i64>,
+    /// Row (= standard cell) height per die.
+    row_height: Vec<i64>,
+    /// Rounded anchor x per cell; empty in geometry-only views.
+    target_x: Vec<i64>,
+    /// Rounded anchor y per cell; empty in geometry-only views.
+    target_y: Vec<i64>,
+    /// Nearest-die snap per cell; empty in geometry-only views.
+    die: Vec<u8>,
+    /// Row band of the target on the snapped die; empty in
+    /// geometry-only views.
+    row: Vec<u32>,
+}
+
+impl SoaView {
+    /// Builds the full view from a design and its global placement:
+    /// geometry columns plus per-cell targets, die snaps, and row bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` does not cover exactly the design's cells.
+    pub fn build(design: &Design, global: &Placement3d) -> Self {
+        let n = design.num_cells();
+        assert_eq!(
+            global.num_cells(),
+            n,
+            "global placement does not match the design"
+        );
+        let mut view = Self::geometry(design);
+        view.target_x = Vec::with_capacity(n);
+        view.target_y = Vec::with_capacity(n);
+        view.die = Vec::with_capacity(n);
+        view.row = Vec::with_capacity(n);
+        let num_dies = design.num_dies();
+        for i in 0..n {
+            let cell = CellId::new(i);
+            let anchor = global.pos(cell).round();
+            let die = global.nearest_die(cell, num_dies);
+            let d = design.die(die);
+            let band = (anchor.y - d.outline.ylo).div_euclid(d.row_height);
+            let row = band.clamp(0, (d.num_rows() as i64 - 1).max(0)) as u32;
+            view.target_x.push(anchor.x);
+            view.target_y.push(anchor.y);
+            view.die.push(die.0);
+            view.row.push(row);
+        }
+        view
+    }
+
+    /// Builds only the geometry columns (`width`, `row_height`), which
+    /// depend on the design alone. Target/die/row columns stay empty;
+    /// their accessors panic. This is the right view for incremental
+    /// paths that have no global placement.
+    pub fn geometry(design: &Design) -> Self {
+        let n = design.num_cells();
+        let num_dies = design.num_dies();
+        let mut width = Vec::with_capacity(num_dies * n);
+        let mut row_height = Vec::with_capacity(num_dies);
+        for d in 0..num_dies {
+            let die = DieId::new(d);
+            row_height.push(design.cell_height(die));
+            // One pass per die resolves the tech indirection once and
+            // then streams the per-cell lib lookups.
+            for cell in design.cells() {
+                width.push(design.lib_cell_on(cell.lib_cell, die).width);
+            }
+        }
+        Self {
+            num_cells: n,
+            width,
+            row_height,
+            target_x: Vec::new(),
+            target_y: Vec::new(),
+            die: Vec::new(),
+            row: Vec::new(),
+        }
+    }
+
+    /// Number of cells covered by the view.
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Number of dies covered by the view.
+    pub fn num_dies(&self) -> usize {
+        self.row_height.len()
+    }
+
+    /// `true` when the placement-dependent columns (`target_x`,
+    /// `target_y`, `die`, `row`) are populated.
+    pub fn has_targets(&self) -> bool {
+        self.target_x.len() == self.num_cells
+    }
+
+    /// Width of `cell` on `die` — one flat load, no map chasing.
+    #[inline]
+    pub fn cell_width(&self, cell: CellId, die: DieId) -> i64 {
+        self.width[die.index() * self.num_cells + cell.index()]
+    }
+
+    /// Height of any standard cell on `die` (the die's row height).
+    #[inline]
+    pub fn cell_height(&self, die: DieId) -> i64 {
+        self.row_height[die.index()]
+    }
+
+    /// The whole width column of `die`, indexed by cell id — the shape a
+    /// SIMD or GPU kernel consumes directly.
+    pub fn width_column(&self, die: DieId) -> &[i64] {
+        let lo = die.index() * self.num_cells;
+        &self.width[lo..lo + self.num_cells]
+    }
+
+    /// Rounded global-placement anchor of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry-only view (see [`has_targets`](Self::has_targets)).
+    #[inline]
+    pub fn target(&self, cell: CellId) -> Point {
+        Point::new(self.target_x[cell.index()], self.target_y[cell.index()])
+    }
+
+    /// Nearest-die snap of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry-only view (see [`has_targets`](Self::has_targets)).
+    #[inline]
+    pub fn assigned_die(&self, cell: CellId) -> DieId {
+        DieId(self.die[cell.index()])
+    }
+
+    /// Row band of `cell`'s target on its snapped die.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry-only view (see [`has_targets`](Self::has_targets)).
+    #[inline]
+    pub fn assigned_row(&self, cell: CellId) -> u32 {
+        self.row[cell.index()]
+    }
+
+    /// Checks every column against the id-map accessors it flattens.
+    /// `global` is required iff the view [`has_targets`](Self::has_targets).
+    /// Used by the equivalence test battery; O(dies × cells).
+    pub fn is_consistent(&self, design: &Design, global: Option<&Placement3d>) -> bool {
+        if self.num_cells != design.num_cells() || self.num_dies() != design.num_dies() {
+            return false;
+        }
+        for d in 0..design.num_dies() {
+            let die = DieId::new(d);
+            if self.cell_height(die) != design.cell_height(die) {
+                return false;
+            }
+            for i in 0..self.num_cells {
+                let cell = CellId::new(i);
+                if self.cell_width(cell, die) != design.cell_width(cell, die) {
+                    return false;
+                }
+            }
+        }
+        match (self.has_targets(), global) {
+            (false, _) => self.target_x.is_empty() && self.die.is_empty() && self.row.is_empty(),
+            (true, None) => false,
+            (true, Some(gp)) => {
+                if gp.num_cells() != self.num_cells {
+                    return false;
+                }
+                (0..self.num_cells).all(|i| {
+                    let cell = CellId::new(i);
+                    self.target(cell) == gp.pos(cell).round()
+                        && self.assigned_die(cell) == gp.nearest_die(cell, design.num_dies())
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignBuilder, DieSpec};
+    use crate::tech::{LibCellSpec, TechnologySpec};
+    use flow3d_geom::FPoint;
+
+    fn hetero_design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("soa")
+            .technology(
+                TechnologySpec::new("TA")
+                    .lib_cell(LibCellSpec::std_cell("INV", 10, 12))
+                    .lib_cell(LibCellSpec::std_cell("BUF", 14, 12)),
+            )
+            .technology(
+                TechnologySpec::new("TB")
+                    .lib_cell(LibCellSpec::std_cell("INV", 8, 10))
+                    .lib_cell(LibCellSpec::std_cell("BUF", 11, 10)),
+            )
+            .die(DieSpec::new("bottom", "TA", (0, 0, 500, 120), 12, 1, 0.9))
+            .die(DieSpec::new("top", "TB", (0, 0, 500, 120), 10, 1, 0.9));
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), if i % 3 == 0 { "BUF" } else { "INV" });
+        }
+        b.build().unwrap()
+    }
+
+    fn spread_placement(n: usize) -> Placement3d {
+        let mut gp = Placement3d::new(n);
+        for i in 0..n {
+            let cell = CellId::new(i);
+            gp.set_pos(cell, FPoint::new(i as f64 * 7.3, (i % 11) as f64 * 11.6));
+            gp.set_die_affinity(cell, (i % 2) as f64 * 0.9);
+        }
+        gp
+    }
+
+    #[test]
+    fn full_view_matches_the_id_map_accessors() {
+        let d = hetero_design(40);
+        let gp = spread_placement(40);
+        let view = SoaView::build(&d, &gp);
+        assert!(view.has_targets());
+        assert!(view.is_consistent(&d, Some(&gp)));
+        // Spot-check the hetero widths through both paths.
+        let c = CellId::new(0); // a BUF
+        assert_eq!(view.cell_width(c, DieId::BOTTOM), 14);
+        assert_eq!(view.cell_width(c, DieId::TOP), 11);
+        assert_eq!(view.cell_height(DieId::TOP), 10);
+    }
+
+    #[test]
+    fn geometry_view_has_no_targets() {
+        let d = hetero_design(8);
+        let view = SoaView::geometry(&d);
+        assert!(!view.has_targets());
+        assert!(view.is_consistent(&d, None));
+        assert_eq!(view.width_column(DieId::BOTTOM).len(), 8);
+        assert_eq!(view.width_column(DieId::TOP)[1], 8); // INV on TB
+    }
+
+    #[test]
+    fn row_bands_are_clamped_to_the_die() {
+        let d = hetero_design(4);
+        let mut gp = spread_placement(4);
+        gp.set_pos(CellId::new(0), FPoint::new(0.0, -50.0));
+        gp.set_pos(CellId::new(1), FPoint::new(0.0, 10_000.0));
+        gp.set_die_affinity(CellId::new(0), 0.0);
+        gp.set_die_affinity(CellId::new(1), 0.0);
+        let view = SoaView::build(&d, &gp);
+        assert_eq!(view.assigned_row(CellId::new(0)), 0);
+        // Bottom die: 120 tall, row height 12 -> rows 0..10.
+        assert_eq!(view.assigned_row(CellId::new(1)), 9);
+    }
+
+    #[test]
+    fn consistency_check_catches_divergence() {
+        let d = hetero_design(6);
+        let gp = spread_placement(6);
+        let mut view = SoaView::build(&d, &gp);
+        view.width[0] += 1;
+        assert!(!view.is_consistent(&d, Some(&gp)));
+    }
+}

@@ -202,6 +202,37 @@ impl GeneratorConfig {
         })
     }
 
+    /// Million-cell scaling family: synthetic cases beyond the contest
+    /// suites, sized to exercise the streaming reader and the SoA
+    /// legalization view at memory-bound scale. Returns `None` for
+    /// unknown case names; see [`crate::MILLION_CASES`].
+    ///
+    /// The `m1`/`m1h` rows carry one million standard cells (`h` =
+    /// heterogeneous row heights, like the contest `h` rows); `m2`
+    /// doubles that. Generate CI-sized slices with
+    /// [`scale`](Self::scale) < 1 — the golden-hash tests pin the family
+    /// at `scale = 0.01`, and the `#[ignore]`d smoke tests run it full.
+    pub fn million(case: &str) -> Option<Self> {
+        let (cells, macros, nets, ht, hb) = match case {
+            "m1" => (1_000_000, 0, 1_050_000, 92, 92),
+            "m1h" => (1_000_000, 16, 1_050_000, 92, 115),
+            "m2" => (2_000_000, 0, 2_100_000, 92, 92),
+            _ => return None,
+        };
+        Some(Self {
+            name: format!("million_{case}"),
+            seed: 0x100_0000 ^ fxhash(case),
+            num_cells: cells,
+            num_macros: macros,
+            num_nets: nets,
+            row_height_top: ht,
+            row_height_bottom: hb,
+            num_lib_cells: 32,
+            num_clusters: 64,
+            ..Self::default()
+        })
+    }
+
     /// Scaled cell count after applying [`scale`](Self::scale).
     pub fn scaled_cells(&self) -> usize {
         ((self.num_cells as f64 * self.scale) as usize).max(1)
@@ -364,8 +395,24 @@ mod tests {
         for c in crate::ICCAD2023_CASES {
             assert!(GeneratorConfig::iccad2023(c).is_some(), "{c}");
         }
+        for c in crate::MILLION_CASES {
+            assert!(GeneratorConfig::million(c).is_some(), "{c}");
+        }
         assert!(GeneratorConfig::iccad2022("case9").is_none());
         assert!(GeneratorConfig::iccad2023("case9").is_none());
+        assert!(GeneratorConfig::million("m9").is_none());
+    }
+
+    #[test]
+    fn million_presets_carry_seven_figures() {
+        for c in crate::MILLION_CASES {
+            let cfg = GeneratorConfig::million(c).unwrap();
+            assert!(cfg.num_cells >= 1_000_000, "{c}: {}", cfg.num_cells);
+            assert!(cfg.num_nets > cfg.num_cells, "{c}");
+        }
+        let het = GeneratorConfig::million("m1h").unwrap();
+        assert_ne!(het.row_height_top, het.row_height_bottom);
+        assert!(het.num_macros > 0);
     }
 
     #[test]

@@ -40,3 +40,7 @@ pub const ICCAD2022_CASES: [&str; 6] = ["case2", "case2h", "case3", "case3h", "c
 pub const ICCAD2023_CASES: [&str; 7] = [
     "case2", "case2h1", "case2h2", "case3", "case3h", "case4", "case4h",
 ];
+
+/// Names of the million-cell scaling family (beyond the contest suites;
+/// see [`GeneratorConfig::million`]).
+pub const MILLION_CASES: [&str; 3] = ["m1", "m1h", "m2"];

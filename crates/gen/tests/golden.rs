@@ -23,6 +23,11 @@ fn case_hash(cfg: &GeneratorConfig) -> u64 {
 
 const SMALL_DEMO_SEED1_HASH: u64 = 6_750_976_735_181_162_110;
 const ICCAD2022_CASE2_HASH: u64 = 7_470_959_955_042_146_623;
+// The million family pinned at scale = 0.01 (10k/20k cells): cheap
+// enough for CI, still the exact code path the full-size cases take.
+const MILLION_M1_SCALE001_HASH: u64 = 11_381_635_972_017_256_235;
+const MILLION_M1H_SCALE001_HASH: u64 = 13_173_355_869_758_790_387;
+const MILLION_M2_SCALE001_HASH: u64 = 10_788_629_626_277_523_218;
 
 #[test]
 fn small_demo_case_content_is_pinned() {
@@ -48,4 +53,36 @@ fn table2_scale_case_content_is_pinned() {
 fn repeated_generation_hashes_identically() {
     let cfg = GeneratorConfig::small_demo(33);
     assert_eq!(case_hash(&cfg), case_hash(&cfg));
+}
+
+#[test]
+fn million_family_content_is_pinned_at_ci_scale() {
+    for (case, expected) in [
+        ("m1", MILLION_M1_SCALE001_HASH),
+        ("m1h", MILLION_M1H_SCALE001_HASH),
+        ("m2", MILLION_M2_SCALE001_HASH),
+    ] {
+        let mut cfg = GeneratorConfig::million(case).unwrap();
+        cfg.scale = 0.01;
+        assert_eq!(
+            case_hash(&cfg),
+            expected,
+            "million {case} (scale 0.01) content changed; if intentional, update the pinned hash"
+        );
+    }
+}
+
+/// Full-size smoke: one million cells generate, serialize, and re-parse
+/// through the streaming reader. Minutes of work — run explicitly with
+/// `cargo test -p flow3d-gen -- --ignored`.
+#[test]
+#[ignore = "full-size million-cell generation; run with -- --ignored"]
+fn million_m1_generates_at_full_size() {
+    let cfg = GeneratorConfig::million("m1").unwrap();
+    let case = cfg.generate().expect("million m1 generation failed");
+    assert!(case.design.num_cells() >= 1_000_000);
+    let mut text = String::new();
+    flow3d_io::write_case(&case.design, &mut text).expect("serialize");
+    let reparsed = flow3d_io::parse_case_reader(text.as_bytes()).expect("streaming reparse");
+    assert_eq!(reparsed, case.design);
 }

@@ -1,9 +1,7 @@
 //! Case file format: the full design description.
 
 use crate::error::IoError;
-use crate::reader::LineReader;
-use flow3d_db::{Design, DesignBuilder, DieSpec, LibCellSpec, TechnologySpec};
-use std::collections::BTreeMap;
+use flow3d_db::Design;
 use std::fmt::Write;
 
 /// Parses a case file into a validated [`Design`].
@@ -12,270 +10,17 @@ use std::fmt::Write;
 /// optional `TopDieSiteWidth` / `BottomDieSiteWidth` lines (default 1)
 /// extend the contest grammar with an explicit site grid.
 ///
+/// This is a thin wrapper over the streaming reader
+/// ([`parse_case_reader`](crate::parse_case_reader)) for callers that
+/// already hold the text in memory; for million-cell files, stream from
+/// the file instead of reading it into a `String` first.
+///
 /// # Errors
 ///
 /// Returns [`IoError::Parse`] with a line number for syntax errors and
 /// [`IoError::Db`] if the file describes an inconsistent design.
 pub fn parse_case(text: &str) -> Result<Design, IoError> {
-    let mut r = LineReader::new(text);
-
-    // --- Optional design name, then technologies --------------------------
-    let mut toks = r.expect_line("DesignName or NumTechnologies")?;
-    let mut design_name = String::from("case");
-    if toks.first() == Some(&"DesignName") {
-        design_name = r.field(&toks, 1, "design name")?;
-        toks = r.expect_line("NumTechnologies")?;
-    }
-    r.expect_keyword(&toks, "NumTechnologies")?;
-    let num_techs: usize = r.field(&toks, 1, "technology count")?;
-
-    let mut tech_specs = Vec::with_capacity(num_techs);
-    // lib cell name -> pin names (from the first tech) for net resolution.
-    let mut pin_names: BTreeMap<String, Vec<String>> = BTreeMap::new();
-    // lib cell name -> is_macro
-    let mut is_macro: BTreeMap<String, bool> = BTreeMap::new();
-
-    for t in 0..num_techs {
-        let toks = r.expect_line("Tech")?;
-        r.expect_keyword(&toks, "Tech")?;
-        let tech_name: String = r.field(&toks, 1, "technology name")?;
-        let num_cells: usize = r.field(&toks, 2, "lib cell count")?;
-        let mut spec = TechnologySpec::new(&tech_name);
-        for _ in 0..num_cells {
-            let toks = r.expect_line("LibCell")?;
-            r.expect_keyword(&toks, "LibCell")?;
-            r.expect_len(&toks, 6)?;
-            let macro_flag = match toks[1] {
-                "Y" => true,
-                "N" => false,
-                other => {
-                    return Err(IoError::parse(
-                        r.line_no,
-                        format!("macro flag must be Y or N, found `{other}`"),
-                    ))
-                }
-            };
-            let name: String = r.field(&toks, 2, "lib cell name")?;
-            let sx: i64 = r.field(&toks, 3, "sizeX")?;
-            let sy: i64 = r.field(&toks, 4, "sizeY")?;
-            let num_pins: usize = r.field(&toks, 5, "pin count")?;
-            let mut cell = if macro_flag {
-                LibCellSpec::macro_cell(&name, sx, sy)
-            } else {
-                LibCellSpec::std_cell(&name, sx, sy)
-            };
-            let mut names = Vec::with_capacity(num_pins);
-            for _ in 0..num_pins {
-                let toks = r.expect_line("Pin")?;
-                r.expect_keyword(&toks, "Pin")?;
-                r.expect_len(&toks, 4)?;
-                let pname: String = r.field(&toks, 1, "pin name")?;
-                let dx: i64 = r.field(&toks, 2, "pin offsetX")?;
-                let dy: i64 = r.field(&toks, 3, "pin offsetY")?;
-                cell = cell.pin(&pname, dx, dy);
-                names.push(pname);
-            }
-            if t == 0 {
-                pin_names.insert(name.clone(), names);
-                is_macro.insert(name.clone(), macro_flag);
-            }
-            spec = spec.lib_cell(cell);
-        }
-        tech_specs.push(spec);
-    }
-
-    // --- Die description ---------------------------------------------------
-    let toks = r.expect_line("DieSize")?;
-    r.expect_keyword(&toks, "DieSize")?;
-    let _die: (i64, i64, i64, i64) = (
-        r.field(&toks, 1, "die xlo")?,
-        r.field(&toks, 2, "die ylo")?,
-        r.field(&toks, 3, "die xhi")?,
-        r.field(&toks, 4, "die yhi")?,
-    );
-
-    let mut top_util = 100.0f64;
-    let mut bottom_util = 100.0f64;
-    let mut top_rows: Option<(i64, i64, i64, i64, i64)> = None;
-    let mut bottom_rows: Option<(i64, i64, i64, i64, i64)> = None;
-    let mut top_tech: Option<String> = None;
-    let mut bottom_tech: Option<String> = None;
-    let mut top_site = 1i64;
-    let mut bottom_site = 1i64;
-
-    let num_instances = loop {
-        let toks = r.expect_line("die description or NumInstances")?;
-        match toks[0] {
-            "TopDieMaxUtil" => top_util = r.field(&toks, 1, "top utilization")?,
-            "BottomDieMaxUtil" => bottom_util = r.field(&toks, 1, "bottom utilization")?,
-            "TopDieRows" | "BottomDieRows" => {
-                let rows = (
-                    r.field(&toks, 1, "row startX")?,
-                    r.field(&toks, 2, "row startY")?,
-                    r.field(&toks, 3, "row length")?,
-                    r.field(&toks, 4, "row height")?,
-                    r.field(&toks, 5, "row repeat")?,
-                );
-                if toks[0] == "TopDieRows" {
-                    top_rows = Some(rows);
-                } else {
-                    bottom_rows = Some(rows);
-                }
-            }
-            "TopDieTech" => top_tech = Some(r.field(&toks, 1, "top technology")?),
-            "BottomDieTech" => bottom_tech = Some(r.field(&toks, 1, "bottom technology")?),
-            "TopDieSiteWidth" => top_site = r.field(&toks, 1, "top site width")?,
-            "BottomDieSiteWidth" => bottom_site = r.field(&toks, 1, "bottom site width")?,
-            "TerminalSize" | "TerminalSpacing" | "TerminalCost" => {
-                // Hybrid-bonding terminal parameters: accepted, not used by
-                // the legalizer (terminal assignment is a separate problem).
-            }
-            "NumInstances" => break r.field::<usize>(&toks, 1, "instance count")?,
-            other => {
-                return Err(IoError::parse(
-                    r.line_no,
-                    format!("unexpected keyword `{other}` in die description"),
-                ))
-            }
-        }
-    };
-
-    let line_no = r.line_no;
-    let missing =
-        |what: &str| IoError::parse(line_no, format!("missing {what} before NumInstances"));
-    let top_rows = top_rows.ok_or_else(|| missing("TopDieRows"))?;
-    let bottom_rows = bottom_rows.ok_or_else(|| missing("BottomDieRows"))?;
-    let top_tech = top_tech.ok_or_else(|| missing("TopDieTech"))?;
-    let bottom_tech = bottom_tech.ok_or_else(|| missing("BottomDieTech"))?;
-
-    let die_spec =
-        |name: &str, tech: &str, rows: (i64, i64, i64, i64, i64), site: i64, util: f64| {
-            let (sx, sy, len, h, rep) = rows;
-            DieSpec::new(
-                name,
-                tech,
-                (sx, sy, sx + len, sy + h * rep),
-                h,
-                site,
-                util / 100.0,
-            )
-        };
-
-    let mut builder = DesignBuilder::new(design_name);
-    for spec in tech_specs {
-        builder = builder.technology(spec);
-    }
-    // Die 0 = bottom, die 1 = top.
-    builder = builder
-        .die(die_spec(
-            "bottom",
-            &bottom_tech,
-            bottom_rows,
-            bottom_site,
-            bottom_util,
-        ))
-        .die(die_spec("top", &top_tech, top_rows, top_site, top_util));
-
-    // --- Instances ----------------------------------------------------------
-    // Split std cells from macros; macro positions arrive later.
-    let mut inst_lib: BTreeMap<String, String> = BTreeMap::new();
-    let mut macro_insts: Vec<String> = Vec::new();
-    for _ in 0..num_instances {
-        let toks = r.expect_line("Inst")?;
-        r.expect_keyword(&toks, "Inst")?;
-        r.expect_len(&toks, 3)?;
-        let name: String = r.field(&toks, 1, "instance name")?;
-        let lib: String = r.field(&toks, 2, "lib cell name")?;
-        let mac = *is_macro
-            .get(&lib)
-            .ok_or_else(|| IoError::parse(r.line_no, format!("unknown lib cell `{lib}`")))?;
-        if mac {
-            macro_insts.push(name.clone());
-        } else {
-            builder = builder.cell(&name, &lib);
-        }
-        inst_lib.insert(name, lib);
-    }
-
-    // --- Nets ----------------------------------------------------------------
-    let toks = r.expect_line("NumNets")?;
-    r.expect_keyword(&toks, "NumNets")?;
-    let num_nets: usize = r.field(&toks, 1, "net count")?;
-    for _ in 0..num_nets {
-        let toks = r.expect_line("Net")?;
-        r.expect_keyword(&toks, "Net")?;
-        let net_name: String = r.field(&toks, 1, "net name")?;
-        let num_pins: usize = r.field(&toks, 2, "net pin count")?;
-        let mut pins: Vec<(String, usize)> = Vec::with_capacity(num_pins);
-        for _ in 0..num_pins {
-            let toks = r.expect_line("Pin")?;
-            r.expect_keyword(&toks, "Pin")?;
-            r.expect_len(&toks, 2)?;
-            let spec = toks[1];
-            let (inst, pin_name) = spec.split_once('/').ok_or_else(|| {
-                IoError::parse(r.line_no, format!("pin `{spec}` missing `/` separator"))
-            })?;
-            let lib = inst_lib.get(inst).ok_or_else(|| {
-                IoError::parse(
-                    r.line_no,
-                    format!("pin references unknown instance `{inst}`"),
-                )
-            })?;
-            let idx = pin_names[lib]
-                .iter()
-                .position(|p| p == pin_name)
-                .ok_or_else(|| {
-                    IoError::parse(
-                        r.line_no,
-                        format!("lib cell `{lib}` has no pin `{pin_name}`"),
-                    )
-                })?;
-            pins.push((inst.to_string(), idx));
-        }
-        let pin_refs: Vec<(&str, usize)> = pins.iter().map(|(s, i)| (s.as_str(), *i)).collect();
-        builder = builder.net(&net_name, &pin_refs);
-    }
-
-    // --- Fixed macro positions (extension section) ----------------------------
-    let mut placed: BTreeMap<String, (i64, i64, String)> = BTreeMap::new();
-    if let Some(toks) = r.next_line() {
-        r.expect_keyword(&toks, "NumMacroPositions")?;
-        let n: usize = r.field(&toks, 1, "macro position count")?;
-        for _ in 0..n {
-            let toks = r.expect_line("MacroPos")?;
-            r.expect_keyword(&toks, "MacroPos")?;
-            r.expect_len(&toks, 5)?;
-            let name: String = r.field(&toks, 1, "macro name")?;
-            let x: i64 = r.field(&toks, 2, "macro x")?;
-            let y: i64 = r.field(&toks, 3, "macro y")?;
-            let die: String = r.field(&toks, 4, "macro die")?;
-            if die != "top" && die != "bottom" {
-                return Err(IoError::parse(
-                    r.line_no,
-                    format!("macro die must be `top` or `bottom`, found `{die}`"),
-                ));
-            }
-            placed.insert(name, (x, y, die));
-        }
-    }
-    for name in macro_insts {
-        let (x, y, die) = placed.remove(&name).ok_or_else(|| {
-            IoError::parse(
-                r.line_no,
-                format!("macro instance `{name}` has no MacroPos entry"),
-            )
-        })?;
-        let lib = inst_lib[&name].clone();
-        builder = builder.macro_inst(&name, &lib, &die, x, y);
-    }
-    if let Some(name) = placed.keys().next() {
-        return Err(IoError::parse(
-            r.line_no,
-            format!("MacroPos for unknown macro `{name}`"),
-        ));
-    }
-
-    Ok(builder.build()?)
+    crate::stream::parse_case_reader(text.as_bytes())
 }
 
 /// Writes `design` as a case file that [`parse_case`] round-trips.

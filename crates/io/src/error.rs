@@ -20,6 +20,8 @@ pub enum IoError {
     /// String formatting failed (only possible with a failing
     /// [`fmt::Write`] sink).
     Fmt(fmt::Error),
+    /// The underlying byte source of a streaming parse failed.
+    Read(std::io::Error),
 }
 
 impl IoError {
@@ -37,6 +39,7 @@ impl fmt::Display for IoError {
             IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
             IoError::Db(e) => write!(f, "invalid design: {e}"),
             IoError::Fmt(e) => write!(f, "format error: {e}"),
+            IoError::Read(e) => write!(f, "read error: {e}"),
         }
     }
 }
@@ -46,6 +49,7 @@ impl Error for IoError {
         match self {
             IoError::Db(e) => Some(e),
             IoError::Fmt(e) => Some(e),
+            IoError::Read(e) => Some(e),
             IoError::Parse { .. } => None,
         }
     }

@@ -8,7 +8,10 @@
 //! * **Case files** ([`parse_case`], [`write_case`]) describe a complete
 //!   design: technologies with per-tech lib cell sizes, the shared die
 //!   outline, per-die rows / utilization / technology binding, instances,
-//!   nets, and fixed macro positions.
+//!   nets, and fixed macro positions. [`parse_case_reader`] is the
+//!   streaming variant: it consumes any [`std::io::BufRead`] source one
+//!   line at a time and resolves names to ids on the fly, so million-cell
+//!   files parse without materializing the text or intermediate name maps.
 //! * **Global placement files** ([`parse_placement3d`],
 //!   [`write_placement3d`]) carry continuous `(x, y, z)` positions per
 //!   cell, `z` being the die affinity.
@@ -82,8 +85,10 @@ mod error;
 mod moves;
 mod placement;
 mod reader;
+mod stream;
 
 pub use case::{parse_case, write_case};
 pub use error::IoError;
 pub use moves::{parse_moves, write_moves, EcoMoveRecord};
 pub use placement::{parse_legal, parse_placement3d, write_legal, write_placement3d};
+pub use stream::parse_case_reader;

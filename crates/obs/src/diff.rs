@@ -435,6 +435,7 @@ mod tests {
                 max_disp: 200.0,
                 dhpwl_pct: 0.5,
             }),
+            peak_rss_bytes: None,
         }
     }
 

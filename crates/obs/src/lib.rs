@@ -51,6 +51,7 @@ mod hist;
 mod json;
 mod profile;
 mod report;
+mod rss;
 pub mod trace;
 
 pub use counters::{keys, CounterSet};
@@ -63,4 +64,5 @@ pub use hist::{keys as hist_keys, HistSummary, Histogram, HistogramSet, DEFAULT_
 pub use json::{Json, JsonError};
 pub use profile::{Obs, ObsExt, PhaseStats, Profile, Span};
 pub use report::{HistReport, PhaseReport, Quality, RunReport};
+pub use rss::peak_rss_bytes;
 pub use trace::{chrome_trace_json, track_name, TraceEvent, TracePhase};

@@ -78,6 +78,10 @@ pub struct RunReport {
     pub hists: Vec<HistReport>,
     /// Quality metrics, when the caller computed them.
     pub quality: Option<Quality>,
+    /// Peak resident set size of the process in bytes, when the caller
+    /// sampled it (see [`peak_rss_bytes`](crate::peak_rss_bytes)).
+    /// Machine-dependent, so the report diff ignores it.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl RunReport {
@@ -119,12 +123,22 @@ impl RunReport {
                 })
                 .collect(),
             quality: None,
+            peak_rss_bytes: None,
         }
     }
 
     /// Attaches quality metrics (builder style).
     pub fn with_quality(mut self, quality: Quality) -> Self {
         self.quality = Some(quality);
+        self
+    }
+
+    /// Attaches a peak-RSS sample in bytes (builder style). Not filled
+    /// in by [`from_profile`](Self::from_profile) — the gauge is a
+    /// process-wide high-water mark, so sampling is an explicit caller
+    /// decision, taken right after the work being measured.
+    pub fn with_peak_rss(mut self, bytes: u64) -> Self {
+        self.peak_rss_bytes = Some(bytes);
         self
     }
 
@@ -190,6 +204,9 @@ impl RunReport {
                     ("dhpwl_pct".to_string(), Json::num(q.dhpwl_pct)),
                 ]),
             ));
+        }
+        if let Some(rss) = self.peak_rss_bytes {
+            fields.push(("peak_rss_bytes".to_string(), Json::Num(rss as f64)));
         }
         Json::Obj(fields).to_string()
     }
@@ -294,6 +311,9 @@ impl RunReport {
                     .ok_or_else(|| missing("quality.dhpwl_pct"))?,
             }),
         };
+        // Optional like "histograms"/"quality": absent on non-Linux runs
+        // and in pre-gauge reports.
+        let peak_rss_bytes = doc.get("peak_rss_bytes").and_then(Json::as_u64);
         Ok(Self {
             case,
             legalizer,
@@ -302,6 +322,7 @@ impl RunReport {
             counters,
             hists,
             quality,
+            peak_rss_bytes,
         })
     }
 
@@ -379,6 +400,10 @@ impl RunReport {
             let _ = writeln!(out, "  max displacement = {:.3}", q.max_disp);
             let _ = writeln!(out, "  dHPWL            = {:.3} %", q.dhpwl_pct);
         }
+        if let Some(rss) = self.peak_rss_bytes {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "peak RSS = {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
         out
     }
 }
@@ -423,6 +448,7 @@ mod tests {
                 max_disp: 10.0,
                 dhpwl_pct: 0.52,
             }),
+            peak_rss_bytes: Some(123 * 1024 * 1024),
         }
     }
 

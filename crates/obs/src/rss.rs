@@ -1,0 +1,68 @@
+//! Peak resident-set-size gauge.
+//!
+//! Million-cell runs are memory-bound before they are compute-bound, so
+//! the run report carries the process's peak RSS next to its timings
+//! (see [`RunReport::with_peak_rss`](crate::RunReport::with_peak_rss)).
+//! The value is read from the kernel's `VmHWM` ("high water mark") line
+//! in `/proc/self/status` — the largest resident set the process ever
+//! held, which is exactly the "how much memory did this run need"
+//! number an allocator-level counter cannot provide without hooking
+//! every allocation.
+//!
+//! The gauge is best-effort by design: `/proc` is Linux-only, so on
+//! other platforms (or under a hardened procfs) it returns `None` and
+//! reports simply omit the field. It never panics and allocates only
+//! the one status-file read.
+
+/// The process's peak resident set size in bytes, or `None` where the
+/// kernel does not expose it (non-Linux platforms, restricted procfs).
+///
+/// Reads `VmHWM` from `/proc/self/status`; the kernel reports the value
+/// in kiB and this function scales it to bytes. The high-water mark is
+/// monotone over the process lifetime: calling this after a run
+/// includes everything the process ever held, not just the run's own
+/// allocations — callers comparing runs should fork per case or treat
+/// the value as an upper bound.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Parses the `VmHWM: <n> kB` line out of a `/proc/self/status` body.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kernel_format() {
+        let status = "Name:\tflow3d\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn missing_line_is_none_not_panic() {
+        assert_eq!(parse_vm_hwm("Name:\tflow3d\n"), None);
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn live_gauge_is_positive_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test process holds at least a page.
+            assert!(bytes >= 4096, "implausible peak RSS {bytes}");
+        }
+    }
+}

@@ -72,3 +72,158 @@ fn parse_errors_are_line_addressed() {
 }
 
 use flow3d::db::CellId;
+
+// --- Streaming reader: equivalence and fuzz-shaped robustness -----------
+//
+// `parse_case_reader` must accept exactly what `parse_case` accepts and
+// produce an identical `Design`; on malformed input of any shape —
+// truncation, hostile counts, duplicate names, non-UTF-8 bytes, reader
+// failures — it must return a typed `IoError`, never panic.
+
+#[test]
+fn streaming_reader_matches_in_memory_parser() {
+    let mut cfg = GeneratorConfig::iccad2023("case2").unwrap();
+    cfg.scale = 0.1;
+    let case = cfg.generate().unwrap();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    let in_memory = flow3d::io::parse_case(&text).unwrap();
+    // A 7-byte buffer forces the reader through many short fills, so
+    // line reassembly is genuinely exercised.
+    let streamed =
+        flow3d::io::parse_case_reader(std::io::BufReader::with_capacity(7, text.as_bytes()))
+            .unwrap();
+    assert_eq!(streamed, in_memory);
+    assert_eq!(streamed, case.design);
+}
+
+#[test]
+fn truncated_case_never_panics() {
+    let case = demo();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    for keep in 0..lines.len() {
+        let prefix = lines[..keep].join("\n");
+        // Every prefix must come back as a typed result: an error naming
+        // a line, or — once the mandatory sections are complete — a
+        // design no bigger than the original.
+        match flow3d::io::parse_case_reader(prefix.as_bytes()) {
+            Ok(d) => assert!(d.num_cells() <= case.design.num_cells()),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("line"), "untyped error at {keep} lines: {msg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_counts_fail_without_huge_allocations() {
+    let case = demo();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    // Truncate right after each count header and replace the count with
+    // a hostile value: the reader must fail with "end of file" without
+    // first attempting an instance-scale preallocation.
+    for keyword in ["NumInstances", "NumNets"] {
+        let mut mutated = String::new();
+        for line in text.lines() {
+            if line.starts_with(keyword) {
+                mutated.push_str(&format!("{keyword} 987654321\n"));
+                break;
+            }
+            mutated.push_str(line);
+            mutated.push('\n');
+        }
+        let err = flow3d::io::parse_case_reader(mutated.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("end of file"), "{keyword}: {err}");
+    }
+}
+
+#[test]
+fn duplicate_instance_is_a_typed_error() {
+    let case = demo();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    // Repeat the first instance line in place of the second: the name
+    // collision must surface before any count bookkeeping.
+    let first_inst = text
+        .lines()
+        .find(|l| l.starts_with("Inst "))
+        .expect("case has instances")
+        .to_string();
+    let mut seen = 0;
+    let mutated: String = text
+        .lines()
+        .map(|l| {
+            if l.starts_with("Inst ") {
+                seen += 1;
+                if seen == 2 {
+                    return format!("{first_inst}\n");
+                }
+            }
+            format!("{l}\n")
+        })
+        .collect();
+    let err = flow3d::io::parse_case_reader(mutated.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("duplicate instance"), "{err}");
+}
+
+#[test]
+fn non_utf8_bytes_are_a_typed_error() {
+    // Invalid from the first byte.
+    let err = flow3d::io::parse_case_reader(&[0xff, 0xfe, 0x00, 0x41][..]).unwrap_err();
+    assert!(err.to_string().contains("not valid UTF-8"), "{err}");
+
+    // A valid prefix followed by garbage mid-file reports the bad line.
+    let case = demo();
+    let mut text = String::new();
+    flow3d::io::write_case(&case.design, &mut text).unwrap();
+    let split = text.len() / 2;
+    let mut bytes = text.as_bytes()[..split].to_vec();
+    bytes.extend_from_slice(&[0xc3, 0x28, 0xa0, 0xa1, b'\n']);
+    let err = flow3d::io::parse_case_reader(&bytes[..]).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("not valid UTF-8") || msg.contains("line"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn reader_failures_surface_as_read_errors() {
+    struct Failing;
+    impl std::io::Read for Failing {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+    let err = flow3d::io::parse_case_reader(std::io::BufReader::new(Failing)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("read error"), "{msg}");
+    assert!(msg.contains("disk on fire"), "{msg}");
+}
+
+/// Regression: with heterogeneous row heights (92 vs 115), the die
+/// outline is not a multiple of one die's row height. The reader must
+/// take the outline from `DieSize` — deriving it from
+/// `rows × row_height` clips the taller-outline die and the round-trip
+/// silently shrinks the design.
+#[test]
+fn heterogeneous_row_heights_roundtrip_exactly() {
+    let mut cfg = GeneratorConfig::million("m1h").unwrap();
+    cfg.scale = 0.01;
+    let case = cfg.generate().unwrap();
+    let d = &case.design;
+    let top = d.die(flow3d::db::DieId::TOP);
+    assert_ne!(
+        top.outline.height() % top.row_height,
+        0,
+        "case must exercise a non-aligned outline"
+    );
+    let mut text = String::new();
+    flow3d::io::write_case(d, &mut text).unwrap();
+    let reparsed = flow3d::io::parse_case(&text).unwrap();
+    assert_eq!(reparsed, *d);
+}

@@ -1,0 +1,220 @@
+//! SoA equivalence battery: the flat [`SoaView`] columns must agree
+//! field-for-field with the id-map accessors they flatten, and running
+//! the legalizer through the SoA path must be *bit-identical* to the
+//! id-map path — same placement bytes, same stats counters — at every
+//! thread count. The `soa_view` config knob is a pure data-layout
+//! choice; these tests are the executable form of that contract.
+
+use flow3d::db::{
+    CellId, DesignBuilder, DieId, DieSpec, LibCellSpec, Placement3d, SoaView, TechnologySpec,
+};
+use flow3d::prelude::*;
+use flow3d_geom::FPoint;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// A random heterogeneous instance: up to 40 cells with widths 10–50 on
+/// two 400x40 dies with different techs, anchored anywhere (including
+/// outside the outline).
+fn arb_instance() -> impl Strategy<Value = (Vec<i64>, Vec<(f64, f64, f64)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1i64..=5, n),
+            proptest::collection::vec((-50.0f64..450.0, -20.0f64..60.0, 0.0f64..1.0), n),
+        )
+    })
+}
+
+fn build(widths: &[i64], anchors: &[(f64, f64, f64)]) -> (flow3d::db::Design, Placement3d) {
+    let mut b = DesignBuilder::new("soa_prop")
+        .technology(
+            TechnologySpec::new("TA")
+                .lib_cell(LibCellSpec::std_cell("C1", 10, 10))
+                .lib_cell(LibCellSpec::std_cell("C2", 20, 10))
+                .lib_cell(LibCellSpec::std_cell("C3", 30, 10))
+                .lib_cell(LibCellSpec::std_cell("C4", 40, 10))
+                .lib_cell(LibCellSpec::std_cell("C5", 50, 10)),
+        )
+        .technology(
+            TechnologySpec::new("TB")
+                .lib_cell(LibCellSpec::std_cell("C1", 12, 8))
+                .lib_cell(LibCellSpec::std_cell("C2", 24, 8))
+                .lib_cell(LibCellSpec::std_cell("C3", 36, 8))
+                .lib_cell(LibCellSpec::std_cell("C4", 48, 8))
+                .lib_cell(LibCellSpec::std_cell("C5", 60, 8)),
+        )
+        .die(DieSpec::new("bottom", "TA", (0, 0, 400, 40), 10, 2, 0.95))
+        .die(DieSpec::new("top", "TB", (0, 0, 400, 40), 8, 2, 0.95));
+    for (i, &w) in widths.iter().enumerate() {
+        b = b.cell(format!("u{i}"), format!("C{w}"));
+    }
+    let design = b.build().unwrap();
+    let mut gp = Placement3d::new(widths.len());
+    for (i, &(x, y, z)) in anchors.iter().enumerate() {
+        let c = CellId::new(i);
+        gp.set_pos(c, FPoint::new(x, y));
+        gp.set_die_affinity(c, z);
+    }
+    (design, gp)
+}
+
+fn legal_bytes(design: &flow3d::db::Design, placement: &flow3d::db::LegalPlacement) -> String {
+    let mut text = String::new();
+    flow3d::io::write_legal(design, placement, &mut text).expect("serialize legal placement");
+    text
+}
+
+/// Legalizes with the given data-layout choice and thread count,
+/// returning the byte-comparison domain (legal file text + stats).
+fn run_layout(
+    design: &flow3d::db::Design,
+    gp: &Placement3d,
+    soa_view: bool,
+    threads: usize,
+) -> Option<(String, flow3d_core::LegalizeStats)> {
+    let cfg = Flow3dConfig {
+        soa_view,
+        threads,
+        ..Default::default()
+    };
+    // A typed rejection is fine — but both layouts must agree on it.
+    Flow3dLegalizer::new(cfg)
+        .legalize(design, gp)
+        .ok()
+        .map(|o| (legal_bytes(design, &o.placement), o.stats))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full view and the geometry-only view round-trip against the
+    /// `Design`/`Placement3d` accessors field for field.
+    #[test]
+    fn soa_view_round_trips_against_design(
+        (widths, anchors) in arb_instance()
+    ) {
+        let (design, gp) = build(&widths, &anchors);
+
+        let full = SoaView::build(&design, &gp);
+        prop_assert!(full.is_consistent(&design, Some(&gp)));
+        prop_assert!(full.has_targets());
+        prop_assert_eq!(full.num_cells(), design.num_cells());
+        prop_assert_eq!(full.num_dies(), design.num_dies());
+        for d in 0..design.num_dies() {
+            let die = DieId::new(d);
+            prop_assert_eq!(full.cell_height(die), design.cell_height(die));
+            let column = full.width_column(die);
+            prop_assert_eq!(column.len(), design.num_cells());
+            for (i, &column_width) in column.iter().enumerate() {
+                let cell = CellId::new(i);
+                prop_assert_eq!(full.cell_width(cell, die), design.cell_width(cell, die));
+                prop_assert_eq!(column_width, design.cell_width(cell, die));
+            }
+        }
+        for i in 0..design.num_cells() {
+            let cell = CellId::new(i);
+            prop_assert_eq!(full.target(cell), gp.pos(cell).round());
+            let die = gp.nearest_die(cell, design.num_dies());
+            prop_assert_eq!(full.assigned_die(cell), die);
+            let rows = design.die(die).num_rows() as u32;
+            prop_assert!(full.assigned_row(cell) < rows.max(1));
+        }
+
+        let geom = SoaView::geometry(&design);
+        prop_assert!(geom.is_consistent(&design, None));
+        prop_assert!(!geom.has_targets());
+        for d in 0..design.num_dies() {
+            let die = DieId::new(d);
+            prop_assert_eq!(geom.width_column(die), full.width_column(die));
+        }
+    }
+
+    /// Legalizing through the SoA columns is bit-identical to the id-map
+    /// path — placement bytes and stats — at 1 and 8 threads.
+    #[test]
+    fn soa_path_is_bit_identical_to_idmap_path(
+        (widths, anchors) in arb_instance()
+    ) {
+        let (design, gp) = build(&widths, &anchors);
+        for threads in THREAD_COUNTS {
+            let soa = run_layout(&design, &gp, true, threads);
+            let idmap = run_layout(&design, &gp, false, threads);
+            prop_assert_eq!(
+                soa, idmap,
+                "soa_view changed the outcome at threads={}", threads
+            );
+        }
+    }
+}
+
+/// The same bit-identity contract at contest scale: generated cases,
+/// both data layouts, 1 and 8 workers, compared on bytes and stats.
+#[test]
+fn soa_path_matches_idmap_on_generated_cases() {
+    let mut cases = vec![("small_demo(5)", GeneratorConfig::small_demo(5))];
+    let mut c2022 = GeneratorConfig::iccad2022("case2").unwrap();
+    c2022.scale = 0.1;
+    cases.push(("iccad2022_case2@0.1", c2022));
+    let mut c2023 = GeneratorConfig::iccad2023("case2").unwrap();
+    c2023.scale = 0.05;
+    cases.push(("iccad2023_case2@0.05", c2023));
+
+    for (label, cfg) in cases {
+        let generated = cfg.generate().expect("generation failed");
+        let gp = GlobalPlacer::new(GpConfig::default())
+            .place_from(&generated.design, &generated.natural);
+        let view = SoaView::build(&generated.design, &gp);
+        assert!(view.is_consistent(&generated.design, Some(&gp)), "{label}");
+        for threads in THREAD_COUNTS {
+            let soa = run_layout(&generated.design, &gp, true, threads);
+            let idmap = run_layout(&generated.design, &gp, false, threads);
+            assert!(soa.is_some(), "{label}: legalization failed");
+            assert_eq!(soa, idmap, "{label}: layouts diverge at threads={threads}");
+        }
+    }
+}
+
+/// The incremental (ECO) path takes the same `soa_view` knob; it must be
+/// just as layout-blind as the batch path.
+#[test]
+fn eco_path_is_layout_blind() {
+    let generated = GeneratorConfig::small_demo(11)
+        .generate()
+        .expect("generation failed");
+    let design = generated.design;
+    let gp = GlobalPlacer::new(GpConfig::default()).place_from(&design, &generated.natural);
+    let base = Flow3dLegalizer::default()
+        .legalize(&design, &gp)
+        .expect("base legalization")
+        .placement;
+    let center = design.die(DieId::BOTTOM).outline.center();
+    let moves: Vec<flow3d_core::CellMove> = (0..design.num_cells())
+        .step_by(7)
+        .map(|i| {
+            let cell = CellId::new(i);
+            let p = base.pos(cell);
+            flow3d_core::CellMove {
+                cell,
+                target: flow3d_geom::Point::new((p.x + center.x) / 2, (p.y + center.y) / 2),
+                die: None,
+            }
+        })
+        .collect();
+
+    let mut outcomes = Vec::new();
+    for soa_view in [true, false] {
+        let lg = Flow3dLegalizer::new(Flow3dConfig {
+            soa_view,
+            ..Default::default()
+        });
+        let out = lg
+            .legalize_incremental(&design, &base, &moves)
+            .expect("incremental legalization");
+        outcomes.push((legal_bytes(&design, &out.placement), out.stats));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "ECO outcome depends on data layout"
+    );
+}
