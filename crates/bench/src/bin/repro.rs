@@ -13,7 +13,8 @@
 //! repro eco   [scale]     # §III-E    — incremental (ECO) legalization
 //! repro profile [scale]   # phase/counter profiles (+ JSON sidecars)
 //! repro threads [scale]   # thread-scaling: flow_pass/placerow at 1/2/4/8 workers
-//! repro bench [scale] [out]  # perf-gate baseline RunReport (default BENCH_legalize.json)
+//! repro bench [scale] [out]  # perf-gate baseline RunReport incl. serve-mode latency rows
+//!                            # (default BENCH_legalize.json)
 //! repro scale [scale]     # million-cell family: stream read / SoA build / legalize / peak RSS
 //! repro all   [scale]     # everything above (except bench and scale)
 //! ```
@@ -515,10 +516,80 @@ fn bench_baseline(scale: f64, out: &str) {
     profile.end("stream_read");
     assert_eq!(reparsed, run.design, "streaming reader must round-trip");
     drop((reparsed, text));
+    serve_phases(&run, &mut profile);
     let (row, report) = evaluate_profiled_into(&run, &Flow3dLegalizer::default(), &mut profile);
     std::fs::write(out, report.to_json()).expect("write baseline report");
     print!("{}", report.to_pretty());
     println!("{:.2}s -> {out}", row.runtime_s);
+}
+
+/// Serve-mode latency rows for the perf-gate baseline: drive an
+/// in-process [`flow3d_serve::Server`] through a cold `load` (wire
+/// parse + base legalization) and a burst of warm `eco` replays, timed
+/// into the bench profile as `serve/load` and `serve/eco_request`
+/// phases. Only these wall-clock phase rows enter the diffed report;
+/// the server's own rolling-window metrics are live gauges and stay out
+/// of it. The first eco pays the cold per-case caches, the remaining
+/// replays of the same move set measure the resident hot path the
+/// service exists for.
+fn serve_phases(run: &flow3d_bench::CaseRun, profile: &mut flow3d_obs::Profile) {
+    use flow3d_serve::{Json, MoveSpec, Request, Server, ServerConfig};
+    const ECO_REQUESTS: u64 = 16;
+
+    let mut case_text = String::new();
+    flow3d_io::write_case(&run.design, &mut case_text).expect("serialize case");
+    let mut global_text = String::new();
+    flow3d_io::write_placement3d(&run.design, &run.global, &mut global_text)
+        .expect("serialize global placement");
+
+    let ok = |reply: &Json| reply.get("ok") == Some(&Json::Bool(true));
+    let server = Server::new(ServerConfig::default()).expect("start in-process server");
+    profile.begin("serve");
+    profile.begin("load");
+    let reply = server.process(
+        1,
+        Request::Load {
+            name: "bench".to_string(),
+            case: case_text,
+            legal: None,
+            global: Some(global_text),
+            threads: 1,
+        },
+    );
+    profile.end("load");
+    assert!(ok(&reply), "serve load failed: {reply}");
+
+    // The same deterministic move set as `eco_experiment`: every
+    // n/32-th cell requests the die center.
+    let center = run.design.die(DieId::BOTTOM).outline.center();
+    let n = run.design.num_cells();
+    let moves: Vec<MoveSpec> = (0..n)
+        .step_by((n / 32).max(1))
+        .map(|i| MoveSpec {
+            cell: run.design.cells()[i].name.clone(),
+            x: center.x,
+            y: center.y,
+            die: None,
+        })
+        .collect();
+    for id in 0..ECO_REQUESTS {
+        profile.begin("eco_request");
+        let reply = server.process(
+            2 + id,
+            Request::Eco {
+                name: "bench".to_string(),
+                moves: moves.clone(),
+                commit: false,
+                trace: false,
+            },
+        );
+        profile.end("eco_request");
+        assert!(ok(&reply), "serve eco request {id} failed: {reply}");
+    }
+    profile.end("serve");
+    let reply = server.process(2 + ECO_REQUESTS, Request::Shutdown);
+    assert!(ok(&reply), "serve shutdown failed: {reply}");
+    server.join();
 }
 
 /// Million-cell scaling: for every case of the million family, time the

@@ -12,8 +12,10 @@
 //! flow3d viz --case case.txt --gp gp.txt --legal legal.txt --die top --out plot.svg
 //! flow3d viz --heatmaps run.heatmaps.json [--name flow_pass0/die0/overflow] --out grid.svg
 //! flow3d eco --case case.txt --base legal.txt --moves moves.txt --out out.txt [--threads N]
-//! flow3d serve [--listen HOST:PORT | --unix PATH] [--workers N] [--queue-depth N] [--threads N]
-//! flow3d request --script reqs.jsonl [--connect HOST:PORT | --unix PATH] [--out resp.jsonl]
+//! flow3d serve [--listen HOST:PORT | --unix PATH] [--workers N] [--queue-depth N] [--threads N] \
+//!        [--log events.jsonl] [--log-level L] [--flight dump.json] [--trace DIR] [--window-secs S]
+//! flow3d request [ping|stats|metrics|shutdown] [--script reqs.jsonl] \
+//!        [--connect HOST:PORT | --unix PATH] [--out resp.jsonl] [--text]
 //! ```
 //!
 //! The serve-mode commands (`serve`, `request`, `eco`) are documented in
@@ -106,6 +108,11 @@ fn run() -> Result<(), String> {
     if cmd == "report" {
         return run_report(&argv[1..]);
     }
+    if cmd == "request" {
+        // `request` accepts a positional quick command (`metrics`,
+        // `ping`, …), so it splits positionals from flags itself.
+        return serve_cmd::cmd_request(&argv[1..]);
+    }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "gen" => cmd_gen(&args),
@@ -116,7 +123,6 @@ fn run() -> Result<(), String> {
         "tidy" => cmd_tidy(&args),
         "eco" => serve_cmd::cmd_eco(&args),
         "serve" => serve_cmd::cmd_serve(&args),
-        "request" => serve_cmd::cmd_request(&args),
         "--help" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -157,8 +163,8 @@ fn usage() -> String {
      flow3d viz --heatmaps sidecar.json [--name <heatmap>] --out grid.svg\n  \
      flow3d tidy [--json] [--fix] [--list] [--root DIR]\n  \
      flow3d eco --case case.txt --base legal.txt --moves moves.txt --out out.txt [--threads N] [--profile out.json]\n  \
-     flow3d serve [--listen HOST:PORT | --unix PATH] [--workers N] [--queue-depth N] [--threads N]\n  \
-     flow3d request --script reqs.jsonl [--connect HOST:PORT | --unix PATH] [--out resp.jsonl] [--allow-errors]"
+     flow3d serve [--listen HOST:PORT | --unix PATH] [--workers N] [--queue-depth N] [--threads N] [--log events.jsonl] [--log-level debug|info|warn|error] [--flight dump.json] [--trace DIR] [--window-secs S]\n  \
+     flow3d request [ping|stats|metrics|shutdown] [--script reqs.jsonl] [--connect HOST:PORT | --unix PATH] [--out resp.jsonl] [--allow-errors] [--text]"
         .to_string()
 }
 

@@ -5,17 +5,35 @@
 
 use crate::{read, write, Args};
 use flow3d_core::{CellMove, Flow3dConfig, Flow3dLegalizer};
+use flow3d_obs::LogLevel;
 use flow3d_serve::{Client, Json, Server, ServerConfig};
 
 /// `flow3d serve`: run the resident service until a client sends
 /// `shutdown`.
 pub(crate) fn cmd_serve(args: &Args) -> Result<(), String> {
+    // `--log` wins over the FLOW3D_LOG environment variable; either
+    // arms the structured JSONL event log.
+    let log_path = args
+        .get("log")
+        .map(str::to_string)
+        .or_else(|| std::env::var("FLOW3D_LOG").ok());
+    let log_level = match args.get("log-level") {
+        None => LogLevel::Info,
+        Some(name) => LogLevel::parse(name)
+            .ok_or_else(|| format!("--log-level {name}: expected debug|info|warn|error"))?,
+    };
     let config = ServerConfig {
         workers: args.get_usize("workers", 2)?,
         queue_depth: args.get_usize("queue-depth", 64)?,
         default_threads: args.get_usize("threads", 1)?,
+        log_path,
+        log_level,
+        flight_path: args.get("flight").map(str::to_string),
+        trace_dir: args.get("trace").map(str::to_string),
+        window_secs: args.get_usize("window-secs", 60)? as u64,
+        ..ServerConfig::default()
     };
-    let server = Server::new(config);
+    let server = Server::new(config).map_err(|e| format!("starting server: {e}"))?;
     if let Some(path) = args.get("unix") {
         return serve_unix(&server, path);
     }
@@ -45,19 +63,46 @@ fn serve_unix(_server: &Server, path: &str) -> Result<(), String> {
     ))
 }
 
-/// `flow3d request`: fire a JSONL script of requests at a running
-/// server, one frame per line, and print each response as a JSON line.
-pub(crate) fn cmd_request(args: &Args) -> Result<(), String> {
-    let script = read(args.require("script")?)?;
-    let mut requests = Vec::new();
-    for (lineno, line) in script.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+/// `flow3d request`: fire requests at a running server and print each
+/// response as a JSON line. Requests come from a `--script` JSONL file
+/// (one frame per line), or from a single positional quick command —
+/// `flow3d request metrics` sends `{"cmd": "metrics"}` without a
+/// script file (also `ping`, `stats`, `shutdown`).
+pub(crate) fn cmd_request(argv: &[String]) -> Result<(), String> {
+    let positional: Vec<&str> = argv
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let args = Args::parse(&argv[positional.len()..])?;
+    let requests = match positional.as_slice() {
+        [] => {
+            let script = read(args.require("script")?)?;
+            let mut requests = Vec::new();
+            for (lineno, line) in script.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let json =
+                    Json::parse(line).map_err(|e| format!("script line {}: {e}", lineno + 1))?;
+                requests.push(
+                    inline_files(json).map_err(|e| format!("script line {}: {e}", lineno + 1))?,
+                );
+            }
+            requests
         }
-        let json = Json::parse(line).map_err(|e| format!("script line {}: {e}", lineno + 1))?;
-        requests.push(inline_files(json).map_err(|e| format!("script line {}: {e}", lineno + 1))?);
-    }
+        [cmd @ ("ping" | "stats" | "metrics" | "shutdown")] => vec![Json::Obj(vec![(
+            "cmd".to_string(),
+            Json::Str(cmd.to_string()),
+        )])],
+        other => {
+            return Err(format!(
+                "unknown quick command {other:?} (ping, stats, metrics, shutdown — \
+                 or --script reqs.jsonl)"
+            ))
+        }
+    };
 
     let responses = match args.get("unix") {
         Some(path) => request_unix(path, &requests)?,
@@ -74,8 +119,21 @@ pub(crate) fn cmd_request(args: &Args) -> Result<(), String> {
         if response.get("ok") != Some(&Json::Bool(true)) {
             failures += 1;
         }
-        out.push_str(&response.to_string());
-        out.push('\n');
+        // `--text` renders the Prometheus exposition of a metrics
+        // response instead of the JSON envelope, for scrape scripts.
+        let prometheus = args.flag("text").then(|| {
+            response
+                .get("result")
+                .and_then(|r| r.get("prometheus"))
+                .and_then(Json::as_str)
+        });
+        match prometheus.flatten() {
+            Some(text) => out.push_str(text),
+            None => {
+                out.push_str(&response.to_string());
+                out.push('\n');
+            }
+        }
     }
     match args.get("out") {
         Some(path) => write(path, &out)?,

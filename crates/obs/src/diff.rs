@@ -400,6 +400,16 @@ pub fn diff_reports_phase(
             )),
         }
     }
+    for ch in &current.hists {
+        if !baseline.hists.iter().any(|bh| bh.name == ch.name) {
+            items.push(structural(
+                format!("hist/{} (new in current)", ch.name),
+                f64::NAN,
+                f64::NAN,
+                DiffStatus::Warn,
+            ));
+        }
+    }
 
     ReportDiff { items }
 }
@@ -636,6 +646,101 @@ mod tests {
             Some("search_batch"),
         );
         assert_eq!(diff.worst(), DiffStatus::Fail);
+    }
+
+    #[test]
+    fn missing_rows_warn_in_both_directions() {
+        let mut base = report();
+        let mut cur = report();
+        base.phases.push(PhaseReport {
+            path: "legalize/retired".to_string(),
+            seconds: 1.0,
+            calls: 1,
+        });
+        cur.phases.push(PhaseReport {
+            path: "serve/load".to_string(),
+            seconds: 1.0,
+            calls: 1,
+        });
+        let diff = diff_reports(&base, &cur, &DiffTolerances::default());
+        let gone = status_of(&diff, "phase/legalize/retired (missing in current)");
+        assert_eq!(gone.status, DiffStatus::Warn);
+        assert!(gone.delta_pct.is_nan(), "structural items carry no delta");
+        assert_eq!(
+            status_of(&diff, "phase/serve/load (new in current)").status,
+            DiffStatus::Warn
+        );
+        assert_eq!(diff.worst(), DiffStatus::Warn);
+    }
+
+    #[test]
+    fn zero_valued_baseline_phase_reads_as_infinite_regression() {
+        let mut base = report();
+        let mut cur = report();
+        base.phases[0].seconds = 0.0;
+        cur.phases[0].seconds = 8.0;
+        let diff = diff_reports(&base, &cur, &DiffTolerances::default());
+        let item = status_of(&diff, "phase/legalize");
+        assert!(item.delta_pct.is_infinite() && item.delta_pct > 0.0);
+        assert_eq!(item.status, DiffStatus::Fail);
+
+        // Zero on both sides sits under the min-seconds floor: skipped.
+        cur.phases[0].seconds = 0.0;
+        let diff = diff_reports(&base, &cur, &DiffTolerances::default());
+        assert!(!diff.items.iter().any(|i| i.metric == "phase/legalize"));
+    }
+
+    #[test]
+    fn histogram_added_in_candidate_only_warns() {
+        let base = report();
+        let mut cur = report();
+        cur.hists.push(HistReport {
+            name: "serve_request_micros".to_string(),
+            count: 5,
+            sum: 50.0,
+            min: 1.0,
+            max: 20.0,
+            p50: 8.0,
+            p90: 15.0,
+            p99: 19.0,
+        });
+        let diff = diff_reports(&base, &cur, &DiffTolerances::default());
+        assert_eq!(
+            status_of(&diff, "hist/serve_request_micros (new in current)").status,
+            DiffStatus::Warn
+        );
+        assert_eq!(diff.worst(), DiffStatus::Warn);
+    }
+
+    #[test]
+    fn serve_latency_regression_fails_the_scoped_gate() {
+        // The CI serve gate in miniature: `--phase serve/eco_request
+        // --rt-warn-pct 5 --rt-fail-pct 10`. An injected 12 % latency
+        // inflation must fail while nothing else is even compared.
+        let mut base = report();
+        base.phases.push(PhaseReport {
+            path: "serve/eco_request".to_string(),
+            seconds: 0.5,
+            calls: 16,
+        });
+        let mut cur = base.clone();
+        cur.phases.last_mut().unwrap().seconds = 0.56; // +12 %
+        cur.counters[0].1 = 100_000; // out of scope for the gate
+        let tol = DiffTolerances {
+            rt_warn_pct: 5.0,
+            rt_fail_pct: 10.0,
+            min_seconds: 0.0,
+            ..DiffTolerances::default()
+        };
+        let diff = diff_reports_phase(&base, &cur, &tol, Some("serve/eco_request"));
+        assert_eq!(diff.items.len(), 1, "{:?}", diff.items);
+        assert_eq!(
+            status_of(&diff, "phase/serve/eco_request").status,
+            DiffStatus::Fail
+        );
+        // An unchanged serve row passes the same gate.
+        let diff = diff_reports_phase(&base, &base.clone(), &tol, Some("serve/eco_request"));
+        assert_eq!(diff.worst(), DiffStatus::Pass);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   with per-worker timelines, [`Heatmap`] for per-bin spatial grids,
 //!   and [`diff_reports`] + [`DiffTolerances`] for the
 //!   `flow3d report diff` regression gate.
+//! * Live-service telemetry (v3) — [`RollingWindow`] /
+//!   [`MetricsSnapshot`] for windowed latency/throughput/error-rate
+//!   gauges (JSON + Prometheus text), [`EventLog`] for structured
+//!   leveled JSONL event logging, and [`FlightRecorder`] for bounded
+//!   postmortem rings. These are gauges over wall-clock measurements
+//!   and are never part of diffed [`RunReport`]s.
 //!
 //! # Example
 //!
@@ -49,7 +55,10 @@ mod diff;
 mod heatmap;
 mod hist;
 mod json;
+mod log;
+mod metrics;
 mod profile;
+mod recorder;
 mod report;
 mod rss;
 pub mod trace;
@@ -62,7 +71,10 @@ pub use diff::{
 pub use heatmap::{heatmaps_from_json, heatmaps_to_json, Heatmap};
 pub use hist::{keys as hist_keys, HistSummary, Histogram, HistogramSet, DEFAULT_POW2_BOUNDS};
 pub use json::{Json, JsonError};
+pub use log::{log_record, EventLog, LogLevel};
+pub use metrics::{MetricsSnapshot, RequestSample, RollingWindow};
 pub use profile::{Obs, ObsExt, PhaseStats, Profile, Span};
+pub use recorder::FlightRecorder;
 pub use report::{HistReport, PhaseReport, Quality, RunReport};
 pub use rss::peak_rss_bytes;
 pub use trace::{chrome_trace_json, track_name, TraceEvent, TracePhase};

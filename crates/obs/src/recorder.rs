@@ -1,0 +1,167 @@
+//! Flight recorder: a bounded in-memory ring of recent telemetry,
+//! dumped to a sidecar file for postmortems.
+//!
+//! The resident service feeds every structured event (the same
+//! [`Json`] records the JSONL log writes) and the last N per-request
+//! [`RunReport`](crate::RunReport)s into a [`FlightRecorder`]. On a
+//! request error or at shutdown the server serializes
+//! [`FlightRecorder::dump`] to a sidecar file, so the operator gets
+//! the moments *leading up to* the failure without having had verbose
+//! logging enabled.
+//!
+//! Memory is strictly bounded: both rings evict oldest-first, and the
+//! dump records how many events were dropped so a truncated view is
+//! never mistaken for the whole story.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+
+/// Bounded ring of recent events and per-request reports.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    event_cap: usize,
+    report_cap: usize,
+    events: VecDeque<Json>,
+    reports: VecDeque<(String, Json)>,
+    dropped_events: u64,
+    dropped_reports: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `event_cap` events and
+    /// `report_cap` per-request reports (each clamped to at least 1).
+    pub fn new(event_cap: usize, report_cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            event_cap: event_cap.max(1),
+            report_cap: report_cap.max(1),
+            events: VecDeque::new(),
+            reports: VecDeque::new(),
+            dropped_events: 0,
+            dropped_reports: 0,
+        }
+    }
+
+    /// Retains one event record, evicting the oldest at capacity.
+    pub fn note_event(&mut self, record: Json) {
+        if self.events.len() == self.event_cap {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(record);
+    }
+
+    /// Retains one per-request report under `tag` (the serve layer
+    /// uses the `case#r<id>` report tag), evicting the oldest at
+    /// capacity.
+    pub fn note_report(&mut self, tag: &str, report: Json) {
+        if self.reports.len() == self.report_cap {
+            self.reports.pop_front();
+            self.dropped_reports += 1;
+        }
+        self.reports.push_back((tag.to_string(), report));
+    }
+
+    /// Events currently retained.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Reports currently retained.
+    pub fn report_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Serializes the recorder state. `reason` says why the dump was
+    /// taken (`"request_error"`, `"shutdown"`) and `uptime_secs` when.
+    pub fn dump(&self, reason: &str, uptime_secs: f64) -> Json {
+        Json::Obj(vec![
+            ("reason".to_string(), Json::Str(reason.to_string())),
+            ("uptime_secs".to_string(), Json::num(uptime_secs)),
+            (
+                "dropped_events".to_string(),
+                Json::num(self.dropped_events as f64),
+            ),
+            (
+                "dropped_reports".to_string(),
+                Json::num(self.dropped_reports as f64),
+            ),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().cloned().collect()),
+            ),
+            (
+                "reports".to_string(),
+                Json::Arr(
+                    self.reports
+                        .iter()
+                        .map(|(tag, report)| {
+                            Json::Obj(vec![
+                                ("tag".to_string(), Json::Str(tag.clone())),
+                                ("report".to_string(), report.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(n: u64) -> Json {
+        Json::Obj(vec![("seq".to_string(), Json::num(n as f64))])
+    }
+
+    #[test]
+    fn events_evict_oldest_and_count_drops() {
+        let mut rec = FlightRecorder::new(3, 2);
+        for n in 0..5 {
+            rec.note_event(event(n));
+        }
+        assert_eq!(rec.event_count(), 3);
+        let dump = rec.dump("request_error", 1.5);
+        assert_eq!(dump.get("dropped_events").and_then(Json::as_u64), Some(2));
+        let events = dump.get("events").and_then(Json::as_array).unwrap();
+        let first_seq = events[0].get("seq").and_then(Json::as_u64);
+        assert_eq!(first_seq, Some(2));
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn reports_are_tagged_and_bounded() {
+        let mut rec = FlightRecorder::new(8, 2);
+        for n in 0..3 {
+            rec.note_report(&format!("demo#r{n}"), event(n));
+        }
+        assert_eq!(rec.report_count(), 2);
+        let dump = rec.dump("shutdown", 2.0);
+        assert_eq!(dump.get("dropped_reports").and_then(Json::as_u64), Some(1));
+        let reports = dump.get("reports").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            reports[0].get("tag").and_then(Json::as_str),
+            Some("demo#r1")
+        );
+        assert_eq!(
+            reports[1].get("tag").and_then(Json::as_str),
+            Some("demo#r2")
+        );
+    }
+
+    #[test]
+    fn dump_carries_reason_and_uptime() {
+        let rec = FlightRecorder::new(4, 4);
+        let dump = rec.dump("shutdown", 12.25);
+        assert_eq!(dump.get("reason").and_then(Json::as_str), Some("shutdown"));
+        let uptime = dump.get("uptime_secs").and_then(|v| v.as_f64());
+        assert!(uptime.is_some_and(|v| (v - 12.25).abs() < 1e-9));
+        assert_eq!(
+            dump.get("events")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

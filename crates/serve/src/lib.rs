@@ -18,6 +18,13 @@
 //!   serialized (the warm caches and the determinism contract depend on
 //!   that). Every request is timed into a server-level latency
 //!   histogram and answered with a per-request telemetry-v2 run report.
+//!   Live telemetry rides on `flow3d-obs` v3: a rolling window of
+//!   per-request samples behind the `metrics` wire command (windowed
+//!   p50/p90/p99 latency, throughput, queue depth, error rate — JSON
+//!   and Prometheus text), a structured JSONL event log
+//!   ([`ServerConfig::log_path`]), a flight recorder dumped on request
+//!   errors and shutdown ([`ServerConfig::flight_path`]), and
+//!   per-request Chrome-trace export ([`ServerConfig::trace_dir`]).
 //! * [`client`] — [`Client`]: a small blocking client over any
 //!   `Read + Write` stream, used by `flow3d request` and the tests.
 //!
@@ -34,7 +41,7 @@
 //! # #[cfg(unix)] fn main() {
 //! use flow3d_serve::{Client, Json, Server, ServerConfig};
 //!
-//! let server = Server::new(ServerConfig::default());
+//! let server = Server::new(ServerConfig::default()).unwrap();
 //! let (ours, theirs) = std::os::unix::net::UnixStream::pair().unwrap();
 //! let handler = server.clone();
 //! std::thread::spawn(move || handler.handle_connection(theirs));

@@ -216,6 +216,10 @@ pub enum Request {
     /// serve-mode telemetry report (latency histograms included).
     /// Answered inline, never queued.
     Stats,
+    /// Rolling-window gauges: windowed p50/p90/p99 latency, throughput,
+    /// queue depth, and error rate, in both JSON and a Prometheus-style
+    /// text rendering. Answered inline, never queued.
+    Metrics,
     /// Drops a resident case. Answered inline; queued requests already
     /// admitted for the case still complete.
     Unload {
@@ -242,6 +246,7 @@ impl Request {
         match cmd {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "unload" => Ok(Request::Unload {
                 name: required_str(json, "name")?,
@@ -306,7 +311,21 @@ impl Request {
             | Request::Legalize { name, .. }
             | Request::Eco { name, .. }
             | Request::Unload { name } => Some(name),
-            Request::Ping | Request::Stats | Request::Shutdown => None,
+            Request::Ping | Request::Stats | Request::Metrics | Request::Shutdown => None,
+        }
+    }
+
+    /// The wire `cmd` name of this request, for structured log events.
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Load { .. } => "load",
+            Request::Legalize { .. } => "legalize",
+            Request::Eco { .. } => "eco",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Unload { .. } => "unload",
+            Request::Shutdown => "shutdown",
         }
     }
 }
@@ -397,6 +416,13 @@ mod tests {
         let ping = obj(&[("cmd", Json::Str("ping".into()))]);
         assert_eq!(Request::parse(&ping).unwrap(), Request::Ping);
         assert!(!Request::Ping.is_queued());
+
+        let metrics = obj(&[("cmd", Json::Str("metrics".into()))]);
+        let parsed = Request::parse(&metrics).unwrap();
+        assert_eq!(parsed, Request::Metrics);
+        assert!(!parsed.is_queued());
+        assert_eq!(parsed.case_name(), None);
+        assert_eq!(parsed.cmd(), "metrics");
 
         let eco = obj(&[
             ("cmd", Json::Str("eco".into())),

@@ -29,7 +29,10 @@ use crate::protocol::{
 use flow3d_core::{CellMove, EcoEngine, Flow3dConfig, Flow3dLegalizer, LegalizeStats, Legalizer};
 use flow3d_db::DieId;
 use flow3d_geom::Point;
-use flow3d_obs::{hist_keys, Json, Profile, RunReport};
+use flow3d_obs::{
+    hist_keys, log_record, peak_rss_bytes, EventLog, FlightRecorder, Json, LogLevel, Profile,
+    RequestSample, RollingWindow, RunReport,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -53,6 +56,28 @@ pub struct ServerConfig {
     /// field. `1` (the default) keeps memo-hit telemetry deterministic;
     /// results are bit-identical at any value.
     pub default_threads: usize,
+    /// JSONL event-log path (`--log` / `FLOW3D_LOG`). `None` disables
+    /// structured logging; the event path then costs one branch.
+    pub log_path: Option<String>,
+    /// Minimum severity written to the event log.
+    pub log_level: LogLevel,
+    /// Flight-recorder sidecar path. When set, recent events and the
+    /// last few per-request reports are retained in memory and dumped
+    /// here on a request error and at shutdown.
+    pub flight_path: Option<String>,
+    /// Directory for per-request Chrome traces (`--trace`). Every
+    /// queued request records a trace and writes
+    /// `<dir>/<case>_r<id>.trace.json`, span process tagged
+    /// `case#r<id>`.
+    pub trace_dir: Option<String>,
+    /// Sample capacity of the rolling metrics window.
+    pub window_capacity: usize,
+    /// Length of the rolling metrics window, in seconds.
+    pub window_secs: u64,
+    /// Flight-recorder event-ring capacity.
+    pub recorder_events: usize,
+    /// Flight-recorder per-request report-ring capacity.
+    pub recorder_reports: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +86,14 @@ impl Default for ServerConfig {
             workers: 2,
             queue_depth: 64,
             default_threads: 1,
+            log_path: None,
+            log_level: LogLevel::Info,
+            flight_path: None,
+            trace_dir: None,
+            window_capacity: 1024,
+            window_secs: 60,
+            recorder_events: 256,
+            recorder_reports: 8,
         }
     }
 }
@@ -75,15 +108,17 @@ struct CaseSlot {
 /// A queued request together with its response channel.
 struct Job {
     id: u64,
+    span: u64,
     request: Request,
     respond: mpsc::Sender<Json>,
 }
 
 /// The portion of a job that crosses into the wave workers. Split from
 /// [`Job`] because [`mpsc::Sender`] is not `Sync`: the dispatcher keeps
-/// the senders and only the `(id, request)` pairs are shared.
+/// the senders and only the `(id, span, request)` triples are shared.
 struct Work {
     id: u64,
+    span: u64,
     request: Request,
 }
 
@@ -109,12 +144,25 @@ struct ServerStats {
     errors: u64,
 }
 
+/// Live-telemetry state behind one mutex: the rolling metrics window
+/// (always fed — it is what the `metrics` command reads) and the flight
+/// recorder (fed only when a dump path is configured).
+struct Telemetry {
+    window: RollingWindow,
+    recorder: FlightRecorder,
+}
+
 struct Shared {
     config: ServerConfig,
     registry: Mutex<BTreeMap<String, Arc<Mutex<CaseSlot>>>>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     next_id: AtomicU64,
+    next_span: AtomicU64,
+    next_event: AtomicU64,
+    started: Instant,
+    telemetry: Mutex<Telemetry>,
+    log: Option<EventLog>,
     stats: Mutex<ServerStats>,
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -130,14 +178,35 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts a server: spawns the dispatcher thread and returns a
-    /// handle ready for [`handle_connection`](Self::handle_connection)
-    /// or the listener loops.
+    /// Starts a server: opens the configured telemetry sinks, spawns
+    /// the dispatcher thread, and returns a handle ready for
+    /// [`handle_connection`](Self::handle_connection) or the listener
+    /// loops.
     ///
     /// Dropping every clone without sending a `shutdown` request leaves
     /// the dispatcher parked on its queue until process exit; send
     /// `shutdown` (and [`join`](Self::join)) for a clean stop.
-    pub fn new(config: ServerConfig) -> Server {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the event-log file cannot be created or the trace
+    /// directory cannot be made. A default config opens no sinks and
+    /// cannot fail.
+    pub fn new(config: ServerConfig) -> std::io::Result<Server> {
+        let log = match &config.log_path {
+            Some(path) => Some(EventLog::to_file(path, config.log_level)?),
+            None => None,
+        };
+        if let Some(dir) = &config.trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let telemetry = Telemetry {
+            window: RollingWindow::new(
+                config.window_capacity,
+                config.window_secs.saturating_mul(1_000_000),
+            ),
+            recorder: FlightRecorder::new(config.recorder_events, config.recorder_reports),
+        };
         let server = Server {
             shared: Arc::new(Shared {
                 config,
@@ -145,6 +214,11 @@ impl Server {
                 queue: Mutex::new(QueueState::default()),
                 queue_cv: Condvar::new(),
                 next_id: AtomicU64::new(1),
+                next_span: AtomicU64::new(1),
+                next_event: AtomicU64::new(0),
+                started: Instant::now(),
+                telemetry: Mutex::new(telemetry),
+                log,
                 stats: Mutex::new(ServerStats {
                     profile: Profile::new(),
                     requests: 0,
@@ -158,7 +232,55 @@ impl Server {
         let worker = server.clone();
         let handle = std::thread::spawn(move || worker.dispatch_loop());
         *lock(&server.shared.dispatcher) = Some(handle);
-        server
+        Ok(server)
+    }
+
+    /// Microseconds since the server started — the epoch for metrics
+    /// samples and event timestamps.
+    fn uptime_micros(&self) -> u64 {
+        self.shared.started.elapsed().as_micros() as u64
+    }
+
+    /// Whether any structured-event sink (JSONL log or flight
+    /// recorder) is configured. When neither is, the whole event path
+    /// collapses to this one branch.
+    fn events_on(&self) -> bool {
+        self.shared.log.is_some() || self.shared.config.flight_path.is_some()
+    }
+
+    /// Emits one structured event to the log and the flight recorder.
+    fn emit(&self, level: LogLevel, event: &str, fields: Vec<(String, Json)>) {
+        if !self.events_on() {
+            return;
+        }
+        let seq = self.shared.next_event.fetch_add(1, Ordering::Relaxed);
+        let record = log_record(seq, self.uptime_micros(), level, event, fields);
+        if self.shared.config.flight_path.is_some() {
+            lock(&self.shared.telemetry)
+                .recorder
+                .note_event(record.clone());
+        }
+        if let Some(log) = &self.shared.log {
+            log.write(level, &record);
+        }
+    }
+
+    /// Writes the flight-recorder dump to the configured sidecar path.
+    /// A no-op without a path; a failed write becomes a warn event
+    /// rather than an error — telemetry must not take the service down.
+    fn flight_dump(&self, reason: &str) {
+        let Some(path) = &self.shared.config.flight_path else {
+            return;
+        };
+        let uptime = self.shared.started.elapsed().as_secs_f64();
+        let dump = lock(&self.shared.telemetry).recorder.dump(reason, uptime);
+        if std::fs::write(path, format!("{dump}\n")).is_err() {
+            self.emit(
+                LogLevel::Warn,
+                "flight_dump_failed",
+                vec![("path".into(), Json::Str(path.clone()))],
+            );
+        }
     }
 
     /// Whether a `shutdown` request has fully drained the queue and
@@ -266,6 +388,15 @@ impl Server {
                 Err(err) => {
                     let response = error_response(0, codes::MALFORMED_FRAME, &err.to_string());
                     self.note_outcome(&response);
+                    self.emit(
+                        LogLevel::Error,
+                        "request_failed",
+                        vec![
+                            ("code".into(), Json::Str(codes::MALFORMED_FRAME.into())),
+                            ("message".into(), Json::Str(err.to_string())),
+                        ],
+                    );
+                    self.flight_dump("request_error");
                     let _ = write_frame(&mut stream, &response);
                     return;
                 }
@@ -293,11 +424,37 @@ impl Server {
     /// queue wait.
     pub fn process(&self, id: u64, request: Request) -> Json {
         let admitted = Instant::now();
+        let span = self.shared.next_span.fetch_add(1, Ordering::Relaxed);
+        if self.events_on() {
+            let mut fields = vec![
+                ("span".into(), Json::num(span as f64)),
+                ("id".into(), Json::num(id as f64)),
+                ("cmd".into(), Json::Str(request.cmd().to_string())),
+            ];
+            if let Some(case) = request.case_name() {
+                fields.push(("case".into(), Json::Str(case.to_string())));
+            }
+            fields.push((
+                "queue_depth".into(),
+                Json::num(lock(&self.shared.queue).jobs.len() as f64),
+            ));
+            self.emit(LogLevel::Info, "request_admitted", fields);
+        }
         let response = match request {
             Request::Ping => ok_response(id, vec![("pong".into(), Json::Bool(true))]),
             Request::Stats => self.stats_response(id),
+            Request::Metrics => self.metrics_response(id),
             Request::Unload { name } => {
                 let removed = lock(&self.shared.registry).remove(&name).is_some();
+                self.emit(
+                    LogLevel::Info,
+                    "engine_unloaded",
+                    vec![
+                        ("span".into(), Json::num(span as f64)),
+                        ("case".into(), Json::Str(name.clone())),
+                        ("was_resident".into(), Json::Bool(removed)),
+                    ],
+                );
                 ok_response(
                     id,
                     vec![
@@ -306,16 +463,66 @@ impl Server {
                     ],
                 )
             }
-            queued => self.enqueue_and_wait(id, queued),
+            queued => self.enqueue_and_wait(id, span, queued),
         };
         let micros = admitted.elapsed().as_secs_f64() * 1e6;
+        let ok = response.get("ok") == Some(&Json::Bool(true));
         let mut stats = lock(&self.shared.stats);
         stats
             .profile
             .record(hist_keys::SERVE_REQUEST_MICROS, micros);
         drop(stats);
+        lock(&self.shared.telemetry).window.record(RequestSample {
+            end_micros: self.uptime_micros(),
+            latency_micros: micros as u64,
+            ok,
+        });
         self.note_outcome(&response);
+        if self.events_on() {
+            let mut fields = vec![
+                ("span".into(), Json::num(span as f64)),
+                ("id".into(), Json::num(id as f64)),
+                ("latency_micros".into(), Json::num(micros)),
+            ];
+            if ok {
+                self.emit(LogLevel::Info, "request_completed", fields);
+            } else {
+                if let Some(code) = response
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                {
+                    fields.push(("code".into(), Json::Str(code.to_string())));
+                }
+                self.emit(LogLevel::Error, "request_failed", fields);
+            }
+        }
+        if !ok {
+            self.flight_dump("request_error");
+        }
         response
+    }
+
+    /// Rolling-window gauges, answered inline. The snapshot is taken
+    /// *before* this request's own sample is recorded, so the counts a
+    /// test observes are exactly the requests completed beforehand.
+    fn metrics_response(&self, id: u64) -> Json {
+        let now = self.uptime_micros();
+        let queue_depth = lock(&self.shared.queue).jobs.len();
+        let snapshot = lock(&self.shared.telemetry)
+            .window
+            .snapshot(now, queue_depth);
+        ok_response(
+            id,
+            vec![
+                ("window".into(), snapshot.to_json()),
+                ("prometheus".into(), Json::Str(snapshot.to_prometheus())),
+                (
+                    "uptime_secs".into(),
+                    Json::num(self.shared.started.elapsed().as_secs_f64()),
+                ),
+            ],
+        )
     }
 
     fn note_outcome(&self, response: &Json) {
@@ -326,7 +533,7 @@ impl Server {
         }
     }
 
-    fn enqueue_and_wait(&self, id: u64, request: Request) -> Json {
+    fn enqueue_and_wait(&self, id: u64, span: u64, request: Request) -> Json {
         let (respond, receive) = mpsc::channel();
         {
             let mut queue = lock(&self.shared.queue);
@@ -354,6 +561,7 @@ impl Server {
             }
             queue.jobs.push_back(Job {
                 id,
+                span,
                 request,
                 respond,
             });
@@ -367,6 +575,7 @@ impl Server {
     /// The dispatcher: pops waves off the queue and runs each wave on
     /// the `flow3d-par` pool. Exits after answering a shutdown job.
     fn dispatch_loop(&self) {
+        let mut wave_index: u64 = 0;
         loop {
             let wave = self.next_wave();
             if wave.len() == 1 && matches!(wave[0].request, Request::Shutdown) {
@@ -383,11 +592,43 @@ impl Server {
                 senders.push(job.respond);
                 work.push(Work {
                     id: job.id,
+                    span: job.span,
                     request: job.request,
                 });
             }
+            if self.events_on() {
+                self.emit(
+                    LogLevel::Debug,
+                    "wave_start",
+                    vec![
+                        ("wave".into(), Json::num(wave_index as f64)),
+                        ("size".into(), Json::num(work.len() as f64)),
+                    ],
+                );
+                for w in &work {
+                    let mut fields = vec![
+                        ("span".into(), Json::num(w.span as f64)),
+                        ("id".into(), Json::num(w.id as f64)),
+                        ("wave".into(), Json::num(wave_index as f64)),
+                        ("cmd".into(), Json::Str(w.request.cmd().to_string())),
+                    ];
+                    if let Some(case) = w.request.case_name() {
+                        fields.push(("case".into(), Json::Str(case.to_string())));
+                    }
+                    self.emit(LogLevel::Info, "request_dispatched", fields);
+                }
+            }
             let workers = flow3d_par::resolve_threads(self.shared.config.workers);
             let executed = flow3d_par::par_map(workers, work.len(), |i| self.execute(&work[i]));
+            self.emit(
+                LogLevel::Debug,
+                "wave_end",
+                vec![
+                    ("wave".into(), Json::num(wave_index as f64)),
+                    ("size".into(), Json::num(work.len() as f64)),
+                ],
+            );
+            wave_index += 1;
             let mut stats = lock(&self.shared.stats);
             for (done, respond) in executed.into_iter().zip(senders) {
                 if let Some(profile) = &done.profile {
@@ -396,6 +637,12 @@ impl Server {
                 let _ = respond.send(done.response);
             }
         }
+        self.emit(
+            LogLevel::Info,
+            "server_stopped",
+            vec![("waves".into(), Json::num(wave_index as f64))],
+        );
+        self.flight_dump("shutdown");
         let mut done = lock(&self.shared.done);
         *done = true;
         self.shared.done_cv.notify_all();
@@ -507,6 +754,9 @@ impl Server {
             ..Flow3dConfig::default()
         };
         let mut profile = Profile::new();
+        if self.shared.config.trace_dir.is_some() {
+            profile.enable_tracing();
+        }
         profile.begin("load");
         let base = if let Some(text) = legal {
             match flow3d_io::parse_legal(&design, text) {
@@ -537,6 +787,17 @@ impl Server {
             legalizes: 0,
         }));
         lock(&self.shared.registry).insert(name.to_string(), slot);
+        self.emit(
+            LogLevel::Info,
+            "engine_loaded",
+            vec![
+                ("id".into(), Json::num(id as f64)),
+                ("case".into(), Json::Str(name.to_string())),
+                ("cells".into(), Json::num(cells as f64)),
+                ("threads".into(), Json::num(threads as f64)),
+            ],
+        );
+        self.export_trace(name, id, &profile);
         Executed {
             response: ok_response(
                 id,
@@ -547,6 +808,50 @@ impl Server {
                 ],
             ),
             profile: Some(profile),
+        }
+    }
+
+    /// Writes a request's Chrome trace into the configured trace
+    /// directory as `<case>_r<id>.trace.json`, process tagged
+    /// `case#r<id>`. A no-op unless `--trace` armed the directory.
+    fn export_trace(&self, name: &str, id: u64, profile: &Profile) {
+        let Some(dir) = &self.shared.config.trace_dir else {
+            return;
+        };
+        let Some(trace_json) = profile.to_chrome_trace(&format!("flow3d-serve {name}#r{id}"))
+        else {
+            return;
+        };
+        let file: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = std::path::Path::new(dir).join(format!("{file}_r{id}.trace.json"));
+        if std::fs::write(&path, trace_json).is_err() {
+            self.emit(
+                LogLevel::Warn,
+                "trace_export_failed",
+                vec![(
+                    "path".into(),
+                    Json::Str(path.to_string_lossy().into_owned()),
+                )],
+            );
+        }
+    }
+
+    /// Retains a per-request report in the flight recorder (no-op
+    /// without a dump path).
+    fn note_report(&self, tag: &str, report: &Json) {
+        if self.shared.config.flight_path.is_some() {
+            lock(&self.shared.telemetry)
+                .recorder
+                .note_report(tag, report.clone());
         }
     }
 
@@ -568,6 +873,9 @@ impl Server {
             Err(e) => return fail(codes::PARSE_FAILED, &format!("global: {e}")),
         };
         let mut profile = Profile::new();
+        if self.shared.config.trace_dir.is_some() {
+            profile.enable_tracing();
+        }
         profile.begin("legalize");
         let legalizer = Flow3dLegalizer::new(slot.engine.config().clone());
         let outcome =
@@ -586,7 +894,8 @@ impl Server {
                 return fail(codes::LEGALIZE_FAILED, &e.to_string());
             }
         }
-        let report = RunReport::from_profile(&format!("{name}#r{id}"), "flow3d-serve", &profile);
+        let tag = format!("{name}#r{id}");
+        let report = RunReport::from_profile(&tag, "flow3d-serve", &profile);
         let mut fields = vec![
             ("name".into(), Json::Str(name.to_string())),
             ("legal".into(), Json::Str(legal_text)),
@@ -594,8 +903,10 @@ impl Server {
             ("stats".into(), stats_json(&outcome.stats)),
         ];
         if let Ok(json) = Json::parse(&report.to_json()) {
+            self.note_report(&tag, &json);
             fields.push(("report".into(), json));
         }
+        self.export_trace(name, id, &profile);
         Executed {
             response: ok_response(id, fields),
             profile: Some(profile),
@@ -623,7 +934,7 @@ impl Server {
             Err(msg) => return fail(codes::BAD_REQUEST, &msg),
         };
         let mut profile = Profile::new();
-        if trace {
+        if trace || self.shared.config.trace_dir.is_some() {
             profile.enable_tracing();
         }
         profile.begin("eco");
@@ -642,7 +953,8 @@ impl Server {
                 return fail(codes::LEGALIZE_FAILED, &e.to_string());
             }
         }
-        let report = RunReport::from_profile(&format!("{name}#r{id}"), "flow3d-serve", &profile);
+        let tag = format!("{name}#r{id}");
+        let report = RunReport::from_profile(&tag, "flow3d-serve", &profile);
         let mut fields = vec![
             ("name".into(), Json::Str(name.to_string())),
             ("legal".into(), Json::Str(legal_text)),
@@ -654,14 +966,15 @@ impl Server {
             ),
         ];
         if let Ok(json) = Json::parse(&report.to_json()) {
+            self.note_report(&tag, &json);
             fields.push(("report".into(), json));
         }
         if trace {
-            if let Some(trace_json) = profile.to_chrome_trace(&format!("flow3d-serve {name}#r{id}"))
-            {
+            if let Some(trace_json) = profile.to_chrome_trace(&format!("flow3d-serve {tag}")) {
                 fields.push(("trace".into(), Json::Str(trace_json)));
             }
         }
+        self.export_trace(name, id, &profile);
         Executed {
             response: ok_response(id, fields),
             profile: Some(profile),
@@ -696,6 +1009,17 @@ impl Server {
             ("requests".into(), Json::num(stats.requests as f64)),
             ("errors".into(), Json::num(stats.errors as f64)),
             ("pending".into(), Json::num(pending as f64)),
+            (
+                "uptime_secs".into(),
+                Json::num(self.shared.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "peak_rss_bytes".into(),
+                match peak_rss_bytes() {
+                    Some(bytes) => Json::num(bytes as f64),
+                    None => Json::Null,
+                },
+            ),
         ];
         if let Ok(json) = Json::parse(&report.to_json()) {
             fields.push(("report".into(), json));

@@ -182,7 +182,7 @@ fn socketpair_client(server: &Server) -> Client<std::os::unix::net::UnixStream> 
 fn eco_batch_is_bit_identical_and_memo_warm() {
     let d = design(12);
     let base = base_placement(&d);
-    let server = Server::new(ServerConfig::default());
+    let server = Server::new(ServerConfig::default()).unwrap();
     let mut client = socketpair_client(&server);
 
     let resp = client.request(&load_request("demo", &d, &base)).unwrap();
@@ -255,7 +255,7 @@ fn eco_batch_is_bit_identical_and_memo_warm() {
 fn malformed_frame_is_answered_then_connection_closes() {
     use flow3d_serve::{read_frame, write_frame};
 
-    let server = Server::new(ServerConfig::default());
+    let server = Server::new(ServerConfig::default()).unwrap();
     let (mut ours, theirs) = std::os::unix::net::UnixStream::pair().unwrap();
     let handler = server.clone();
     std::thread::spawn(move || handler.handle_connection(theirs));
@@ -296,7 +296,7 @@ fn malformed_frame_is_answered_then_connection_closes() {
 fn concurrent_connections_stay_deterministic() {
     let d = design(12);
     let base = base_placement(&d);
-    let server = Server::new(ServerConfig::default());
+    let server = Server::new(ServerConfig::default()).unwrap();
 
     let mut setup = socketpair_client(&server);
     for name in ["a", "b"] {
@@ -333,7 +333,7 @@ fn concurrent_connections_stay_deterministic() {
 fn shutdown_drains_admitted_requests() {
     let d = design(12);
     let base = base_placement(&d);
-    let server = Server::new(ServerConfig::default());
+    let server = Server::new(ServerConfig::default()).unwrap();
     let result = server.process(1, parse_request(&load_request("demo", &d, &base)));
     assert_ok(&result);
 
@@ -387,7 +387,7 @@ fn shutdown_drains_admitted_requests() {
 fn tcp_listener_round_trips_and_stops() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = Server::new(ServerConfig::default());
+    let server = Server::new(ServerConfig::default()).unwrap();
     let acceptor = server.clone();
     let accept_thread = std::thread::spawn(move || acceptor.serve_listener(listener));
 
@@ -402,4 +402,171 @@ fn tcp_listener_round_trips_and_stops() {
 
 fn parse_request(json: &Json) -> flow3d_serve::Request {
     flow3d_serve::Request::parse(json).unwrap()
+}
+
+/// The `metrics` command over the wire: after a known request sequence
+/// (one load + four ecos), the windowed gauges count exactly those five
+/// completed requests — the snapshot is taken before the metrics
+/// request's own sample — with ordered, populated latency quantiles, a
+/// live throughput, and an agreeing Prometheus rendering.
+#[cfg(unix)]
+#[test]
+fn metrics_window_reports_known_request_sequence() {
+    let d = design(12);
+    let base = base_placement(&d);
+    let server = Server::new(ServerConfig::default()).unwrap();
+    let mut client = socketpair_client(&server);
+
+    let resp = client.request(&load_request("demo", &d, &base)).unwrap();
+    assert_ok(&resp);
+    let spec = pileup(&base, &[0, 1, 2, 3, 4], 5);
+    for _ in 0..4 {
+        let resp = client.request(&eco_request("demo", &spec)).unwrap();
+        assert_ok(&resp);
+    }
+
+    let resp = client
+        .request(&obj(vec![("cmd", Json::Str("metrics".into()))]))
+        .unwrap();
+    let result = assert_ok(&resp);
+    let window = result.get("window").expect("metrics carry a window");
+    let gauge = |key: &str| {
+        window
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing gauge `{key}` in {window}"))
+    };
+    assert_eq!(gauge("count"), 5, "load + 4 ecos completed beforehand");
+    assert_eq!(gauge("errors"), 0);
+    assert_eq!(window.get("error_rate"), Some(&Json::num(0.0)));
+    let (p50, p90, p99) = (
+        gauge("latency_p50_micros"),
+        gauge("latency_p90_micros"),
+        gauge("latency_p99_micros"),
+    );
+    assert!(
+        p50 > 0 && p50 <= p90 && p90 <= p99 && p99 <= gauge("latency_max_micros"),
+        "quantiles must be populated and ordered: p50={p50} p90={p90} p99={p99}"
+    );
+    let throughput = window
+        .get("throughput_rps")
+        .and_then(Json::as_f64)
+        .expect("throughput gauge");
+    assert!(throughput > 0.0, "five requests completed: {throughput}");
+    assert!(
+        result
+            .get("uptime_secs")
+            .and_then(Json::as_f64)
+            .expect("uptime gauge")
+            >= 0.0
+    );
+    let text = result
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("metrics carry a Prometheus rendering");
+    assert!(text.contains("flow3d_serve_window_requests 5"));
+    assert!(text.contains(&format!(
+        "flow3d_serve_request_latency_micros{{quantile=\"0.99\"}} {p99}"
+    )));
+    assert!(text.contains("flow3d_serve_requests_total 5"));
+
+    shutdown_and_join(&mut client, &server);
+}
+
+/// A request error leaves a flight-recorder dump on disk with reason
+/// `request_error` and the failing span in its event ring; a graceful
+/// shutdown overwrites it with a `shutdown` dump. The JSONL event log
+/// records the failure at error level, one parseable object per line.
+#[test]
+fn request_error_and_shutdown_dump_flight_recorder() {
+    let dir = std::env::temp_dir().join(format!("flow3d_flight_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let flight = dir.join("flight.json");
+    let log = dir.join("events.jsonl");
+    let server = Server::new(ServerConfig {
+        flight_path: Some(flight.to_string_lossy().into_owned()),
+        log_path: Some(log.to_string_lossy().into_owned()),
+        log_level: flow3d_obs::LogLevel::Debug,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    // An eco against a case that was never loaded: `unknown_case`.
+    let resp = server.process(1, parse_request(&eco_request("ghost", &[(0, 0, 0, None)])));
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("code")),
+        Some(&Json::Str("unknown_case".into()))
+    );
+    let dump = Json::parse(std::fs::read_to_string(&flight).unwrap().trim()).unwrap();
+    assert_eq!(dump.get("reason"), Some(&Json::Str("request_error".into())));
+    let events = dump
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("dump carries the event ring");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("event") == Some(&Json::Str("request_failed".into()))),
+        "the failing span must be in the recorded events: {dump}"
+    );
+
+    let resp = server.process(
+        2,
+        parse_request(&obj(vec![("cmd", Json::Str("shutdown".into()))])),
+    );
+    assert_ok(&resp);
+    server.join();
+    let dump = Json::parse(std::fs::read_to_string(&flight).unwrap().trim()).unwrap();
+    assert_eq!(dump.get("reason"), Some(&Json::Str("shutdown".into())));
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let mut saw_failure = false;
+    for line in text.lines() {
+        let record = Json::parse(line).expect("every log line is one JSON object");
+        if record.get("event") == Some(&Json::Str("request_failed".into())) {
+            assert_eq!(record.get("level"), Some(&Json::Str("error".into())));
+            saw_failure = true;
+        }
+    }
+    assert!(saw_failure, "the log must record the failed request");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--trace DIR` exports one Chrome trace per load/eco request, named
+/// `<case>_r<id>.trace.json` and process-tagged `case#r<id>`.
+#[test]
+fn trace_dir_exports_per_request_chrome_traces() {
+    let dir = std::env::temp_dir().join(format!("flow3d_traces_{}", std::process::id()));
+    let server = Server::new(ServerConfig {
+        trace_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let d = design(12);
+    let base = base_placement(&d);
+    let resp = server.process(1, parse_request(&load_request("demo", &d, &base)));
+    assert_ok(&resp);
+    let spec = pileup(&base, &[0, 1, 2, 3, 4], 5);
+    let resp = server.process(2, parse_request(&eco_request("demo", &spec)));
+    assert_ok(&resp);
+    let resp = server.process(
+        3,
+        parse_request(&obj(vec![("cmd", Json::Str("shutdown".into()))])),
+    );
+    assert_ok(&resp);
+    server.join();
+
+    for id in [1u64, 2] {
+        let path = dir.join(format!("demo_r{id}.trace.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing trace {}: {e}", path.display()));
+        let doc = Json::parse(&text).expect("trace parses");
+        assert!(
+            doc.get("traceEvents").and_then(Json::as_array).is_some(),
+            "trace carries traceEvents: {}",
+            path.display()
+        );
+        assert!(text.contains(&format!("demo#r{id}")), "span process tag");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
