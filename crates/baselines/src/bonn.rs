@@ -23,6 +23,7 @@ use std::collections::BinaryHeap;
 
 /// Configuration of the Bonn-style legalizer.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — baseline knob surface, reachable as flow3d::baselines for external comparisons
 pub struct BonnConfig {
     /// Bin width as a multiple of the mean cell width (same default as
     /// 3D-Flow's flow phase for comparability).

@@ -3,7 +3,9 @@
 //! ```text
 //! flow3d gen --suite 2022 --case case3 [--scale 0.25] --out case.txt [--gp gp.txt]
 //! flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt \
-//!        --out legal.txt [--no-d2d] [--no-post] [--no-memo] [--alpha 0.1] [--threads N] \
+//!        --out legal.txt [--no-d2d] [--no-congestion] [--no-post] [--no-memo] [--no-soa] \
+//!        [--alpha 0.1] [--bin-width 10] [--post-bin-width 5] [--post-passes 3] \
+//!        [--row-algo abacus|isotonic] [--threads N] \
 //!        [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]
 //! flow3d check --case case.txt --legal legal.txt [--gp gp.txt]
 //! flow3d stats --case case.txt
@@ -154,7 +156,7 @@ fn run_report(argv: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      flow3d gen --suite 2022|2023|million|demo --case <name> [--scale S] [--seed N] --out case.txt [--gp gp.txt]\n  \
-     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-post] [--no-memo] [--alpha A] [--threads N] [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]\n  \
+     flow3d legalize --algo 3dflow|tetris|abacus|bonn --case case.txt --gp gp.txt --out legal.txt [--no-d2d] [--no-congestion] [--no-post] [--no-memo] [--no-soa] [--alpha A] [--bin-width F] [--post-bin-width F] [--post-passes N] [--row-algo abacus|isotonic] [--threads N] [--profile out.json] [--trace out.trace.json] [--heatmaps out.heatmaps.json]\n  \
      flow3d check --case case.txt --legal legal.txt [--gp gp.txt]\n  \
      flow3d stats --case case.txt\n  \
      flow3d report show <report.json>\n  \
@@ -241,15 +243,26 @@ fn cmd_legalize(args: &Args) -> Result<(), String> {
         "bonn" => Box::new(BonnLegalizer::default()),
         "3dflow" => Box::new(Flow3dLegalizer::new(Flow3dConfig {
             alpha: args.get_f64("alpha", 0.1)?,
+            bin_width_factor: args.get_f64("bin-width", 10.0)?,
+            post_bin_width_factor: args.get_f64("post-bin-width", 5.0)?,
             allow_d2d: !args.flag("no-d2d"),
+            d2d_congestion_cost: !args.flag("no-congestion"),
             post_opt: !args.flag("no-post"),
+            post_passes: args.get_usize("post-passes", 3)?,
+            row_algo: match args.get("row-algo").unwrap_or("abacus") {
+                "abacus" => flow3d_core::RowAlgo::AbacusQuadratic,
+                "isotonic" => flow3d_core::RowAlgo::IsotonicL1,
+                other => return Err(format!("--row-algo: unknown algorithm `{other}`")),
+            },
             // Memo off is an ablation knob: output is bit-identical
             // either way, only the search wall-clock changes.
             selection_memo: !args.flag("no-memo"),
             // 0 = auto: FLOW3D_THREADS, else available parallelism. The
             // result is bit-identical for every worker count.
             threads: args.get_usize("threads", 0)?,
-            ..Default::default()
+            // SoA off is the differential-testing reference path; the
+            // output is bit-identical either way.
+            soa_view: !args.flag("no-soa"),
         })),
         other => return Err(format!("unknown algorithm `{other}`")),
     };
@@ -475,7 +488,12 @@ fn cmd_tidy(args: &Args) -> Result<(), String> {
     if args.flag("json") {
         print!(
             "{}",
-            flow3d_lint::render_json(&report.violations, report.files_checked, &report.fixed)
+            flow3d_lint::render_json(
+                &report.violations,
+                report.files_checked,
+                &report.fixed,
+                (report.cache_hits, report.cache_total),
+            )
         );
     } else {
         for fv in &report.violations {
@@ -485,8 +503,10 @@ fn cmd_tidy(args: &Args) -> Result<(), String> {
             eprintln!("fixed: {fixed}");
         }
         eprintln!(
-            "flow3d-tidy: {} file(s) checked, {} violation(s)",
+            "flow3d-tidy: {} file(s) checked ({}/{} cache hits), {} violation(s)",
             report.files_checked,
+            report.cache_hits,
+            report.cache_total,
             report.violations.len()
         );
     }

@@ -35,6 +35,7 @@ pub fn partition_dies(design: &Design, global: &Placement3d) -> Result<Vec<DieId
 /// # Errors
 ///
 /// Same as [`partition_dies`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn partition_dies_with(
     design: &Design,
     global: &Placement3d,
@@ -141,6 +142,7 @@ pub fn build_state<'a>(
 /// # Errors
 ///
 /// Same as [`build_state`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn build_state_with_geom<'a>(
     design: &'a Design,
     layout: &'a RowLayout,

@@ -61,6 +61,7 @@ pub fn post_optimize(
 ///
 /// Same as [`post_optimize`].
 #[allow(clippy::too_many_arguments)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn post_optimize_with_geom(
     design: &Design,
     layout: &RowLayout,

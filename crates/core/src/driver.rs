@@ -43,6 +43,7 @@ pub fn bin_widths(design: &Design, factor: f64) -> Vec<i64> {
 ///
 /// [`LegalizeError::NoAugmentingPath`] when a source cannot be drained
 /// even by the unbounded search.
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn flow_pass(
     state: &mut FlowState<'_>,
     params: &SearchParams,
@@ -59,6 +60,7 @@ pub fn flow_pass(
 /// # Errors
 ///
 /// Same as [`flow_pass`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn flow_pass_observed(
     state: &mut FlowState<'_>,
     params: &SearchParams,
@@ -182,6 +184,7 @@ pub fn flow_pass_threaded(
 /// # Errors
 ///
 /// Same as [`flow_pass`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn flow_pass_threaded_pooled(
     state: &mut FlowState<'_>,
     params: &SearchParams,
@@ -530,6 +533,7 @@ pub fn teleport_fallback(
 ///
 /// [`LegalizeError::SegmentOverflow`] if a segment holds more cell width
 /// than it can fit — impossible after a successful [`flow_pass`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn placerow_all(state: &FlowState<'_>) -> Result<LegalPlacement, LegalizeError> {
     placerow_all_with(state, RowAlgo::AbacusQuadratic)
 }
@@ -539,6 +543,7 @@ pub fn placerow_all(state: &FlowState<'_>) -> Result<LegalPlacement, LegalizeErr
 /// # Errors
 ///
 /// Same as [`placerow_all`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn placerow_all_with(
     state: &FlowState<'_>,
     algo: RowAlgo,

@@ -50,6 +50,7 @@ pub enum EdgeKind {
 
 /// One bin: a slice of a row segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct Bin {
     /// Segment the bin belongs to.
     pub segment: SegmentId,

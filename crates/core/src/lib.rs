@@ -64,6 +64,7 @@ pub mod traits;
 
 pub use config::Flow3dConfig;
 pub use driver::Flow3dLegalizer;
+pub use placerow::RowAlgo;
 pub use error::LegalizeError;
 pub use incremental::CellMove;
 pub use resident::EcoEngine;

@@ -26,6 +26,7 @@ pub struct RowItem {
 
 /// Error: the segment cannot hold the cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct PlaceRowError {
     /// Total width of the cells.
     pub total_width: i64,
@@ -352,6 +353,7 @@ pub enum RowAlgo {
 /// # Errors
 ///
 /// Same as [`place_row`].
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn place_row_with(
     algo: RowAlgo,
     items: &[RowItem],
@@ -403,6 +405,7 @@ impl L1Block {
 ///
 /// Panics if `site <= 0` or the span is off the site grid (as
 /// [`place_row`]).
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn place_row_l1(
     items: &[RowItem],
     span: Interval,

@@ -252,6 +252,7 @@ fn bound(best: f64, alpha: f64, slack: f64) -> f64 {
 
 /// Finds the cheapest augmenting path draining `source`'s supply, or
 /// `None` when no reachable bin set can absorb it.
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub fn find_path(
     state: &FlowState<'_>,
     source: BinId,

@@ -47,6 +47,7 @@ impl Default for SelectionParams {
 
 /// One selected move.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct Move {
     /// The cell to move.
     pub cell: CellId,
@@ -59,6 +60,7 @@ pub struct Move {
 
 /// The selected set C(u, v) with its flow accounting.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct Selection {
     /// Moves in application order.
     pub moves: Vec<Move>,
@@ -121,6 +123,7 @@ const EMPTY_SLOT: MemoSlot = MemoSlot {
 /// one multiply-xor hash and one slot probe, no allocation, no ordering
 /// concerns (flow3d-tidy D1 bans hash maps in this crate anyway).
 #[derive(Debug, Clone)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct SelectionMemo {
     slots: Vec<MemoSlot>,
     epoch: u32,

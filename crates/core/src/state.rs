@@ -8,6 +8,7 @@ use flow3d_geom::Point;
 
 /// A fragment: part (or all) of a cell's width assigned to one bin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct Frag {
     /// The cell.
     pub cell: CellId,
@@ -24,6 +25,7 @@ pub struct Frag {
 /// id-map variant is kept as the differential-testing comparand (see
 /// `Flow3dConfig::soa_view`).
 #[derive(Debug, Clone)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub enum GeomSource<'a> {
     /// Borrow a prebuilt view (the driver and the resident ECO engine
     /// build one per design and share it across passes).

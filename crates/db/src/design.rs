@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 
 /// A movable standard-cell instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — design-database model type, part of the flow3d::db facade surface
 pub struct CellInst {
     /// Instance name, unique among all instances.
     pub name: String,

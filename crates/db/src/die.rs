@@ -27,6 +27,7 @@ impl Row {
 
 /// One die of the 3D stack.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — design-database model type, part of the flow3d::db facade surface
 pub struct Die {
     /// Die name (e.g. `"top"`, `"bottom"`).
     pub name: String,

@@ -11,6 +11,7 @@ use flow3d_geom::Point;
 
 /// Whether a library cell is a movable standard cell or a fixed macro.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+// flow3d-tidy: allow(dead-pub) — design-database model type, part of the flow3d::db facade surface
 pub enum LibCellKind {
     /// A standard cell: one row tall, movable by the legalizer.
     #[default]
@@ -22,6 +23,7 @@ pub enum LibCellKind {
 /// A pin of a library cell, with its offset from the cell's lower-left
 /// corner.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+// flow3d-tidy: allow(dead-pub) — design-database model type, part of the flow3d::db facade surface
 pub struct PinDef {
     /// Pin name, unique within the cell.
     pub name: String,
@@ -41,6 +43,7 @@ impl PinDef {
 
 /// One library cell as characterized in one technology.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — design-database model type, part of the flow3d::db facade surface
 pub struct LibCell {
     /// Cell name; identical across technologies for the same
     /// [`LibCellId`](crate::LibCellId).
@@ -77,6 +80,7 @@ impl LibCell {
 
 /// A library characterized for one technology node.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — design-database model type, part of the flow3d::db facade surface
 pub struct Technology {
     /// Technology name (e.g. `"N16"`).
     pub name: String,

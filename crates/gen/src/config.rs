@@ -10,6 +10,7 @@ use std::fmt;
 /// An error raised by the generator.
 #[derive(Debug)]
 #[non_exhaustive]
+// flow3d-tidy: allow(dead-pub) — generator API surface (flow3d::gen) for custom benchmark recipes
 pub enum GenError {
     /// The configuration is contradictory (zero cells, bad utilization...).
     InvalidConfig {

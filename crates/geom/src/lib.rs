@@ -51,6 +51,7 @@ pub use rect::Rect;
 /// assert_eq!(flow3d_geom::clamp_i64(42, 0, 10), 10);
 /// ```
 #[inline]
+// flow3d-tidy: allow(dead-pub) — geometry primitive on the flow3d::geom facade surface
 pub fn clamp_i64(x: i64, lo: i64, hi: i64) -> i64 {
     debug_assert!(lo <= hi, "clamp_i64: lo {lo} > hi {hi}");
     x.max(lo).min(hi)

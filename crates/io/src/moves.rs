@@ -26,6 +26,7 @@ use std::fmt::Write;
 /// One parsed ECO move: the io-level mirror of `flow3d_core::CellMove`
 /// (kept separate so this crate does not depend on the legalizer).
 #[derive(Debug, Clone, Copy, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — file-format API (flow3d::io) for external readers/writers of contest artifacts
 pub struct EcoMoveRecord {
     /// The cell the optimization step touched.
     pub cell: CellId,
@@ -101,6 +102,7 @@ pub fn parse_moves(design: &Design, text: &str) -> Result<Vec<EcoMoveRecord>, Io
 /// # Errors
 ///
 /// Only fails if the underlying [`Write`] sink fails.
+// flow3d-tidy: allow(dead-pub) — file-format API (flow3d::io) for external readers/writers of contest artifacts
 pub fn write_moves(
     design: &Design,
     moves: &[EcoMoveRecord],

@@ -9,14 +9,16 @@
 
 /// Token classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TokKind {
+pub(crate) enum TokKind {
     /// An identifier or keyword.
     Ident,
     /// An integer literal (including hex/octal/binary forms).
     Int,
     /// A floating-point literal (`1.0`, `2e9`, `3f64`, …).
     Float,
-    /// A string literal of any flavour (raw, byte, C). Content dropped.
+    /// A string literal of any flavour (raw, byte, C). The token text
+    /// holds the literal's content (escapes left as written) so symbol
+    /// passes can match wire commands, metric names, and CLI flags.
     Str,
     /// A character literal. Content dropped.
     Char,
@@ -28,10 +30,10 @@ pub enum TokKind {
 
 /// One lexed token with its 1-based source position.
 #[derive(Debug, Clone)]
-pub struct Token {
+pub(crate) struct Token {
     /// What kind of token this is.
     pub kind: TokKind,
-    /// The token's text (empty for string/char literals).
+    /// The token's text (literal content for strings, empty for chars).
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -53,7 +55,7 @@ impl Token {
 
 /// One parsed `// flow3d-tidy: allow(...)` comment.
 #[derive(Debug, Clone)]
-pub struct Suppression {
+pub(crate) struct Suppression {
     /// Line the comment sits on. It covers violations on this line and
     /// the next one.
     pub line: u32,
@@ -67,7 +69,7 @@ pub struct Suppression {
 
 /// A `flow3d-tidy:` comment the parser could not make sense of.
 #[derive(Debug, Clone)]
-pub struct MalformedSuppression {
+pub(crate) struct MalformedSuppression {
     /// Line of the comment.
     pub line: u32,
     /// Column of the comment marker.
@@ -78,7 +80,7 @@ pub struct MalformedSuppression {
 
 /// Everything the lexer extracts from one source file.
 #[derive(Debug, Default)]
-pub struct LexOutput {
+pub(crate) struct LexOutput {
     /// The significant tokens, in source order.
     pub tokens: Vec<Token>,
     /// Parsed suppression comments.
@@ -88,7 +90,7 @@ pub struct LexOutput {
 }
 
 /// The marker that introduces a suppression comment.
-pub const SUPPRESSION_MARKER: &str = "flow3d-tidy:";
+pub(crate) const SUPPRESSION_MARKER: &str = "flow3d-tidy:";
 
 const COMPOUND_PUNCT: &[&str] = &[
     "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
@@ -150,7 +152,7 @@ fn is_ident_continue(c: char) -> bool {
 /// Unterminated strings or comments end the token stream at the point of
 /// the problem rather than erroring: tidy lints are best-effort on broken
 /// source (the compiler reports the real error).
-pub fn lex(src: &str) -> LexOutput {
+pub(crate) fn lex(src: &str) -> LexOutput {
     let mut cur = Cursor::new(src);
     let mut out = LexOutput::default();
 
@@ -331,18 +333,22 @@ fn try_string_prefix(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Token>
 /// backslash escapes.
 fn eat_quoted(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
     cur.bump(); // opening quote
+    let mut text = String::new();
     while let Some(c) = cur.bump() {
         match c {
             '\\' => {
-                cur.bump();
+                text.push(c);
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
             }
             '"' => break,
-            _ => {}
+            _ => text.push(c),
         }
     }
     Token {
         kind: TokKind::Str,
-        text: String::new(),
+        text,
         line,
         col,
     }
@@ -352,10 +358,12 @@ fn eat_quoted(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
 /// followed by `hashes` `#`s.
 fn eat_raw_string(cur: &mut Cursor<'_>, line: u32, col: u32, hashes: usize) -> Token {
     cur.bump(); // opening quote
+    let mut text = String::new();
     'outer: while let Some(c) = cur.bump() {
         if c == '"' {
             for i in 0..hashes {
                 if cur.peek(i) != Some('#') {
+                    text.push(c);
                     continue 'outer;
                 }
             }
@@ -364,10 +372,11 @@ fn eat_raw_string(cur: &mut Cursor<'_>, line: u32, col: u32, hashes: usize) -> T
             }
             break;
         }
+        text.push(c);
     }
     Token {
         kind: TokKind::Str,
-        text: String::new(),
+        text,
         line,
         col,
     }
@@ -588,6 +597,17 @@ mod tests {
             idents("let a = r#\"unwrap() \" inner\"#; let b = b\"x\"; let c = br#\"y\"#;"),
             vec!["let", "a", "let", "b", "let", "c"]
         );
+    }
+
+    #[test]
+    fn string_content_is_retained() {
+        let strs: Vec<String> = lex("f(\"ping\", r#\"a \" b\"#, \"es\\\"c\");")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["ping", "a \" b", "es\\\"c"]);
     }
 
     #[test]

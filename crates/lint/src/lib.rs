@@ -14,12 +14,25 @@
 //! | D3 | `panic-unwrap`          | `unwrap`/`expect`/`panic!` in library non-test code |
 //! | D4 | `float-eq`              | exact float `==`/`!=` in geometry/cost code |
 //! | D5 | `missing-forbid-unsafe` | crate roots without `#![forbid(unsafe_code)]` |
+//! | W1 | `contract-drift`        | config/CLI/doc, wire-command, and metric-name drift |
+//! | W2 | `dead-pub`              | `pub` items no other crate references |
+//! | W3 | `nondet-capture`        | shared mutable captures in `flow3d_par` closures |
+//!
+//! The D-family is per-file token analysis. The W-family runs on a
+//! **symbol graph** ([`symbols`](crate) internals): every file is
+//! distilled into defs/refs/string-literal facts (cached on disk by
+//! content hash, so repeat runs are incremental), and cross-file passes
+//! compare code against code *and* code against the operational docs
+//! (README.md, EXPERIMENTS.md, SERVING.md).
 //!
 //! Why a *static* gate: PR 2/3 made the legalizer bit-identical across
 //! thread counts, but that contract was enforced only by runtime
 //! differential tests. One `HashMap` iteration on a result path can
 //! reintroduce nondeterminism that a test matrix catches only when the
 //! hash seed cooperates. `flow3d-tidy` rejects the pattern at CI time.
+//! The same argument scales up: a wire command the docs don't know, a
+//! metric the alert rows misname, or a `&mut` capture in a `par_map`
+//! closure are all drift the runtime suites catch late or never.
 //!
 //! Every lint supports inline suppression that **requires a reason**:
 //!
@@ -43,13 +56,15 @@
 //! assert_eq!(violations[0].lint, Lint::PanicUnwrap);
 //! ```
 
+mod capture;
+mod contracts;
+mod deadpub;
 pub mod diag;
-pub mod lexer;
+mod lexer;
 pub mod lints;
+mod symbols;
 pub mod workspace;
 
 pub use diag::{render_human, render_json, FileViolation};
-pub use lints::{
-    check_file, fix_missing_forbid, FilePolicy, Lint, Violation, ALL_LINTS, FORBID_UNSAFE_LINE,
-};
+pub use lints::{check_file, FilePolicy, Lint, Violation, ALL_LINTS};
 pub use workspace::{find_workspace_root, run, TidyReport};

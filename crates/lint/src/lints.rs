@@ -23,6 +23,17 @@ pub enum Lint {
     FloatEq,
     /// D5: a library crate root without `#![forbid(unsafe_code)]`.
     MissingForbidUnsafe,
+    /// W1: cross-artifact contract drift — config fields without CLI
+    /// flags or docs, wire commands missing from dispatch arms or the
+    /// SERVING.md table, metric names the docs don't know about.
+    ContractDrift,
+    /// W2: a `pub` item no other crate references — dead API surface.
+    DeadPub,
+    /// W3: a closure passed to `flow3d_par::par_map`-family entry points
+    /// that captures shared mutable state (`&mut`, `RefCell`, `Cell`,
+    /// `Relaxed` atomics) — nondeterminism the differential harness can
+    /// only catch dynamically.
+    NondetCapture,
     /// A malformed or reason-less `flow3d-tidy:` suppression comment.
     BadSuppression,
     /// A suppression that matched no violation — stale allows rot.
@@ -36,6 +47,9 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::PanicUnwrap,
     Lint::FloatEq,
     Lint::MissingForbidUnsafe,
+    Lint::ContractDrift,
+    Lint::DeadPub,
+    Lint::NondetCapture,
 ];
 
 impl Lint {
@@ -47,6 +61,9 @@ impl Lint {
             Lint::PanicUnwrap => "D3",
             Lint::FloatEq => "D4",
             Lint::MissingForbidUnsafe => "D5",
+            Lint::ContractDrift => "W1",
+            Lint::DeadPub => "W2",
+            Lint::NondetCapture => "W3",
             Lint::BadSuppression => "S1",
             Lint::UnusedSuppression => "S2",
         }
@@ -60,6 +77,9 @@ impl Lint {
             Lint::PanicUnwrap => "panic-unwrap",
             Lint::FloatEq => "float-eq",
             Lint::MissingForbidUnsafe => "missing-forbid-unsafe",
+            Lint::ContractDrift => "contract-drift",
+            Lint::DeadPub => "dead-pub",
+            Lint::NondetCapture => "nondet-capture",
             Lint::BadSuppression => "bad-suppression",
             Lint::UnusedSuppression => "unused-suppression",
         }
@@ -84,6 +104,15 @@ impl Lint {
             }
             Lint::FloatEq => "exact float equality is representation-dependent; compare with a tolerance",
             Lint::MissingForbidUnsafe => "every library crate root must carry #![forbid(unsafe_code)]",
+            Lint::ContractDrift => {
+                "config knobs, wire commands, and metric names must agree across code, CLI, and docs"
+            }
+            Lint::DeadPub => {
+                "a pub item no other crate references is dead API surface; demote it or allow() with a reason"
+            }
+            Lint::NondetCapture => {
+                "parallel closures must not capture shared mutable state; results must not depend on fan-out order"
+            }
             Lint::BadSuppression => "flow3d-tidy suppressions must name a known lint and give a reason",
             Lint::UnusedSuppression => "an allow() that suppresses nothing is stale and must be removed",
         }
@@ -103,6 +132,8 @@ pub struct FilePolicy {
     pub d4: bool,
     /// D5 `missing-forbid-unsafe` (only meaningful with `crate_root`).
     pub d5: bool,
+    /// W3 `nondet-capture` on `flow3d_par` closure arguments.
+    pub w3: bool,
     /// `true` for a crate root (`src/lib.rs`) where D5 is checked.
     pub crate_root: bool,
 }
@@ -116,6 +147,7 @@ impl FilePolicy {
             d3: true,
             d4: true,
             d5: true,
+            w3: true,
             crate_root: false,
         }
     }
@@ -138,7 +170,7 @@ pub struct Violation {
     pub help: String,
 }
 
-fn violation(lint: Lint, tok: &Token, message: String, help: String) -> Violation {
+pub(crate) fn violation(lint: Lint, tok: &Token, message: String, help: String) -> Violation {
     Violation {
         lint,
         line: tok.line,
@@ -149,7 +181,7 @@ fn violation(lint: Lint, tok: &Token, message: String, help: String) -> Violatio
     }
 }
 
-fn suppress_hint(lint: Lint) -> String {
+pub(crate) fn suppress_hint(lint: Lint) -> String {
     format!(
         "or suppress with `// flow3d-tidy: allow({}) — <reason>`",
         lint.name()
@@ -163,7 +195,7 @@ fn suppress_hint(lint: Lint) -> String {
 /// item is consumed up to its closing `}` (brace-counted) or `;`,
 /// whichever comes first at nesting depth zero. Intervening attributes
 /// on the same item are consumed too.
-fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+pub(crate) fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
     let mut out = Vec::with_capacity(tokens.len());
     let mut i = 0usize;
     while i < tokens.len() {
@@ -217,7 +249,7 @@ fn is_test_attr(tokens: &[Token], i: usize) -> bool {
 
 /// `true` if the file opens with an inner `#![cfg(test)]`-style
 /// attribute, gating everything in it to test builds.
-fn file_gated_to_tests(tokens: &[Token]) -> bool {
+pub(crate) fn file_gated_to_tests(tokens: &[Token]) -> bool {
     let mut i = 0usize;
     while tokens.get(i).is_some_and(|t| t.is_punct("#"))
         && tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
@@ -231,7 +263,7 @@ fn file_gated_to_tests(tokens: &[Token]) -> bool {
 }
 
 /// Skips one `#[...]` attribute; returns the index after its `]`.
-fn skip_attr(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn skip_attr(tokens: &[Token], i: usize) -> usize {
     let mut j = i + 1;
     if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
         j += 1;
@@ -280,6 +312,14 @@ fn skip_item(tokens: &[Token], i: usize) -> usize {
 /// violations (suppressions already applied, suppression problems
 /// reported as violations themselves).
 pub fn check_file(src: &str, policy: &FilePolicy) -> Vec<Violation> {
+    let (raw, lexed) = check_file_raw(src, policy);
+    apply_suppressions(raw, &lexed)
+}
+
+/// [`check_file`] without the suppression pass: returns the raw per-file
+/// violations plus the lex output, so workspace-level lints (W1/W2) can
+/// add their findings before suppressions are applied once for the file.
+pub(crate) fn check_file_raw(src: &str, policy: &FilePolicy) -> (Vec<Violation>, LexOutput) {
     let lexed = lex(src);
     let mut raw: Vec<Violation> = Vec::new();
 
@@ -295,8 +335,11 @@ pub fn check_file(src: &str, policy: &FilePolicy) -> Vec<Violation> {
     check_d3(&tokens, policy, &mut raw);
     check_d4(&tokens, policy, &mut raw);
     check_d5(&lexed.tokens, policy, &mut raw);
+    if policy.w3 {
+        crate::capture::check_w3(&tokens, &mut raw);
+    }
 
-    apply_suppressions(raw, &lexed)
+    (raw, lexed)
 }
 
 fn check_d1(tokens: &[Token], policy: &FilePolicy, out: &mut Vec<Violation>) {
@@ -446,13 +489,17 @@ fn check_d5(all_tokens: &[Token], policy: &FilePolicy, out: &mut Vec<Violation>)
 }
 
 /// The source line the `#![forbid(unsafe_code)]` auto-fix inserts.
-pub const FORBID_UNSAFE_LINE: &str = "#![forbid(unsafe_code)]";
+pub(crate) const FORBID_UNSAFE_LINE: &str = "#![forbid(unsafe_code)]";
 
 /// The D5 mechanical rewrite: prepends `#![forbid(unsafe_code)]` to a
 /// crate root that lacks it. Returns `None` when the file already
-/// carries the attribute.
-pub fn fix_missing_forbid(src: &str) -> Option<String> {
-    if src.contains(FORBID_UNSAFE_LINE) {
+/// carries the attribute as a line of its own — a doc comment that
+/// merely *mentions* the attribute must not defuse the fix.
+pub(crate) fn fix_missing_forbid(src: &str) -> Option<String> {
+    if src
+        .lines()
+        .any(|l| l.trim_start().starts_with(FORBID_UNSAFE_LINE))
+    {
         return None;
     }
     Some(format!("{FORBID_UNSAFE_LINE}\n{src}"))
@@ -462,7 +509,7 @@ pub fn fix_missing_forbid(src: &str) -> Option<String> {
 /// covers matching violations on its own line and the next line.
 /// Reason-less or malformed suppressions, unknown lint names, and allows
 /// that match nothing become violations themselves.
-fn apply_suppressions(raw: Vec<Violation>, lexed: &LexOutput) -> Vec<Violation> {
+pub(crate) fn apply_suppressions(raw: Vec<Violation>, lexed: &LexOutput) -> Vec<Violation> {
     let mut used = vec![false; lexed.suppressions.len()];
     let mut out: Vec<Violation> = Vec::new();
 

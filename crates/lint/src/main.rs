@@ -75,7 +75,12 @@ fn flow3d_lint_run(args: &[String]) -> Result<bool, String> {
     if json {
         print!(
             "{}",
-            flow3d_lint::render_json(&report.violations, report.files_checked, &report.fixed)
+            flow3d_lint::render_json(
+                &report.violations,
+                report.files_checked,
+                &report.fixed,
+                (report.cache_hits, report.cache_total),
+            )
         );
     } else {
         for fv in &report.violations {
@@ -85,8 +90,10 @@ fn flow3d_lint_run(args: &[String]) -> Result<bool, String> {
             eprintln!("fixed: {fixed}");
         }
         eprintln!(
-            "flow3d-tidy: {} file(s) checked, {} violation(s){}",
+            "flow3d-tidy: {} file(s) checked ({}/{} cache hits), {} violation(s){}",
             report.files_checked,
+            report.cache_hits,
+            report.cache_total,
             report.violations.len(),
             if report.fixed.is_empty() {
                 String::new()

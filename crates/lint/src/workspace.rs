@@ -1,14 +1,20 @@
 //! Workspace discovery and the tidy run driver: which files to check,
-//! which lints apply to each crate, and the `--fix` rewrites.
+//! which lints apply to each crate, the symbol-graph cache, and the
+//! `--fix` rewrites.
 
 use crate::diag::FileViolation;
-use crate::lints::{check_file, fix_missing_forbid, FilePolicy, Lint};
+use crate::lexer::LexOutput;
+use crate::lints::{apply_suppressions, fix_missing_forbid, FilePolicy, Lint, Violation};
+use crate::symbols::{self, FileFacts};
+use crate::{contracts, deadpub};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// The result of one tidy run over the workspace.
 #[derive(Debug, Default)]
+// flow3d-tidy: allow(dead-pub) — returned by the re-exported `run` entry point; drivers consume it field-wise
 pub struct TidyReport {
     /// Surviving violations, in (path, line, col) order.
     pub violations: Vec<FileViolation>,
@@ -16,6 +22,10 @@ pub struct TidyReport {
     pub files_checked: usize,
     /// Paths rewritten by `--fix`.
     pub fixed: Vec<String>,
+    /// Files (checked + reference-only) served from the symbol cache.
+    pub cache_hits: usize,
+    /// Files that participated in the symbol cache this run.
+    pub cache_total: usize,
 }
 
 impl TidyReport {
@@ -35,6 +45,7 @@ fn crate_policy(dir_name: &str) -> FilePolicy {
         d3: true,
         d4: false,
         d5: true,
+        w3: true,
         crate_root: false,
     };
     // D4 (float-eq) targets geometry/cost arithmetic, where an exact
@@ -56,13 +67,10 @@ fn crate_policy(dir_name: &str) -> FilePolicy {
             p.d3 = false;
         }
         // The server times request latency (operational telemetry that
-        // never feeds an algorithm) and its worker threads use
-        // panic-isolation idioms; D1 (hash-order determinism) still
-        // applies in full.
-        "serve" => {
-            p.d2 = false;
-            p.d3 = false;
-        }
+        // never feeds an algorithm), so D2 stays off; D3 (panic-unwrap)
+        // applies in full — the serve layer surfaces failures as typed
+        // wire errors, with reasoned allows at documented invariants.
+        "serve" => p.d2 = false,
         _ => {}
     }
     // Unknown crates: everything on, including float-eq.
@@ -184,31 +192,168 @@ fn collect_src(
     Ok(())
 }
 
+/// Collects reference-only `.rs` files — integration tests, benches,
+/// and a root-level `tests/` tree. They are never linted, but their
+/// identifier references feed the W2 dead-pub liveness check (an
+/// integration test consumes the library exactly like an external
+/// crate would).
+fn discover_refs(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("tests"), root.join("benches")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        for name in names {
+            dirs.push(crates_dir.join(&name).join("tests"));
+            dirs.push(crates_dir.join(&name).join("benches"));
+        }
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in dirs {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            for entry in fs::read_dir(&d)? {
+                let entry = entry?;
+                let path = entry.path();
+                if entry.file_type()?.is_dir() {
+                    if entry.file_name() != "fixtures" {
+                        stack.push(path);
+                    }
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    files.push(path);
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files
+        .into_iter()
+        .map(|path| {
+            let rel = rel_path(root, &path);
+            (path, rel)
+        })
+        .collect())
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Location of the symbol-graph cache for the workspace at `root`.
+fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("flow3d-tidy-cache.tsv")
+}
+
+/// The doc files the W1 contract lint reads alongside the source.
+const CONTRACT_DOCS: &[&str] = &["README.md", "EXPERIMENTS.md", "SERVING.md"];
+
 /// Runs the tidy pass over the workspace at `root`. With `fix`, applies
 /// the mechanical D5 rewrite in place and re-checks the patched files so
 /// fixed violations do not appear in the report.
+///
+/// Per-file lexing and fact extraction are served from the content-hash
+/// cache under `target/` when the file (and its policy) are unchanged;
+/// the workspace-level lints (W1/W2) always re-run over the facts — they
+/// are cross-file by construction, so no single file's hash can witness
+/// their inputs.
 pub fn run(root: &Path, fix: bool) -> io::Result<TidyReport> {
     let mut report = TidyReport::default();
     let tasks = discover(root)?;
+    let refs = discover_refs(root)?;
+    let cache = symbols::load_cache(&cache_path(root));
+    let mut facts: BTreeMap<String, FileFacts> = BTreeMap::new();
+    let mut contents: BTreeMap<String, String> = BTreeMap::new();
+
     for task in &tasks {
         let mut src = fs::read_to_string(&task.path)?;
         report.files_checked += 1;
-        let mut violations = check_file(&src, &task.policy);
-        if fix
-            && violations
-                .iter()
-                .any(|v| v.lint == Lint::MissingForbidUnsafe)
-        {
+        report.cache_total += 1;
+        let mut hash = symbols::policy_hash(&src, &task.policy);
+        let mut f = match cache.get(&task.rel) {
+            Some(cached) if cached.hash == hash => {
+                report.cache_hits += 1;
+                cached.clone()
+            }
+            _ => symbols::file_facts(&src, &task.policy, hash),
+        };
+        if fix && f.raw.iter().any(|v| v.lint == Lint::MissingForbidUnsafe) {
             if let Some(fixed) = fix_missing_forbid(&src) {
                 fs::write(&task.path, &fixed)?;
                 report.fixed.push(task.rel.clone());
                 src = fixed;
-                violations = check_file(&src, &task.policy);
+                hash = symbols::policy_hash(&src, &task.policy);
+                f = symbols::file_facts(&src, &task.policy, hash);
             }
         }
+        contents.insert(task.rel.clone(), src);
+        facts.insert(task.rel.clone(), f);
+    }
+
+    // Reference-only files: facts for the symbol graph, no lint pass.
+    let ref_policy = FilePolicy::default();
+    for (path, rel) in &refs {
+        let src = fs::read_to_string(path)?;
+        report.cache_total += 1;
+        let hash = symbols::policy_hash(&src, &ref_policy);
+        let f = match cache.get(rel) {
+            Some(cached) if cached.hash == hash => {
+                report.cache_hits += 1;
+                cached.clone()
+            }
+            _ => symbols::file_facts(&src, &ref_policy, hash),
+        };
+        facts.insert(rel.clone(), f);
+    }
+
+    let mut docs: BTreeMap<String, String> = BTreeMap::new();
+    for name in CONTRACT_DOCS {
+        if let Ok(text) = fs::read_to_string(root.join(name)) {
+            docs.insert((*name).to_string(), text);
+        }
+    }
+
+    // Workspace-level lints over the assembled symbol graph.
+    let mut extra: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for (path, v) in contracts::check_w1(&facts, &docs)
+        .into_iter()
+        .chain(deadpub::check_w2(&facts))
+    {
+        extra.entry(path).or_default().push(v);
+    }
+
+    // Per-file suppression pass over combined (per-file + workspace)
+    // findings, then snippet assembly.
+    for task in &tasks {
+        let f = &facts[&task.rel];
+        let mut raw = f.raw.clone();
+        if let Some(ws) = extra.remove(&task.rel) {
+            raw.extend(ws);
+        }
+        let lexed = LexOutput {
+            tokens: Vec::new(),
+            suppressions: f.suppressions.clone(),
+            malformed: f.malformed.clone(),
+        };
+        let violations = apply_suppressions(raw, &lexed);
         if violations.is_empty() {
             continue;
         }
+        let src = &contents[&task.rel];
         let lines: Vec<&str> = src.lines().collect();
         for v in violations {
             let snippet = lines
@@ -222,6 +367,27 @@ pub fn run(root: &Path, fix: bool) -> io::Result<TidyReport> {
             });
         }
     }
+
+    // Doc-anchored findings (SERVING.md rows etc.) have no suppression
+    // mechanism — they pass through, sorted per file.
+    for (path, mut vs) in extra {
+        vs.sort_by_key(|v| (v.line, v.col, v.lint));
+        let lines: Vec<&str> = docs.get(&path).map(|d| d.lines().collect()).unwrap_or_default();
+        for v in vs {
+            let snippet = lines
+                .get(v.line.saturating_sub(1) as usize)
+                .map(|s| (*s).to_string())
+                .unwrap_or_default();
+            report.violations.push(FileViolation {
+                path: path.clone(),
+                snippet,
+                v,
+            });
+        }
+    }
+
+    // Cache write failures are non-fatal: the next run just re-lexes.
+    let _ = symbols::save_cache(&cache_path(root), &facts);
     Ok(report)
 }
 
@@ -236,16 +402,19 @@ mod tests {
         assert!(!crate_policy("cli").d3, "the binary may exit on bad input");
         assert!(crate_policy("cli").d1, "determinism applies everywhere");
         let serve = crate_policy("serve");
+        assert!(!serve.d2, "the server times request latency");
         assert!(
-            !serve.d2 && !serve.d3,
-            "the server times latency and isolates request panics"
+            serve.d3,
+            "panic-unwrap applies to serve: failures become typed wire errors"
         );
         assert!(
-            serve.d1 && serve.d5,
-            "determinism and no-unsafe still apply"
+            serve.d1 && serve.d5 && serve.w3,
+            "determinism, no-unsafe, and capture hygiene still apply"
         );
         let future = crate_policy("brand-new-crate");
-        assert!(future.d1 && future.d2 && future.d3 && future.d4 && future.d5);
+        assert!(
+            future.d1 && future.d2 && future.d3 && future.d4 && future.d5 && future.w3
+        );
     }
 
     #[test]

@@ -1,0 +1,40 @@
+// Fixture: W3/nondet-capture — shared mutable state smuggled into
+// flow3d_par fan-out closures. Worker-local `let mut`, the pool
+// argument outside the closures, and the suppressed commutative
+// counter at the bottom must NOT be reported.
+pub fn mut_capture(n: usize) -> u64 {
+    let mut total = 0u64;
+    par_map(4, n, |i| accumulate(&mut total, i));
+    total
+}
+
+pub fn named_closure(n: usize) {
+    let mut hits = 0usize;
+    let work = |i: usize| record(&mut hits, i);
+    par_map(4, n, work);
+}
+
+pub fn interior(cell: &RefCell<Vec<usize>>, n: usize) {
+    par_map(4, n, |i| cell.borrow_mut().push(i));
+}
+
+pub fn relaxed(counter: &AtomicU64, n: usize) {
+    par_map(4, n, |i| counter.fetch_add(i as u64, Ordering::Relaxed));
+}
+
+pub fn worker_local_is_fine(n: usize) -> Vec<u64> {
+    par_map(4, n, |i| {
+        let mut acc = 0u64;
+        acc += i as u64;
+        acc
+    })
+}
+
+pub fn pool_argument_is_fine(pool: &mut ScratchPool, n: usize) {
+    par_map_with_pool(4, n, &mut *pool, Scratch::new, |s, i| s.run(i));
+}
+
+pub fn audited(stats: &AtomicU64, n: usize) {
+    // flow3d-tidy: allow(nondet-capture) — commutative counter: the final sum is order-independent
+    par_map(4, n, |i| stats.fetch_add(i as u64, Ordering::Relaxed));
+}

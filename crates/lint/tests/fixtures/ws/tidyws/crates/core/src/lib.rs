@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Miniature legalizer core.
+pub mod config;

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Miniature telemetry layer.
+mod metrics;

@@ -1,0 +1,8 @@
+//! Prometheus rendering.
+
+fn render(queue_depth: usize, total: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("flow3d_serve_queue_depth {queue_depth}\n"));
+    out.push_str(&format!("flow3d_serve_requests_total {total}\n"));
+    out
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! Miniature serve layer.
+pub mod protocol;
+pub use protocol::Request;

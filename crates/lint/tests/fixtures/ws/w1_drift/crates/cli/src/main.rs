@@ -1,0 +1,13 @@
+//! Miniature driver binary.
+use flow3d_core::Flow3dConfig;
+use flow3d_serve::Request;
+
+fn main() {
+    let args = parse_args();
+    let cfg = Flow3dConfig {
+        alpha: args.get_f64("alpha", 0.1),
+        threads: args.get_usize("threads", 0),
+    };
+    let probe = Request::parse("ping");
+    drive(cfg, probe);
+}

@@ -1,0 +1,11 @@
+//! Legalizer configuration.
+
+/// Tunable parameters.
+pub struct Flow3dConfig {
+    /// Branch-and-bound slack.
+    pub alpha: f64,
+    /// Worker threads; 0 = auto.
+    pub threads: usize,
+    /// Drifted: bound to no flag, documented nowhere.
+    pub beta: f64,
+}

@@ -1,0 +1,29 @@
+//! Wire protocol.
+
+/// A parsed request.
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Parse and cache a design.
+    Load,
+}
+
+impl Request {
+    /// Parses a wire command name.
+    pub fn parse(cmd: &str) -> Option<Request> {
+        match cmd {
+            "ping" => Some(Request::Ping),
+            "load" => Some(Request::Load),
+            "halt" => None,
+            _ => None,
+        }
+    }
+
+    /// The wire name, for telemetry.
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Load => "load",
+        }
+    }
+}

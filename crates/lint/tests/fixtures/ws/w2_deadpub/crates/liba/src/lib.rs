@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+//! Library A: one live, one dead, one waived pub item.
+
+/// Consumed by libb.
+pub fn used() -> u32 {
+    1
+}
+
+/// Nobody references this — the lint must flag it.
+pub fn orphan() -> u32 {
+    2
+}
+
+/// Crate-visible items are not candidates.
+pub(crate) fn internal() -> u32 {
+    used()
+}
+
+// flow3d-tidy: allow(dead-pub) — staged API surface: the client crate lands in the next change
+pub fn waived() -> u32 {
+    internal()
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Library B: keeps `liba::used` alive.
+
+fn consume() -> u32 {
+    liba::used()
+}

@@ -24,6 +24,7 @@ const FIXTURES: &[(&str, bool, &[Lint])] = &[
         &[Lint::BadSuppression, Lint::PanicUnwrap],
     ),
     ("s2_unused_suppression", false, &[Lint::UnusedSuppression]),
+    ("w3_nondet_capture", false, &[Lint::NondetCapture]),
     ("suppressed_clean", false, &[]),
 ];
 
@@ -114,15 +115,17 @@ fn bad_fixtures_are_rejected_and_clean_fixture_passes() {
 fn json_report_round_trips_through_the_obs_parser() {
     let violations = check_fixture("s1_bad_suppression", false);
     assert!(!violations.is_empty());
-    let text = render_json(&violations, 8, &["crates/x/src/lib.rs".to_string()]);
+    let text = render_json(&violations, 8, &["crates/x/src/lib.rs".to_string()], (5, 8));
     let doc = flow3d_obs::Json::parse(&text).expect("tidy --json output parses");
 
     assert_eq!(
         doc.get("tool").and_then(|j| j.as_str()),
         Some("flow3d-tidy")
     );
-    assert_eq!(doc.get("version").and_then(|j| j.as_u64()), Some(1));
+    assert_eq!(doc.get("version").and_then(|j| j.as_u64()), Some(2));
     assert_eq!(doc.get("files_checked").and_then(|j| j.as_u64()), Some(8));
+    assert_eq!(doc.get("cache_hits").and_then(|j| j.as_u64()), Some(5));
+    assert_eq!(doc.get("cache_total").and_then(|j| j.as_u64()), Some(8));
     assert!(matches!(
         doc.get("clean"),
         Some(flow3d_obs::Json::Bool(false))

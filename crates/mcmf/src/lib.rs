@@ -40,10 +40,12 @@ use std::fmt;
 /// Handle to an edge added with [`FlowNetwork::add_edge`]; use it to read
 /// the routed flow back with [`FlowNetwork::flow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// flow3d-tidy: allow(dead-pub) — reference-solver API (flow3d::mcmf) kept for external flow experiments
 pub struct EdgeId(usize);
 
 /// Result of a flow computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// flow3d-tidy: allow(dead-pub) — reference-solver API (flow3d::mcmf) kept for external flow experiments
 pub struct FlowResult {
     /// Total flow routed from source to sink.
     pub flow: i64,
@@ -54,6 +56,7 @@ pub struct FlowResult {
 /// Errors raised by [`FlowNetwork`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
+// flow3d-tidy: allow(dead-pub) — reference-solver API (flow3d::mcmf) kept for external flow experiments
 pub enum FlowError {
     /// A node index is out of range.
     NodeOutOfRange {

@@ -77,6 +77,7 @@ impl fmt::Display for Violation {
 
 /// Outcome of [`check_legal`].
 #[derive(Debug, Clone, PartialEq, Default)]
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub struct LegalityReport {
     violations: Vec<Violation>,
     truncated: bool,
@@ -138,6 +139,7 @@ pub fn check_legal(design: &Design, legal: &LegalPlacement) -> LegalityReport {
 }
 
 /// [`check_legal`] with a caller-provided [`RowLayout`].
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub fn check_legal_with_layout(
     design: &Design,
     layout: &RowLayout,

@@ -10,6 +10,7 @@ use flow3d_db::{CellId, Design, LegalPlacement, Placement3d};
 /// we normalize each cell by the row height of the die its global placement
 /// snaps to (its origin die).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub struct DisplacementStats {
     /// Mean normalized displacement (the paper's "Avg. Disp.").
     pub avg: f64,
@@ -40,6 +41,7 @@ pub struct DisplacementStats {
 /// lp.place(CellId::new(0), Point::new(13, 4), flow3d_db::DieId::BOTTOM);
 /// assert_eq!(flow3d_metrics::displacement_of(&gp, &lp, CellId::new(0)), 7.0);
 /// ```
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub fn displacement_of(global: &Placement3d, legal: &LegalPlacement, cell: CellId) -> f64 {
     let g = global.pos(cell);
     let l = legal.pos(cell);

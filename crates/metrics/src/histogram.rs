@@ -80,6 +80,7 @@ impl DisplacementHistogram {
 
 /// Per-die placement statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub struct DieStats {
     /// The die.
     pub die: DieId,
@@ -92,6 +93,7 @@ pub struct DieStats {
 }
 
 /// Computes [`DieStats`] for every die of the stack.
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub fn die_stats(design: &Design, legal: &LegalPlacement) -> Vec<DieStats> {
     let mut out: Vec<DieStats> = (0..design.num_dies())
         .map(|d| DieStats {

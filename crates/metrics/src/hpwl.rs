@@ -58,6 +58,7 @@ pub fn hpwl_global(design: &Design, global: &Placement3d) -> f64 {
 }
 
 /// HPWL of a legal placement.
+// flow3d-tidy: allow(dead-pub) — metrics API (flow3d::metrics) for external QoR tooling
 pub fn hpwl_legal(design: &Design, legal: &LegalPlacement) -> f64 {
     hpwl(design, |inst, pin| match inst {
         InstRef::Cell(c) => {

@@ -58,6 +58,7 @@ pub mod keys {
 /// assert_eq!(c.get("never_touched"), 0);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct CounterSet {
     entries: Vec<(String, u64)>,
 }

@@ -36,6 +36,7 @@ impl fmt::Display for DiffStatus {
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct DiffItem {
     /// Metric identifier, e.g. `"phase/legalize/flow_pass"` or
     /// `"quality/avg_disp"`.
@@ -99,6 +100,7 @@ impl Default for DiffTolerances {
 /// them would punish exactly the optimizations they exist to observe.
 /// The outcome-facing counters (paths, moves, retries) stay under the
 /// full counter tolerances.
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub const ADVISORY_COUNTERS: &[&str] = &[
     crate::counters::keys::BRANCHES_PRUNED_STALE,
     crate::counters::keys::SELECTION_MEMO_HITS,
@@ -107,6 +109,7 @@ pub const ADVISORY_COUNTERS: &[&str] = &[
 
 /// The outcome of comparing two reports.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct ReportDiff {
     /// Every compared metric, in comparison order.
     pub items: Vec<DiffItem>,
@@ -210,6 +213,7 @@ fn classify(delta_pct: f64, warn: f64, fail: f64) -> DiffStatus {
 /// side produce [`DiffStatus::Warn`] structural items — they make the
 /// diff visible without failing CI on intentional instrumentation
 /// changes.
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub fn diff_reports(baseline: &RunReport, current: &RunReport, tol: &DiffTolerances) -> ReportDiff {
     diff_reports_phase(baseline, current, tol, None)
 }

@@ -44,6 +44,7 @@ pub mod keys {
 /// DBU, node counts, and path depths all live comfortably inside
 /// `[0, 8·10⁶)`, and sharing bounds means any two pipeline histograms
 /// are merge-compatible by construction.
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub const DEFAULT_POW2_BOUNDS: [f64; 24] = [
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
     16384.0, 32768.0, 65536.0, 131072.0, 262144.0, 524288.0, 1048576.0, 2097152.0, 4194304.0,
@@ -53,6 +54,7 @@ pub const DEFAULT_POW2_BOUNDS: [f64; 24] = [
 /// Summary statistics extracted from a histogram (the `RunReport`
 /// surface of the distribution).
 #[derive(Debug, Clone, Copy, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct HistSummary {
     /// Number of recorded samples.
     pub count: u64,

@@ -159,6 +159,7 @@ impl RollingWindow {
 /// A coherent point-in-time view of the rolling window, plus lifetime
 /// totals. All latencies are microseconds.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct MetricsSnapshot {
     /// Configured window length in seconds.
     pub window_secs: f64,

@@ -21,6 +21,7 @@ struct TraceState {
 
 /// Accumulated statistics for one phase path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct PhaseStats {
     /// Total wall time spent inside the phase, summed over calls.
     pub total: Duration,
@@ -374,6 +375,7 @@ impl Profile {
 
 /// An open phase scope that records its elapsed time when dropped.
 /// Created by [`Profile::span`].
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct Span<'a> {
     profile: &'a mut Profile,
     name: String,

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 /// Timing of one phase path within a run.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct PhaseReport {
     /// Slash-separated phase path, e.g. `"legalize/flow_pass"`.
     pub path: String,
@@ -19,6 +20,7 @@ pub struct PhaseReport {
 /// Summary of one named histogram within a run (see
 /// [`Histogram::summary`](crate::Histogram::summary)).
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct HistReport {
     /// Histogram name, e.g. `"cell_displacement"`.
     pub name: String,
@@ -131,6 +133,32 @@ impl RunReport {
     pub fn with_quality(mut self, quality: Quality) -> Self {
         self.quality = Some(quality);
         self
+    }
+
+    /// Value of a named counter, when the run recorded it.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Selection-memo hit rate `hits / (hits + misses)` over the run's
+    /// counters, or `None` when the memo saw no traffic (counters absent
+    /// or both zero — e.g. a run with `selection_memo` disabled).
+    /// `Some(0.0)` on a run with misses but no hits is the signature of
+    /// a memo that is enabled but never keyed correctly — `repro bench`
+    /// warns on it.
+    pub fn selection_memo_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter(crate::keys::SELECTION_MEMO_HITS).unwrap_or(0);
+        let misses = self
+            .counter(crate::keys::SELECTION_MEMO_MISSES)
+            .unwrap_or(0);
+        let total = hits + misses;
+        if total == 0 {
+            return None;
+        }
+        Some(hits as f64 / total as f64)
     }
 
     /// Attaches a peak-RSS sample in bytes (builder style). Not filled
@@ -370,6 +398,9 @@ impl RunReport {
             for (k, v) in &self.counters {
                 let _ = writeln!(out, "  {k:<width$} = {v}");
             }
+            if let Some(rate) = self.selection_memo_hit_rate() {
+                let _ = writeln!(out, "  selection memo hit rate: {:.1} %", 100.0 * rate);
+            }
         }
         if !self.hists.is_empty() {
             let width = self
@@ -470,6 +501,33 @@ mod tests {
         assert!(!json.contains("histograms"), "empty hists omitted: {json}");
         let parsed = RunReport::from_json(&json).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn selection_memo_hit_rate_from_counters() {
+        let mut report = sample();
+        assert_eq!(report.selection_memo_hit_rate(), None, "no memo counters");
+        report
+            .counters
+            .push((crate::keys::SELECTION_MEMO_HITS.to_string(), 30));
+        report
+            .counters
+            .push((crate::keys::SELECTION_MEMO_MISSES.to_string(), 10));
+        assert_eq!(report.selection_memo_hit_rate(), Some(0.75));
+        let pretty = report.to_pretty();
+        assert!(
+            pretty.contains("selection memo hit rate: 75.0 %"),
+            "{pretty}"
+        );
+        report.counters.retain(|(k, _)| !k.contains("memo"));
+        report
+            .counters
+            .push((crate::keys::SELECTION_MEMO_MISSES.to_string(), 10));
+        assert_eq!(
+            report.selection_memo_hit_rate(),
+            Some(0.0),
+            "all-miss runs report 0.0 so callers can warn"
+        );
     }
 
     #[test]

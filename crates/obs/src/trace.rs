@@ -32,6 +32,7 @@ pub enum TracePhase {
 
 /// One recorded event on some track's timeline.
 #[derive(Debug, Clone, PartialEq)]
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub struct TraceEvent {
     /// Leaf phase name (not the slash-joined path — Perfetto nests by
     /// timing, so the leaf keeps labels short).
@@ -48,6 +49,7 @@ pub struct TraceEvent {
 }
 
 /// Human-readable name for a track id, used for Perfetto thread labels.
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub fn track_name(track: u32) -> String {
     if track == 0 {
         "coordinator".to_string()
@@ -63,6 +65,7 @@ pub fn track_name(track: u32) -> String {
 /// events keep their recording order), preceded by `M` metadata records
 /// naming the process and each track. Timestamps are microseconds, as
 /// the format requires.
+// flow3d-tidy: allow(dead-pub) — telemetry schema (flow3d::obs) consumed by downstream report tooling
 pub fn chrome_trace_json(process: &str, events: &[TraceEvent]) -> String {
     let us = |d: Duration| Json::num(d.as_secs_f64() * 1e6);
     let mut records: Vec<Json> = Vec::with_capacity(events.len() + 8);

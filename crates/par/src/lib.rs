@@ -30,10 +30,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The environment variable consulted by [`resolve_threads`] when no
 /// explicit thread count is configured.
+// flow3d-tidy: allow(dead-pub) — worker-pool tuning surface (flow3d::par) for embedders
 pub const THREADS_ENV: &str = "FLOW3D_THREADS";
 
 /// Number of hardware threads, with a fallback of 1 when the platform
 /// cannot report it.
+// flow3d-tidy: allow(dead-pub) — worker-pool tuning surface (flow3d::par) for embedders
 pub fn available() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

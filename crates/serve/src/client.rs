@@ -19,6 +19,7 @@ pub struct Client<S> {
 
 /// A client-side request failure.
 #[derive(Debug)]
+// flow3d-tidy: allow(dead-pub) — wire-protocol API (flow3d::serve) for out-of-tree clients
 pub enum ClientError {
     /// Framing or transport failed.
     Frame(FrameError),

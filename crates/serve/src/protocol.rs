@@ -22,6 +22,7 @@ use std::io::{Read, Write};
 
 /// Maximum accepted frame payload, in bytes (64 MiB). Large enough for
 /// a full case file, small enough to bound a malicious length prefix.
+// flow3d-tidy: allow(dead-pub) — wire-protocol API (flow3d::serve) for out-of-tree clients
 pub const MAX_FRAME: usize = 64 << 20;
 
 /// Error codes carried by `{"error": {"code": …}}` responses.
@@ -50,6 +51,7 @@ pub mod codes {
 /// A framing-layer error: the byte stream could not produce a JSON
 /// value.
 #[derive(Debug)]
+// flow3d-tidy: allow(dead-pub) — wire-protocol API (flow3d::serve) for out-of-tree clients
 pub enum FrameError {
     /// The underlying transport failed.
     Io(std::io::Error),
@@ -125,6 +127,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, FrameError> {
 }
 
 /// Builds a success response: `{"id", "ok": true, "result": {fields}}`.
+// flow3d-tidy: allow(dead-pub) — wire-protocol API (flow3d::serve) for out-of-tree clients
 pub fn ok_response(id: u64, fields: Vec<(String, Json)>) -> Json {
     Json::Obj(vec![
         ("id".into(), Json::num(id as f64)),
@@ -135,6 +138,7 @@ pub fn ok_response(id: u64, fields: Vec<(String, Json)>) -> Json {
 
 /// Builds an error response:
 /// `{"id", "ok": false, "error": {"code", "message"}}`.
+// flow3d-tidy: allow(dead-pub) — wire-protocol API (flow3d::serve) for out-of-tree clients
 pub fn error_response(id: u64, code: &str, message: &str) -> Json {
     Json::Obj(vec![
         ("id".into(), Json::num(id as f64)),
@@ -150,6 +154,7 @@ pub fn error_response(id: u64, code: &str, message: &str) -> Json {
 }
 
 /// The client-assigned request id, if present and numeric.
+// flow3d-tidy: allow(dead-pub) — wire-protocol API (flow3d::serve) for out-of-tree clients
 pub fn request_id(json: &Json) -> Option<u64> {
     json.get("id").and_then(Json::as_u64)
 }
