@@ -532,13 +532,15 @@ fn bench_baseline(scale: f64, out: &str) {
 
 /// Serve-mode latency rows for the perf-gate baseline: drive an
 /// in-process [`flow3d_serve::Server`] through a cold `load` (wire
-/// parse + base legalization) and a burst of warm `eco` replays, timed
-/// into the bench profile as `serve/load` and `serve/eco_request`
-/// phases. Only these wall-clock phase rows enter the diffed report;
-/// the server's own rolling-window metrics are live gauges and stay out
-/// of it. The first eco pays the cold per-case caches, the remaining
-/// replays of the same move set measure the resident hot path the
-/// service exists for.
+/// parse + base legalization), a burst of warm `eco` replays, and one
+/// committing replay, timed into the bench profile as `serve/load`,
+/// `serve/eco_request`, and `serve/commit` phases. Only these
+/// wall-clock phase rows enter the diffed report; the server's own
+/// rolling-window metrics are live gauges and stay out of it. The first
+/// eco pays the cold per-case caches, the remaining replays of the same
+/// move set measure the resident hot path the service exists for, and
+/// the commit row holds the seed-cache delta honest (it asserts
+/// `commit_reseeded < 10%` of the design on top of being diffed).
 fn serve_phases(run: &flow3d_bench::CaseRun, profile: &mut flow3d_obs::Profile) {
     use flow3d_serve::{Json, MoveSpec, Request, Server, ServerConfig};
     const ECO_REQUESTS: u64 = 16;
@@ -593,8 +595,41 @@ fn serve_phases(run: &flow3d_bench::CaseRun, profile: &mut flow3d_obs::Profile) 
         profile.end("eco_request");
         assert!(ok(&reply), "serve eco request {id} failed: {reply}");
     }
+    // One committing replay, timed as `serve/commit`: a small warm eco
+    // plus the seed-cache delta that rebases the resident engine. The
+    // ECO-sized move list (8 cells, vs the burst's 32) models the
+    // commit-worthy traffic commits exist for, and the delta discipline
+    // is part of the row's contract — a commit that re-resolved the
+    // full design would both inflate the row and trip the reseed
+    // assertion below.
+    let commit_moves: Vec<MoveSpec> = moves.iter().step_by(4).cloned().collect();
+    profile.begin("commit");
+    let reply = server.process(
+        2 + ECO_REQUESTS,
+        Request::Eco {
+            name: "bench".to_string(),
+            moves: commit_moves,
+            commit: true,
+            trace: false,
+        },
+    );
+    profile.end("commit");
+    assert!(ok(&reply), "serve committing eco failed: {reply}");
+    let result = reply.get("result").expect("committing eco result");
+    let reseeded = result
+        .get("commit_reseeded")
+        .and_then(Json::as_u64)
+        .expect("commit_reseeded");
+    let total = result
+        .get("commit_total")
+        .and_then(Json::as_u64)
+        .expect("commit_total");
+    assert!(
+        reseeded * 10 < total,
+        "commit must re-resolve < 10% of seeds, got {reseeded}/{total}"
+    );
     profile.end("serve");
-    let reply = server.process(2 + ECO_REQUESTS, Request::Shutdown);
+    let reply = server.process(3 + ECO_REQUESTS, Request::Shutdown);
     assert!(ok(&reply), "serve shutdown failed: {reply}");
     server.join();
 }

@@ -36,6 +36,14 @@ pub struct Flow3dConfig {
     /// (enforced by `tests/differential.rs`); disable only to measure the
     /// cache's effect (`--no-memo` in the CLI, the `kernel` bench group).
     pub selection_memo: bool,
+    /// Slot capacity of the shared selection memo. `0` (the default)
+    /// sizes it automatically from the flow-source count
+    /// ([`SelectionMemo::auto_slots`](crate::selection::SelectionMemo::auto_slots));
+    /// a nonzero value pins the capacity (rounded up to a power-of-two
+    /// set count of the 2-way table). Pure capacity knob: like
+    /// `selection_memo` itself it can change only hit/miss telemetry and
+    /// wall-clock, never the output (`--memo-slots` in the CLI).
+    pub memo_slots: usize,
     /// Worker threads for the parallel phases (flow-pass search batches,
     /// per-segment `PlaceRow`). `0` means auto: the `FLOW3D_THREADS`
     /// environment variable if set, otherwise all available cores (see
@@ -66,6 +74,7 @@ impl Default for Flow3dConfig {
             post_passes: 3,
             row_algo: RowAlgo::default(),
             selection_memo: true,
+            memo_slots: 0,
             threads: 0,
             soa_view: true,
         }
@@ -121,6 +130,7 @@ mod tests {
         assert!(c.allow_d2d);
         assert!(c.post_opt);
         assert!(c.selection_memo, "memo is pure caching, on by default");
+        assert_eq!(c.memo_slots, 0, "memo capacity is auto-sized by default");
         assert_eq!(c.threads, 0, "default is auto-sized");
         assert!(c.soa_view, "SoA layout is pure caching, on by default");
     }

@@ -8,9 +8,10 @@ use crate::error::LegalizeError;
 use crate::grid::{BinGrid, BinId};
 use crate::placerow::{place_row_with, RowAlgo, RowItem};
 use crate::search::{
-    find_path_limited, AugmentingPath, SearchCounters, SearchParams, SearchScratch,
+    find_path_limited, AugmentingPath, SearchCounters, SearchParams, SearchPool, SearchScratch,
+    SearchShared, TabuList,
 };
-use crate::selection::SelectionParams;
+use crate::selection::{MemoWrite, SelectionMemo, SelectionParams};
 use crate::state::{FlowState, GeomSource};
 use crate::traits::{LegalizeOutcome, LegalizeStats, Legalizer};
 use flow3d_db::{CellId, Design, DieId, LegalPlacement, Placement3d, RowLayout, SoaView};
@@ -71,9 +72,15 @@ pub fn flow_pass_observed(
 }
 
 /// The result of one source's bounded-search retry ladder: the candidate
-/// path (if any), the search counters it burned, and how many searches
-/// ran.
-type SourceSearch = (Option<AugmentingPath>, SearchCounters, usize);
+/// path (if any), the search counters it burned, how many searches ran,
+/// and the memo writes it buffered (selections missed in both memo
+/// layers) for the coordinator to merge in source order.
+type SourceSearch = (
+    Option<AugmentingPath>,
+    SearchCounters,
+    usize,
+    Vec<MemoWrite>,
+);
 
 /// Runs the per-source retry ladder — bounded search with halved flow
 /// limits, then one retry with the bound disabled — against an immutable
@@ -84,23 +91,19 @@ fn search_source(
     bin: BinId,
     sup: i64,
     params: &SearchParams,
+    shared: &SearchShared<'_>,
     scratch: &mut SearchScratch,
 ) -> SourceSearch {
     let mut counters = SearchCounters::default();
     let mut searches: usize = 0;
-    // One memo scope per retry ladder: the searches of this ladder run
-    // against the same frozen state, so their selections are mutually
-    // reusable — but never across sources, which keeps the counters a
-    // pure function of (state, source) and thread-count invariant. Warm
-    // mode (resident engines) keeps earlier scopes' entries live instead,
-    // trading that counter purity for cross-request reuse; results are
-    // bit-identical either way because a memo hit replays exactly what
-    // the selection would recompute.
-    if params.warm_memo {
-        scratch.begin_source_warm(state.generation());
-    } else {
-        scratch.begin_source(state.generation());
-    }
+    // One ladder-local memo scope per source: the searches of this
+    // ladder run against the same frozen state, so their selections are
+    // mutually reusable. Cross-source (and cross-round, cross-request)
+    // reuse happens through the shared round-start snapshot in `shared`,
+    // which is frozen for the whole round — so hits and misses stay a
+    // pure function of (state, shared snapshot, source) and the counters
+    // are thread-count invariant.
+    scratch.begin_source();
     for relaxed in [false, true] {
         if relaxed && (params.alpha.is_infinite() || params.dijkstra) {
             break;
@@ -119,15 +122,21 @@ fn search_source(
         let mut limit = sup;
         while limit > 0 {
             searches += 1;
-            if let Some(p) =
-                find_path_limited(state, bin, limit, &attempt_params, scratch, &mut counters)
-            {
-                return (Some(p), counters, searches);
+            if let Some(p) = find_path_limited(
+                state,
+                bin,
+                limit,
+                &attempt_params,
+                shared,
+                scratch,
+                &mut counters,
+            ) {
+                return (Some(p), counters, searches, scratch.take_memo_writes());
             }
             limit /= 2;
         }
     }
-    (None, counters, searches)
+    (None, counters, searches, scratch.take_memo_writes())
 }
 
 /// [`flow_pass_observed`] on a worker pool of `threads` threads.
@@ -165,21 +174,21 @@ pub fn flow_pass_threaded(
     stats: &mut LegalizeStats,
     obs: Obs<'_>,
 ) -> Result<(), LegalizeError> {
-    let mut scratch_pool: Vec<SearchScratch> = Vec::new();
-    flow_pass_threaded_pooled(state, params, threads, stats, obs, &mut scratch_pool)
+    let mut pool = SearchPool::new();
+    flow_pass_threaded_pooled(state, params, threads, stats, obs, &mut pool)
 }
 
-/// [`flow_pass_threaded`] with a caller-owned [`SearchScratch`] pool.
+/// [`flow_pass_threaded`] with a caller-owned [`SearchPool`].
 ///
-/// The pool (node arenas, heaps, selection memos) is grown to the worker
-/// count and persists across calls, so a resident engine amortizes its
-/// allocations over many requests instead of one pass. Which slot serves
-/// which source is scheduling-dependent; pooled scratch never influences
-/// results (memo replay equals recomputation), so the determinism
-/// contract of [`flow_pass_threaded`] is unchanged. With
-/// [`SearchParams::warm_memo`] set, memo entries additionally survive in
-/// the pool across calls — see [`crate::EcoEngine`] for the lifecycle
-/// that makes that sound.
+/// The pool (node arenas, heaps, and the shared content-addressed
+/// selection memo) is grown to the worker count and persists across
+/// calls, so a resident engine amortizes its allocations — and its memo
+/// warmth — over many requests instead of one pass. Which scratch slot
+/// serves which source is scheduling-dependent; pooled scratch never
+/// influences results (a memo hit replays exactly what the selection
+/// would recompute, and entries are validated by content signature), so
+/// the determinism contract of [`flow_pass_threaded`] is unchanged. See
+/// [`crate::EcoEngine`] for the resident lifecycle.
 ///
 /// # Errors
 ///
@@ -191,7 +200,7 @@ pub fn flow_pass_threaded_pooled(
     threads: usize,
     stats: &mut LegalizeStats,
     mut obs: Obs<'_>,
-    scratch_pool: &mut Vec<SearchScratch>,
+    pool: &mut SearchPool,
 ) -> Result<(), LegalizeError> {
     let aug_before = stats.augmentations;
     let moved_before = stats.cells_moved;
@@ -223,14 +232,26 @@ pub fn flow_pass_threaded_pooled(
     // Apply budget: each applied path normally drains its source for
     // good, so this bound is generous. On pathological geometry (e.g. a
     // macro next to heterogeneous row heights) applications can ping-pong
-    // supply between near-full bins without the total converging; once
-    // the budget is spent, the small residue is relocated directly
-    // instead of burning more rounds.
+    // supply between near-full bins without the total converging; the
+    // tabu window below breaks most such cycles, and once the budget is
+    // spent anyway, the small residue is relocated directly instead of
+    // burning more rounds.
     let mut guard = 64 * state.overflowed_bins().len() + 4 * num_bins + 64;
-    // Worker search scratch (node arena, heap, selection memo) persists
-    // across rounds so its allocations amortize over the whole pass — and
-    // across whole passes when the caller owns the pool; the per-round
-    // profiles stay fresh in the worker state.
+    // Ping-pong bookkeeping, all coordinator-side and derived from the
+    // serial apply order (thread-count invariant). `last_applied` maps a
+    // directed bin edge to the round that last pushed flow across it;
+    // when a round applies the reverse of an edge applied within the
+    // detection window, both directions go tabu for `TABU_ROUNDS`.
+    const PING_PONG_WINDOW: u64 = 1;
+    const TABU_ROUNDS: u64 = 8;
+    let mut round: u64 = 0;
+    let mut last_applied: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut tabu_until: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut tabu_edges: u64 = 0;
+    // Worker search scratch (node arena, heap, ladder-local memo) and the
+    // shared selection memo persist across rounds so their allocations —
+    // and the memo's warmth — amortize over the whole pass, and across
+    // whole passes when the caller owns the pool.
     loop {
         // Round sources: every overflowed bin, most loaded first (bin id
         // breaks ties) — a deterministic function of the state alone.
@@ -243,16 +264,38 @@ pub fn flow_pass_threaded_pooled(
             break;
         }
         sources.sort_by_key(|&(sup, b)| (std::cmp::Reverse(sup), b));
+        if params.use_memo {
+            let want = if params.memo_slots > 0 {
+                params.memo_slots
+            } else {
+                SelectionMemo::auto_slots(sources.len())
+            };
+            pool.memo.ensure_slots(want);
+        }
+        // Freeze this round's tabu list (expired entries drop out first).
+        tabu_until.retain(|_, until| *until > round);
+        let tabu = TabuList::from_edges(
+            tabu_until
+                .keys()
+                .map(|&(u, v)| (BinId(u), BinId(v)))
+                .collect(),
+        );
+        let shared = SearchShared {
+            memo: params.use_memo.then_some(&pool.memo),
+            tabu: (!tabu.is_empty()).then_some(&tabu),
+        };
 
         // Batch: one read-only search per source against the frozen
         // state, fanned out across the pool. Worker-local scratch reuses
-        // its epoch-visited marks across the items one worker claims.
+        // its epoch-visited marks across the items one worker claims; the
+        // shared memo snapshot is identical for every worker, so which
+        // slot serves which source cannot change any outcome.
         obs.begin("search_batch");
         let frozen: &FlowState<'_> = state;
         let (candidates, worker_profiles) = flow3d_par::par_map_with_pool(
             threads,
             sources.len(),
-            &mut *scratch_pool,
+            &mut pool.scratches,
             || SearchScratch::new(num_bins),
             || Profile::new_worker(trace_epoch),
             |scratch, wprof, i| {
@@ -260,7 +303,7 @@ pub fn flow_pass_threaded_pooled(
                 if observing {
                     wprof.begin("source_search");
                 }
-                let result = search_source(frozen, bin, sup, params, scratch);
+                let result = search_source(frozen, bin, sup, params, &shared, scratch);
                 if observing {
                     wprof.end("source_search");
                 }
@@ -278,7 +321,7 @@ pub fn flow_pass_threaded_pooled(
                 // Histograms are recorded coordinator-side in source
                 // (index) order — never from racing workers — so their
                 // contents are thread-count invariant.
-                for (_, c, _) in &candidates {
+                for (_, c, _, _) in &candidates {
                     p.record(hist_keys::SEARCH_NODES, c.expanded as f64);
                     if params.use_memo {
                         p.record(
@@ -290,7 +333,7 @@ pub fn flow_pass_threaded_pooled(
             }
         }
         obs.end("search_batch");
-        for (_, c, searches) in &candidates {
+        for (_, c, searches, writes) in &candidates {
             counters.expanded += c.expanded;
             counters.created += c.created;
             counters.pruned += c.pruned;
@@ -298,6 +341,12 @@ pub fn flow_pass_threaded_pooled(
             counters.memo_hits += c.memo_hits;
             counters.memo_misses += c.memo_misses;
             retries += searches.saturating_sub(1);
+            // Merge buffered memo writes in source order: a deterministic
+            // store sequence gives deterministic eviction, so the next
+            // round's snapshot is thread-count invariant too.
+            if params.use_memo {
+                pool.memo.absorb(writes);
+            }
         }
 
         // Deterministic reduction: cheapest candidate first, the source
@@ -305,7 +354,7 @@ pub fn flow_pass_threaded_pooled(
         let mut order: Vec<(usize, &AugmentingPath)> = candidates
             .iter()
             .enumerate()
-            .filter_map(|(i, (path, _, _))| path.as_ref().map(|p| (i, p)))
+            .filter_map(|(i, (path, _, _, _))| path.as_ref().map(|p| (i, p)))
             .collect();
         order.sort_by(|&(a, pa), &(b, pb)| {
             pa.cost
@@ -333,6 +382,27 @@ pub fn flow_pass_threaded_pooled(
             guard -= 1;
             stats.cells_moved += crate::augment::realize(state, path, &params.selection);
             stats.augmentations += 1;
+            // Ping-pong detection: applying the reverse of an edge that
+            // was applied within the last `PING_PONG_WINDOW` rounds means
+            // the flow is shuttling cells back where it just pushed them
+            // from (the m1h macro + heterogeneous-row pathology). Tabu
+            // both directions for a bounded window so the search must
+            // route around the oscillation instead of burning the guard.
+            for w in path.steps.windows(2) {
+                let e = (w[0].bin.0, w[1].bin.0);
+                let rev = (e.1, e.0);
+                if last_applied
+                    .get(&rev)
+                    .is_some_and(|&r| round.saturating_sub(r) <= PING_PONG_WINDOW)
+                {
+                    for edge in [e, rev] {
+                        if tabu_until.insert(edge, round + 1 + TABU_ROUNDS).is_none() {
+                            tabu_edges += 1;
+                        }
+                    }
+                }
+                last_applied.insert(e, round);
+            }
             if let Some(p) = obs.as_deref_mut() {
                 p.record(hist_keys::SEARCH_DEPTH, path.depth() as f64);
                 for step in &path.steps {
@@ -376,6 +446,7 @@ pub fn flow_pass_threaded_pooled(
                 }
             }
         }
+        round += 1;
     }
     stats.nodes_expanded += counters.expanded;
     if let Some(p) = obs.as_deref_mut() {
@@ -389,8 +460,15 @@ pub fn flow_pass_threaded_pooled(
     obs.bump(keys::NODES_CREATED, counters.created as u64);
     obs.bump(keys::BRANCHES_PRUNED, counters.pruned as u64);
     obs.bump(keys::BRANCHES_PRUNED_STALE, counters.pruned_stale as u64);
-    obs.bump(keys::SELECTION_MEMO_HITS, counters.memo_hits as u64);
-    obs.bump(keys::SELECTION_MEMO_MISSES, counters.memo_misses as u64);
+    if params.use_memo {
+        // Bumped only when the memo is on: downstream hit-rate reporting
+        // reads the *presence* of these counters as "memo enabled", so a
+        // cold-but-enabled run (0 hits, some misses) stays distinguishable
+        // from a disabled one (no counters at all).
+        obs.bump(keys::SELECTION_MEMO_HITS, counters.memo_hits as u64);
+        obs.bump(keys::SELECTION_MEMO_MISSES, counters.memo_misses as u64);
+    }
+    obs.bump(keys::PING_PONG_TABUS, tabu_edges);
     obs.bump(
         keys::AUGMENTING_PATHS,
         (stats.augmentations - aug_before) as u64,
@@ -774,7 +852,7 @@ impl Flow3dLegalizer {
             slack,
             dijkstra: false,
             use_memo: cfg.selection_memo,
-            warm_memo: false,
+            memo_slots: cfg.memo_slots,
             selection: SelectionParams {
                 clamp_negative: false,
                 d2d_congestion_cost: cfg.d2d_congestion_cost,
@@ -1004,6 +1082,83 @@ mod tests {
             .count();
         assert_eq!(on_row2, 1);
         assert_eq!(outcome.stats.cross_die_moves, 0);
+    }
+
+    /// The minified m1h pathology: a wide macro beside heterogeneous row
+    /// heights (12 on the bottom die, 16 on the top) pinches the grid so
+    /// that applied paths shuttle supply back across an edge used in the
+    /// opposite direction one round earlier (A→B then B→A).
+    fn m1h_fixture() -> (Design, Placement3d) {
+        let n = 26;
+        let mut b = DesignBuilder::new("m1h")
+            .technology(
+                TechnologySpec::new("TA")
+                    .lib_cell(LibCellSpec::std_cell("W40", 40, 12))
+                    .lib_cell(LibCellSpec::macro_cell("WALL", 240, 12)),
+            )
+            .technology(
+                TechnologySpec::new("TB")
+                    .lib_cell(LibCellSpec::std_cell("W40", 30, 16))
+                    .lib_cell(LibCellSpec::macro_cell("WALL", 240, 16)),
+            )
+            .die(DieSpec::new("bottom", "TA", (0, 0, 320, 36), 12, 1, 1.0))
+            .die(DieSpec::new("top", "TB", (0, 0, 320, 32), 16, 1, 1.0))
+            .macro_inst("wall", "WALL", "bottom", 0, 12)
+            .macro_inst("wallt", "WALL", "top", 40, 0);
+        for i in 0..n {
+            b = b.cell(format!("u{i}"), "W40");
+        }
+        let d = b.build().unwrap();
+        let mut gp = Placement3d::new(n);
+        for i in 0..n {
+            let c = CellId::new(i);
+            gp.set_pos(c, FPoint::new((i % 7) as f64 * 20.0, 0.0));
+            gp.set_die_affinity(c, 0.2);
+        }
+        (d, gp)
+    }
+
+    #[test]
+    fn m1h_ping_pong_is_detected_and_legalizes_without_guard_exhaustion() {
+        let (d, gp) = m1h_fixture();
+        let mut profile = flow3d_obs::Profile::new();
+        let outcome = Flow3dLegalizer::default()
+            .legalize_observed(&d, &gp, Some(&mut profile))
+            .unwrap();
+        assert!(check_legal(&d, &outcome.placement).is_legal());
+        // The oscillation pattern is present — the detector must fire …
+        assert!(
+            profile.counters().get(keys::PING_PONG_TABUS) > 0,
+            "fixture no longer oscillates; rebuild it so the regression stays live"
+        );
+        // … and must be broken by rerouting, not by burning the apply
+        // guard down to the teleport fallback.
+        assert_eq!(outcome.stats.fallback_moves, 0, "guard exhausted");
+        // Convergence stays quick: nowhere near the apply budget
+        // (64·overflowed + 4·bins + 64 ≥ 100 for this grid).
+        assert!(
+            outcome.stats.augmentations < 32,
+            "augmentations ballooned: {}",
+            outcome.stats.augmentations
+        );
+    }
+
+    #[test]
+    fn m1h_tabu_keeps_thread_invariance() {
+        // The tabu bookkeeping is coordinator-side, derived from the
+        // serial apply order — the fix must not cost the thread-count
+        // bit-identity contract.
+        let (d, gp) = m1h_fixture();
+        let serial = Flow3dLegalizer::new(Flow3dConfig::with_threads(1))
+            .legalize(&d, &gp)
+            .unwrap();
+        for threads in [2, 8] {
+            let parallel = Flow3dLegalizer::new(Flow3dConfig::with_threads(threads))
+                .legalize(&d, &gp)
+                .unwrap();
+            assert_eq!(parallel.placement, serial.placement, "threads={threads}");
+            assert_eq!(parallel.stats, serial.stats, "threads={threads}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::driver::{
 };
 use crate::error::LegalizeError;
 use crate::grid::{BinGrid, BinId};
-use crate::search::{SearchParams, SearchScratch};
+use crate::search::{SearchParams, SearchPool};
 use crate::selection::SelectionParams;
 use crate::state::{FlowState, GeomSource};
 use crate::traits::{LegalizeOutcome, LegalizeStats};
@@ -90,7 +90,7 @@ impl Flow3dLegalizer {
         let widths = bin_widths(design, cfg.post_bin_width_factor);
         let grid = BinGrid::build(design, &layout, &widths, cfg.allow_d2d);
         let threads = flow3d_par::resolve_threads(cfg.threads);
-        let mut scratch_pool: Vec<SearchScratch> = Vec::new();
+        let mut pool = SearchPool::new();
         let geom = if cfg.soa_view {
             GeomSource::Owned(flow3d_db::SoaView::geometry(design))
         } else {
@@ -103,11 +103,10 @@ impl Flow3dLegalizer {
             cfg,
             base,
             seed_cache: None,
-            warm_memo: false,
             threads,
             geom,
         };
-        run_eco(&ctx, moves, &mut scratch_pool, obs)
+        run_eco(&ctx, moves, &mut pool, obs)
     }
 }
 
@@ -131,8 +130,6 @@ pub(crate) struct EcoContext<'a> {
     /// engine computes this once so unmoved cells skip
     /// `nearest_position`; `None` resolves every cell fresh.
     pub seed_cache: Option<&'a [Option<(BinId, i64)>]>,
-    /// Warm selection-memo mode (see [`SearchParams::warm_memo`]).
-    pub warm_memo: bool,
     /// Worker count for the flow and PlaceRow phases.
     pub threads: usize,
     /// Geometry source for the seeded state (a resident engine borrows
@@ -169,7 +166,7 @@ pub(crate) fn resolve_seed(
 pub(crate) fn run_eco(
     ctx: &EcoContext<'_>,
     moves: &[CellMove],
-    scratch_pool: &mut Vec<SearchScratch>,
+    pool: &mut SearchPool,
     mut obs: Obs<'_>,
 ) -> Result<LegalizeOutcome, LegalizeError> {
     let (design, layout, grid, cfg) = (ctx.design, ctx.layout, ctx.grid, ctx.cfg);
@@ -256,7 +253,7 @@ pub(crate) fn run_eco(
         slack,
         dijkstra: false,
         use_memo: cfg.selection_memo,
-        warm_memo: ctx.warm_memo,
+        memo_slots: cfg.memo_slots,
         selection: SelectionParams {
             clamp_negative: false,
             d2d_congestion_cost: cfg.d2d_congestion_cost,
@@ -271,7 +268,7 @@ pub(crate) fn run_eco(
         ctx.threads,
         &mut stats,
         obs.reborrow(),
-        scratch_pool,
+        pool,
     );
     obs.end("flow_pass");
     flowed?;

@@ -67,6 +67,6 @@ pub use driver::Flow3dLegalizer;
 pub use placerow::RowAlgo;
 pub use error::LegalizeError;
 pub use incremental::CellMove;
-pub use resident::EcoEngine;
+pub use resident::{CommitStats, EcoEngine};
 pub use state::{FlowState, GeomSource};
 pub use traits::{LegalizeOutcome, LegalizeStats, Legalizer};

@@ -12,9 +12,10 @@
 //! * the **row layout** and **bin grid** (CSR adjacency) of the design,
 //! * a **seed cache**: the resolved `(bin, x)` slot of every cell at its
 //!   base position, so unmoved cells skip `nearest_position` entirely,
-//! * the **scratch pool**: per-worker [`SearchScratch`] arenas (node
-//!   arena, heap, selection memo) that keep their allocations — and, for
-//!   replayed requests, their memoized selections — warm.
+//! * the **search pool**: per-worker [`SearchScratch`](crate::search::SearchScratch)
+//!   arenas (node arena, heap, ladder-local memo) plus the **shared
+//!   content-addressed selection memo**, which keep their allocations —
+//!   and the memoized selections — warm across requests.
 //!
 //! # Bit-identity with the one-shot path
 //!
@@ -28,27 +29,28 @@
 //!
 //! # Warm selection memo
 //!
-//! The selection memo survives in the pool between requests under a
-//! strict discipline (see
-//! [`SelectionMemo::warm_scope`](crate::selection::SelectionMemo::warm_scope)):
-//! entries replay only when the next request is an exact **replay** of
-//! the previous one (same move list), in which case the mutation
-//! sequence — and therefore every `(generation, state content)` pair —
-//! repeats exactly. Any other request first epoch-invalidates every
-//! pooled memo. Replays are the common shape of ECO serving traffic
-//! (idempotent retries, what-if re-evaluation, A/B timing loops), and a
-//! replayed request answers its first-round selections from the memo
-//! instead of recomputing them. With more than one worker the *hit
-//! counts* are scheduling-dependent (which scratch served which source
-//! last time decides what it remembers) and are reported as advisory
-//! telemetry; the results are not affected.
+//! The shared selection memo survives in the pool between requests with
+//! **no invalidation protocol at all**: every entry is keyed by a
+//! content signature of the neighborhood the selection read (see
+//! [`FlowState::selection_signature`](crate::state::FlowState::selection_signature)),
+//! so an entry replays exactly when the bins it describes hold the same
+//! content again — and silently stops matching the moment they do not.
+//! Requests with *disjoint* move sets therefore warm each other: the
+//! parts of the design an ECO does not touch re-seed to identical
+//! content, their signatures repeat, and the next request's selections
+//! in those regions are answered from the memo. `commit()` keeps the
+//! memo too, for the same reason. Hit counts are thread-count invariant
+//! (the memo is coordinator-owned; workers see a frozen round snapshot
+//! and their writes merge in source order), and a memo hit replays
+//! exactly what the selection would recompute, so warmth is invisible
+//! in the output — only in the telemetry and the wall-clock.
 
 use crate::config::Flow3dConfig;
 use crate::driver::bin_widths;
 use crate::error::LegalizeError;
 use crate::grid::{BinGrid, BinId};
 use crate::incremental::{resolve_seed, run_eco, CellMove, EcoContext};
-use crate::search::SearchScratch;
+use crate::search::SearchPool;
 use crate::state::GeomSource;
 use crate::traits::LegalizeOutcome;
 use flow3d_db::{CellId, Design, LegalPlacement, RowLayout, SoaView};
@@ -87,10 +89,8 @@ pub struct EcoEngine {
     /// Resident geometry columns (`None` when `cfg.soa_view` is off):
     /// built once with the layout/grid and borrowed by every request.
     soa: Option<SoaView>,
-    scratch_pool: Vec<SearchScratch>,
+    pool: SearchPool,
     threads: usize,
-    /// The previous request's move list: the warm-replay key.
-    last_moves: Option<Vec<CellMove>>,
     requests: u64,
 }
 
@@ -135,9 +135,8 @@ impl EcoEngine {
             base,
             seed_cache,
             soa,
-            scratch_pool: Vec::new(),
+            pool: SearchPool::new(),
             threads,
-            last_moves: None,
             requests: 0,
         })
     }
@@ -190,8 +189,8 @@ impl EcoEngine {
     }
 
     /// Overrides the worker count resolved from the configuration.
-    /// Thread count never changes results, only wall-clock and (in warm
-    /// mode) advisory memo-hit telemetry.
+    /// Thread count never changes results — nor, with the shared
+    /// content-addressed memo, the hit/miss telemetry.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = flow3d_par::resolve_threads(threads);
     }
@@ -212,30 +211,23 @@ impl EcoEngine {
     ///
     /// The placement is bit-identical to
     /// [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental) on `(design, base,
-    /// moves)` with the same configuration. If `moves` equals the
-    /// previous request's move list, the request is a **replay** and the
-    /// pooled selection memos answer its selections warm (memo hits > 0
-    /// from the second identical request on, guaranteed for a
-    /// single-worker engine; advisory with more workers). Any other
-    /// request invalidates the memos first.
+    /// moves)` with the same configuration. The resident selection memo
+    /// needs no replay key and no invalidation (see the [module
+    /// docs](self)): entries are validated by content signature, so any
+    /// request — identical, overlapping, or fully disjoint from the
+    /// previous one — reuses every selection whose neighborhood content
+    /// repeats, and recomputes the rest. Even a failed request leaves
+    /// the memo sound: entries it stored describe the content they were
+    /// computed against, wherever that content recurs.
     ///
     /// # Errors
     ///
-    /// Same as [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental). An error
-    /// resets the warm state: the next request starts memo-cold.
+    /// Same as [`Flow3dLegalizer::legalize_incremental`](crate::Flow3dLegalizer::legalize_incremental).
     pub fn eco_observed(
         &mut self,
         moves: &[CellMove],
         obs: Obs<'_>,
     ) -> Result<LegalizeOutcome, LegalizeError> {
-        let replay = self.last_moves.as_deref() == Some(moves);
-        if !replay {
-            // The memo discipline (see the module docs) only admits
-            // exact replays; anything else must start from an empty
-            // memo so a recurring generation value can never replay a
-            // selection computed against different content.
-            self.invalidate_memos();
-        }
         let ctx = EcoContext {
             design: &self.design,
             layout: &self.layout,
@@ -243,41 +235,37 @@ impl EcoEngine {
             cfg: &self.cfg,
             base: &self.base,
             seed_cache: Some(&self.seed_cache),
-            warm_memo: true,
             threads: self.threads,
             geom: match &self.soa {
                 Some(view) => GeomSource::Soa(view),
                 None => GeomSource::IdMap,
             },
         };
-        let out = run_eco(&ctx, moves, &mut self.scratch_pool, obs);
-        match &out {
-            Ok(_) => {
-                self.requests += 1;
-                if !replay {
-                    self.last_moves = Some(moves.to_vec());
-                }
-            }
-            Err(_) => {
-                // A failed pass may have stored entries for states the
-                // next (even identical) request will not reach the same
-                // way; drop the replay key and the memos.
-                self.last_moves = None;
-                self.invalidate_memos();
-            }
+        let out = run_eco(&ctx, moves, &mut self.pool, obs);
+        if out.is_ok() {
+            self.requests += 1;
         }
         out
     }
 
-    /// Adopts `placement` as the new base: recomputes the seed cache and
-    /// drops the warm memo/replay state. Call with an accepted ECO
-    /// outcome to make follow-up requests relative to it.
+    /// Adopts `placement` as the new base, re-resolving **only the seeds
+    /// that can have changed**: a cell whose `(position, die)` equals the
+    /// old base's would resolve to the identical slot (`resolve_seed` is
+    /// a pure function of the die, the anchor, and the cell's width on
+    /// that die), so its cached entry is kept. The selection memo is kept
+    /// too — its entries are validated by content signature, not by which
+    /// base they were computed against. Call with an accepted ECO outcome
+    /// to make follow-up requests relative to it.
+    ///
+    /// Returns how many seeds were refreshed out of how many cells, so
+    /// callers (the serve layer, benches) can report the delta's
+    /// effectiveness.
     ///
     /// # Errors
     ///
     /// [`LegalizeError::PlacementMismatch`] if `placement` has the wrong
     /// cell count.
-    pub fn commit(&mut self, placement: LegalPlacement) -> Result<(), LegalizeError> {
+    pub fn commit(&mut self, placement: LegalPlacement) -> Result<CommitStats, LegalizeError> {
         let n = self.design.num_cells();
         if placement.num_cells() != n {
             return Err(LegalizeError::PlacementMismatch {
@@ -285,24 +273,45 @@ impl EcoEngine {
                 placement_cells: placement.num_cells(),
             });
         }
-        self.base = placement;
-        self.seed_cache = Self::resolve_cache(
-            &self.design,
-            &self.layout,
-            &self.grid,
-            &self.soa,
-            &self.base,
-        );
-        self.last_moves = None;
-        self.invalidate_memos();
-        Ok(())
-    }
-
-    fn invalidate_memos(&mut self) {
-        for s in &mut self.scratch_pool {
-            s.invalidate_memo();
+        let geom = match &self.soa {
+            Some(view) => GeomSource::Soa(view),
+            None => GeomSource::IdMap,
+        };
+        let mut reseeded = 0;
+        for i in 0..n {
+            let cell = CellId::new(i);
+            if placement.pos(cell) == self.base.pos(cell)
+                && placement.die(cell) == self.base.die(cell)
+            {
+                continue;
+            }
+            reseeded += 1;
+            self.seed_cache[i] = resolve_seed(
+                &self.design,
+                &self.layout,
+                &self.grid,
+                &geom,
+                placement.die(cell),
+                placement.pos(cell),
+                cell,
+            );
         }
+        self.base = placement;
+        Ok(CommitStats { reseeded, total: n })
     }
+}
+
+/// What one [`EcoEngine::commit`] actually refreshed: the seed-cache
+/// delta's effectiveness, reported so serve stats and benches can verify
+/// that commits after small ECOs stay incremental.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// flow3d-tidy: allow(dead-pub) — cross-crate via return-value field access (flow3d-serve reads reseeded/total off EcoEngine::commit), which the ref scan cannot see
+pub struct CommitStats {
+    /// Seeds re-resolved because the cell's `(position, die)` changed
+    /// against the previous base.
+    pub reseeded: usize,
+    /// Seed-cache entries examined (= design cells).
+    pub total: usize,
 }
 
 #[cfg(test)]
@@ -372,7 +381,9 @@ mod tests {
                 target: base.pos(CellId::new(2)),
                 die: Some(DieId::new(1 - base.die(CellId::new(2)).index())),
             }],
-            pileup(&base, &[0, 1, 2, 3, 4], 5), // back to an earlier set, cold
+            pileup(&base, &[0, 1, 2, 3, 4], 5), // back to an earlier set — the
+            // content-addressed memo answers it warm despite the disjoint
+            // interlopers (see `disjoint_interlopers_do_not_cool_the_memo`)
         ];
         for (k, moves) in sets.iter().enumerate() {
             let warm = engine.eco(moves).unwrap();
@@ -440,6 +451,82 @@ mod tests {
             Err(LegalizeError::PlacementMismatch { .. })
         ));
     }
+
+    #[test]
+    fn disjoint_interlopers_do_not_cool_the_memo() {
+        // The warm-cache generality contract: memo entries are keyed by
+        // content, not by request identity, so serving a fully disjoint
+        // move set in between does NOT cool the cache for a return to an
+        // earlier set (the generation-stamped memo this replaced went
+        // cold on any non-identical interloper).
+        let d = design(20);
+        let base = base_placement(&d);
+        let cfg = Flow3dConfig {
+            threads: 1,
+            ..Flow3dConfig::default()
+        };
+        let mut engine = EcoEngine::new(cfg, d, base.clone()).unwrap();
+        let run = |engine: &mut EcoEngine, moves: &[CellMove]| {
+            let mut profile = Profile::new();
+            engine.eco_observed(moves, Some(&mut profile)).unwrap();
+            (
+                profile.counters().get(keys::SELECTION_MEMO_HITS),
+                profile.counters().get(keys::SELECTION_MEMO_MISSES),
+            )
+        };
+        let set_a = pileup(&base, &[10, 11, 12, 13, 14], 0);
+        let set_b = pileup(&base, &[15, 16, 17, 18, 19], 9); // disjoint from A
+        let (hits_a, misses_a) = run(&mut engine, &set_a);
+        assert_eq!(hits_a, 0, "first request is cold");
+        assert!(misses_a > 0, "the pileup must force selections");
+        run(&mut engine, &set_b);
+        let (hits_return, misses_return) = run(&mut engine, &set_a);
+        assert!(
+            hits_return > 0,
+            "returning to set A after a disjoint interloper must be warm"
+        );
+        assert!(
+            misses_return < misses_a,
+            "most of A's selections replay from content \
+             ({misses_a} cold misses -> {misses_return})"
+        );
+    }
+
+    #[test]
+    fn commit_delta_matches_a_full_seed_rebuild() {
+        let d = design(12);
+        let base = base_placement(&d);
+        let mut engine = EcoEngine::new(Flow3dConfig::default(), d, base.clone()).unwrap();
+        let moved = engine.eco(&[clash_move(&base, 0, 1)]).unwrap().placement;
+        let cs = engine.commit(moved.clone()).unwrap();
+        assert_eq!(cs.total, 12);
+        // The delta refreshes exactly the cells whose (pos, die) changed …
+        let changed = (0..12)
+            .filter(|&i| {
+                let c = CellId::new(i);
+                moved.pos(c) != base.pos(c) || moved.die(c) != base.die(c)
+            })
+            .count();
+        assert!(cs.reseeded > 0, "the ECO moved something");
+        assert_eq!(cs.reseeded, changed);
+        assert!(
+            cs.reseeded < cs.total,
+            "a small ECO must not rebuild every seed ({}/{})",
+            cs.reseeded,
+            cs.total
+        );
+        // … and the resulting cache is bit-identical to resolving every
+        // seed from scratch against the new base.
+        let full = EcoEngine::resolve_cache(
+            &engine.design,
+            &engine.layout,
+            &engine.grid,
+            &engine.soa,
+            &moved,
+        );
+        assert_eq!(engine.seed_cache, full);
+    }
+
 
     #[test]
     fn corrupt_base_errors_match_the_one_shot_path() {

@@ -17,10 +17,17 @@
 //! * the bound is also applied at **pop time**, so entries queued before
 //!   `best` tightened are dropped for the cost of one comparison instead
 //!   of a full expansion (and no longer inflate the `expanded` counter);
-//! * `select_moves` outcomes are memoized per source retry ladder in a
-//!   [`SelectionMemo`], keyed on
-//!   `(u, v, needed)` and invalidated by the
-//!   [`FlowState::generation`] mutation counter.
+//! * `select_moves` outcomes are memoized in a content-addressed
+//!   [`SelectionMemo`], keyed on `(u, v, needed)` and validated by the
+//!   [`FlowState::selection_signature`] of the neighborhood the
+//!   selection read. Each search consults two layers: a ladder-local
+//!   scratch memo (cleared per source retry ladder) and an optional
+//!   shared round-start snapshot ([`SearchShared::memo`]) whose entries
+//!   survive across sources, rounds, requests, and commits for as long
+//!   as their neighborhood contents do. Misses are recorded as
+//!   [`MemoWrite`]s for the flow-pass coordinator to merge back in
+//!   deterministic source order, which keeps hit/miss telemetry
+//!   invariant under the worker count.
 //!
 //! The same routine runs in **Dijkstra mode** (for the BonnPlaceLegal
 //! baseline): costs are clamped non-negative by the selection layer, every
@@ -28,7 +35,7 @@
 //! *candidate* popped is provably the cheapest — the classic early exit.
 
 use crate::grid::{BinId, EdgeKind};
-use crate::selection::{select_moves, SelectionMemo, SelectionParams};
+use crate::selection::{select_moves, MemoWrite, SelectionMemo, SelectionParams};
 use crate::state::FlowState;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -44,26 +51,20 @@ pub struct SearchParams {
     /// Dijkstra mode: no pruning, first candidate popped wins. Requires
     /// non-negative costs ([`SelectionParams::clamp_negative`]).
     pub dijkstra: bool,
-    /// Memoize `select_moves` outcomes in the scratch's
-    /// [`SelectionMemo`]. Results are bit-identical either way; off is
-    /// kept for ablation ([`Flow3dConfig::selection_memo`]).
+    /// Memoize `select_moves` outcomes (ladder-local scratch layer plus
+    /// the shared [`SearchShared::memo`] snapshot when one is passed).
+    /// Results are bit-identical either way; off is kept for ablation
+    /// ([`Flow3dConfig::selection_memo`]).
     ///
     /// [`Flow3dConfig::selection_memo`]: crate::Flow3dConfig::selection_memo
     pub use_memo: bool,
-    /// Warm-memo mode for resident engines: memo scopes are opened with
-    /// [`SelectionMemo::warm_scope`] instead of
-    /// [`SelectionMemo::begin_source`], so entries survive across retry
-    /// ladders, rounds, and whole requests, replaying whenever the state
-    /// generation they were computed against recurs.
+    /// Slot capacity of the selection memos; `0` (the default) sizes
+    /// the shared table from the flow pass's source count via
+    /// [`SelectionMemo::auto_slots`]. Bound to
+    /// [`Flow3dConfig::memo_slots`].
     ///
-    /// Results stay bit-identical (a memo hit replays exactly what the
-    /// selection would recompute), but hit/miss *telemetry* becomes
-    /// advisory: it depends on which searches a scratch served before.
-    /// Only sound when the caller upholds the generation-uniqueness
-    /// discipline documented on [`SelectionMemo::warm_scope`] — the
-    /// one-shot pipeline keeps this `false`. Ignored when
-    /// [`use_memo`](Self::use_memo) is off.
-    pub warm_memo: bool,
+    /// [`Flow3dConfig::memo_slots`]: crate::Flow3dConfig::memo_slots
+    pub memo_slots: usize,
     /// Cost model shared with realization.
     pub selection: SelectionParams,
 }
@@ -75,10 +76,58 @@ impl Default for SearchParams {
             slack: 1.0,
             dijkstra: false,
             use_memo: true,
-            warm_memo: false,
+            memo_slots: 0,
             selection: SelectionParams::default(),
         }
     }
+}
+
+/// A sorted set of tabooed directed edges: the flow-pass coordinator
+/// lists `(from, to)` bin pairs a search must not traverse for a
+/// bounded window after detecting A↔B ping-ponging (a path moving cells
+/// right back where the previous round moved them from). Frozen per
+/// round and derived only from the deterministic serial apply order, so
+/// its effect — like everything else in the search — is invariant under
+/// the worker count.
+#[derive(Debug, Clone, Default)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
+pub struct TabuList {
+    edges: Vec<(u32, u32)>,
+}
+
+impl TabuList {
+    /// Builds the list from directed edges (deduplicated, sorted).
+    pub fn from_edges(edges: Vec<(BinId, BinId)>) -> Self {
+        let mut edges: Vec<(u32, u32)> = edges.into_iter().map(|(u, v)| (u.0, v.0)).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Self { edges }
+    }
+
+    /// Whether no edge is tabooed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether traversing `u -> v` is currently tabooed.
+    #[inline]
+    pub fn contains(&self, u: BinId, v: BinId) -> bool {
+        self.edges.binary_search(&(u.0, v.0)).is_ok()
+    }
+}
+
+/// Read-only, round-frozen context shared by every search of one
+/// flow-pass round: the shared memo snapshot and the tabu list. Both
+/// are optional so standalone searches (tests, embedders) can pass
+/// [`SearchShared::default`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchShared<'a> {
+    /// Round-start snapshot of the shared selection memo. Lookups hit
+    /// it read-only; new outcomes are buffered as [`MemoWrite`]s in the
+    /// scratch and merged by the coordinator at round end.
+    pub memo: Option<&'a SelectionMemo>,
+    /// Directed edges the ping-pong detector has tabooed this round.
+    pub tabu: Option<&'a TabuList>,
 }
 
 /// One step of the returned path (root source first).
@@ -152,6 +201,7 @@ pub struct SearchScratch {
     nodes: Vec<Node>,
     heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
     memo: SelectionMemo,
+    writes: Vec<MemoWrite>,
 }
 
 impl SearchScratch {
@@ -163,36 +213,26 @@ impl SearchScratch {
             nodes: Vec::new(),
             heap: BinaryHeap::new(),
             memo: SelectionMemo::new(),
+            writes: Vec::new(),
         }
     }
 
-    /// Opens a new selection-memo scope (see
-    /// [`SelectionMemo::begin_source`]): call with the current
-    /// [`FlowState::generation`] once per source retry ladder, before the
-    /// ladder's first search. Searches for one source may then share memo
-    /// entries, while hit/miss telemetry stays a pure function of
-    /// `(state, source)` — independent of which searches this scratch
-    /// served before.
-    pub fn begin_source(&mut self, generation: u64) {
-        self.memo.begin_source(generation);
+    /// Opens a new ladder-local memo scope: call once per source retry
+    /// ladder, before the ladder's first search. Repeat searches within
+    /// the ladder (halved limits, the relaxed retry) then share memo
+    /// entries without consulting what this scratch served before, so
+    /// the ladder-local layer's hits stay a pure function of
+    /// `(state, source)`.
+    pub fn begin_source(&mut self) {
+        self.memo.clear();
     }
 
-    /// Warm variant of [`begin_source`](Self::begin_source) for resident
-    /// engines ([`SearchParams::warm_memo`]): records the generation via
-    /// [`SelectionMemo::warm_scope`] without invalidating existing
-    /// entries, so memoized selections replay across ladders and
-    /// requests whenever their generation recurs. See
-    /// [`SelectionMemo::warm_scope`] for the soundness discipline.
-    pub fn begin_source_warm(&mut self, generation: u64) {
-        self.memo.warm_scope(generation);
-    }
-
-    /// Invalidates every selection-memo entry (epoch bump). Resident
-    /// engines call this on each pooled scratch when the request lineage
-    /// diverges — i.e. the next request is not a replay of the previous
-    /// one — so stale generations can never alias new content.
-    pub fn invalidate_memo(&mut self) {
-        self.memo.invalidate();
+    /// Drains the memo writes buffered since the last call: every
+    /// `select_moves` outcome this scratch computed (missed in both
+    /// layers). The flow-pass coordinator merges them into the shared
+    /// memo in source order.
+    pub fn take_memo_writes(&mut self) -> Vec<MemoWrite> {
+        std::mem::take(&mut self.writes)
     }
 
     fn begin(&mut self, num_bins: usize) {
@@ -214,6 +254,51 @@ impl SearchScratch {
     #[inline]
     fn mark(&mut self, bin: BinId) {
         self.visited_epoch[bin.index()] = self.epoch;
+    }
+}
+
+/// Reusable search state for a whole flow pass (or a resident engine's
+/// lifetime): the per-worker [`SearchScratch`]es and the **shared
+/// content-addressed selection memo**.
+///
+/// The shared memo is coordinator-owned. During a round the workers see
+/// it as a frozen read-only snapshot ([`SearchShared::memo`]); the
+/// outcomes they compute come back as [`MemoWrite`]s and are merged in
+/// deterministic source order between rounds. Because entries are
+/// validated by content signature — not by generation stamp — they stay
+/// servable across rounds, passes, ECO requests, and commits for as long
+/// as the neighborhood they describe is unchanged, which is what makes a
+/// pool worth keeping resident (see `crate::EcoEngine`).
+#[derive(Debug)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
+pub struct SearchPool {
+    /// Per-worker scratch, grown to the worker count on demand by
+    /// `flow_pass_threaded_pooled`.
+    pub(crate) scratches: Vec<SearchScratch>,
+    /// The shared selection memo; sized on first use from
+    /// [`SearchParams::memo_slots`] or the round's source count.
+    pub(crate) memo: SelectionMemo,
+}
+
+impl SearchPool {
+    /// Creates an empty pool; buffers and the memo grow on first use.
+    pub fn new() -> Self {
+        Self {
+            scratches: Vec::new(),
+            memo: SelectionMemo::with_slots(0),
+        }
+    }
+
+    /// Slot capacity of the shared selection memo (minimal until the
+    /// first flow pass sizes it from the source count).
+    pub fn memo_slots(&self) -> usize {
+        self.memo.slots()
+    }
+}
+
+impl Default for SearchPool {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -257,10 +342,11 @@ pub fn find_path(
     state: &FlowState<'_>,
     source: BinId,
     params: &SearchParams,
+    shared: &SearchShared<'_>,
     scratch: &mut SearchScratch,
     counters: &mut SearchCounters,
 ) -> Option<AugmentingPath> {
-    find_path_limited(state, source, i64::MAX, params, scratch, counters)
+    find_path_limited(state, source, i64::MAX, params, shared, scratch, counters)
 }
 
 /// [`find_path`] pushing at most `limit` DBU of the source's supply.
@@ -269,11 +355,13 @@ pub fn find_path(
 /// absorb or forward; when a source's supply exceeds every reachable
 /// chain's capacity, the caller retries with smaller limits and drains
 /// the source over several augmentations (see `flow_pass`).
+#[allow(clippy::too_many_arguments)]
 pub fn find_path_limited(
     state: &FlowState<'_>,
     source: BinId,
     limit: i64,
     params: &SearchParams,
+    shared: &SearchShared<'_>,
     scratch: &mut SearchScratch,
     counters: &mut SearchCounters,
 ) -> Option<AugmentingPath> {
@@ -282,19 +370,6 @@ pub fn find_path_limited(
         return None;
     }
     scratch.begin(state.grid.num_bins());
-    if params.use_memo && scratch.memo.generation() != state.generation() {
-        // Safety net for callers that never open a memo scope: a state
-        // mutation invalidates the memo through the generation stamp.
-        // The driver additionally calls `begin_source` once per retry
-        // ladder so memo telemetry is a pure function of (state, source).
-        // Warm mode only re-aims the scope — entries from other
-        // generations stay stored and fail the generation check instead.
-        if params.warm_memo {
-            scratch.memo.warm_scope(state.generation());
-        } else {
-            scratch.memo.begin_source(state.generation());
-        }
-    }
 
     scratch.nodes.clear();
     scratch.heap.clear();
@@ -354,11 +429,24 @@ pub fn find_path_limited(
             if scratch.visited(nbr) {
                 continue;
             }
+            if let Some(tabu) = shared.tabu {
+                if tabu.contains(node.bin, nbr) {
+                    // Ping-pong suppression: the reverse of this edge
+                    // was applied recently; the bin stays reachable via
+                    // other routes, this edge just sits the window out.
+                    continue;
+                }
+            }
             // The search consumes only the (cost, added_to_v) summary of
             // a selection; `augment::realize` recomputes the full move
             // list against the same frozen state when a path is applied.
             let outcome = if params.use_memo {
-                match scratch.memo.lookup(node.bin, nbr, needed) {
+                let sig = state.selection_signature(node.bin, nbr, kind == EdgeKind::DieToDie);
+                let cached = scratch
+                    .memo
+                    .lookup(node.bin, nbr, needed, sig)
+                    .or_else(|| shared.memo.and_then(|m| m.lookup(node.bin, nbr, needed, sig)));
+                match cached {
                     Some(cached) => {
                         counters.memo_hits += 1;
                         cached
@@ -368,7 +456,14 @@ pub fn find_path_limited(
                         let computed =
                             select_moves(state, node.bin, nbr, kind, needed, &params.selection)
                                 .map(|sel| (sel.cost, sel.added_to_v));
-                        scratch.memo.store(node.bin, nbr, needed, computed);
+                        scratch.memo.store(node.bin, nbr, needed, sig, computed);
+                        scratch.writes.push(MemoWrite {
+                            u: node.bin,
+                            v: nbr,
+                            needed,
+                            sig,
+                            outcome: computed,
+                        });
                         computed
                     }
                 }
@@ -476,6 +571,7 @@ mod tests {
             &st,
             b0,
             &SearchParams::default(),
+            &SearchShared::default(),
             &mut scratch,
             &mut counters
         )
@@ -509,6 +605,7 @@ mod tests {
             &st,
             bins[0],
             &SearchParams::default(),
+            &SearchShared::default(),
             &mut scratch,
             &mut counters,
         )
@@ -541,6 +638,7 @@ mod tests {
             &st,
             bins[0],
             &SearchParams::default(),
+            &SearchShared::default(),
             &mut scratch,
             &mut counters,
         )
@@ -579,6 +677,7 @@ mod tests {
             &st,
             bins[0],
             &SearchParams::default(),
+            &SearchShared::default(),
             &mut scratch,
             &mut counters,
         )
@@ -616,6 +715,7 @@ mod tests {
             &st,
             bins[0],
             &SearchParams::default(),
+            &SearchShared::default(),
             &mut scratch,
             &mut counters,
         )
@@ -634,6 +734,7 @@ mod tests {
             &st2,
             bins2[0],
             &SearchParams::default(),
+            &SearchShared::default(),
             &mut scratch2,
             &mut counters
         )
@@ -659,6 +760,7 @@ mod tests {
                     alpha,
                     ..Default::default()
                 },
+                &SearchShared::default(),
                 &mut scratch,
                 &mut counters,
             )
@@ -691,7 +793,15 @@ mod tests {
             },
             ..Default::default()
         };
-        let path = find_path(&st, bins[0], &params, &mut scratch, &mut counters).expect("path");
+        let path = find_path(
+            &st,
+            bins[0],
+            &params,
+            &SearchShared::default(),
+            &mut scratch,
+            &mut counters,
+        )
+        .expect("path");
         assert!(path.cost >= 0.0);
         let last = path.steps.last().unwrap();
         assert!(st.dem(last.bin) >= last.inflow);
@@ -721,7 +831,7 @@ mod tests {
         }
         let run = |use_memo: bool| {
             let mut scratch = SearchScratch::new(grid.num_bins());
-            scratch.begin_source(st.generation());
+            scratch.begin_source();
             let mut counters = SearchCounters::default();
             let p = find_path(
                 &st,
@@ -730,6 +840,7 @@ mod tests {
                     use_memo,
                     ..Default::default()
                 },
+                &SearchShared::default(),
                 &mut scratch,
                 &mut counters,
             )
@@ -759,7 +870,7 @@ mod tests {
     }
 
     #[test]
-    fn memo_hits_within_a_retry_ladder_and_invalidates_on_mutation() {
+    fn memo_hits_within_a_retry_ladder_and_self_invalidates_on_mutation() {
         let d = fixture();
         let (layout, grid) = setup(&d, true);
         let bins = grid.bins_in_segment(seg(&layout, DieId::BOTTOM, 0));
@@ -768,25 +879,120 @@ mod tests {
             st.insert_cell(CellId::new(i), bins[0], 0);
         }
         let mut scratch = SearchScratch::new(grid.num_bins());
-        scratch.begin_source(st.generation());
+        scratch.begin_source();
         let params = SearchParams::default();
+        let shared = SearchShared::default();
         let mut c1 = SearchCounters::default();
-        let p1 = find_path(&st, bins[0], &params, &mut scratch, &mut c1).expect("path");
+        let p1 = find_path(&st, bins[0], &params, &shared, &mut scratch, &mut c1).expect("path");
         // Same ladder, same limit: the repeat search must be answered
-        // entirely from the memo and return the identical path.
+        // entirely from the ladder-local memo and return the identical
+        // path.
         let mut c2 = SearchCounters::default();
-        let p2 = find_path(&st, bins[0], &params, &mut scratch, &mut c2).expect("path");
+        let p2 = find_path(&st, bins[0], &params, &shared, &mut scratch, &mut c2).expect("path");
         assert_eq!(p1.steps, p2.steps);
         assert_eq!(p1.cost.to_bits(), p2.cost.to_bits());
         assert!(c2.memo_hits > 0, "repeat search must hit");
         assert_eq!(c2.memo_misses, 0, "nothing new to compute");
-        // A state mutation invalidates the memo even without a new
-        // `begin_source` (the generation safety net).
+        // A state mutation changes the content signatures, so stale
+        // entries stop matching without any explicit invalidation call.
         st.insert_cell(CellId::new(4), bins[0], 0);
         let mut c3 = SearchCounters::default();
-        let _ = find_path(&st, bins[0], &params, &mut scratch, &mut c3);
+        let _ = find_path(&st, bins[0], &params, &shared, &mut scratch, &mut c3);
         assert_eq!(c3.memo_hits, 0, "stale entries must not replay");
         assert!(c3.memo_misses > 0);
+    }
+
+    #[test]
+    fn shared_memo_snapshot_answers_a_cold_scratch() {
+        // A fresh ladder with an empty local memo must be answered from
+        // the shared round-start snapshot built out of a previous
+        // ladder's buffered writes — the cross-source reuse path that the
+        // generation-stamped memo could never take.
+        let d = fixture();
+        let (layout, grid) = setup(&d, true);
+        let bins = grid.bins_in_segment(seg(&layout, DieId::BOTTOM, 0));
+        let mut st = FlowState::new(&d, &layout, &grid, vec![Point::ORIGIN; 8]);
+        for i in 0..4 {
+            st.insert_cell(CellId::new(i), bins[0], 0);
+        }
+        let params = SearchParams::default();
+
+        let mut warm = SearchScratch::new(grid.num_bins());
+        warm.begin_source();
+        let mut c0 = SearchCounters::default();
+        let p0 = find_path(
+            &st,
+            bins[0],
+            &params,
+            &SearchShared::default(),
+            &mut warm,
+            &mut c0,
+        )
+        .expect("path");
+        let writes = warm.take_memo_writes();
+        assert_eq!(writes.len(), c0.memo_misses, "one write per miss");
+
+        let mut shared_memo = SelectionMemo::new();
+        shared_memo.absorb(&writes);
+        let shared = SearchShared {
+            memo: Some(&shared_memo),
+            ..Default::default()
+        };
+        let mut cold = SearchScratch::new(grid.num_bins());
+        cold.begin_source();
+        let mut c1 = SearchCounters::default();
+        let p1 = find_path(&st, bins[0], &params, &shared, &mut cold, &mut c1).expect("path");
+        assert_eq!(p0.steps, p1.steps);
+        assert_eq!(p0.cost.to_bits(), p1.cost.to_bits());
+        assert!(c1.memo_hits > 0, "snapshot must answer the cold ladder");
+        assert_eq!(c1.memo_misses, 0);
+        // Shared hits must not be re-buffered as writes.
+        assert!(cold.take_memo_writes().is_empty());
+    }
+
+    #[test]
+    fn tabu_list_blocks_an_edge_and_changes_the_escape() {
+        // Whatever edge the free search takes out of the overflowed
+        // source, tabu it: the re-search must route around it (the
+        // reverse direction stays open in the list).
+        let d = fixture();
+        let (layout, grid) = setup(&d, false);
+        let bins = grid.bins_in_segment(seg(&layout, DieId::BOTTOM, 0));
+        let mut st = FlowState::new(&d, &layout, &grid, vec![Point::ORIGIN; 8]);
+        for i in 0..3 {
+            st.insert_cell(CellId::new(i), bins[0], 0);
+        }
+        let params = SearchParams::default();
+        let mut scratch = SearchScratch::new(grid.num_bins());
+        let mut counters = SearchCounters::default();
+
+        scratch.begin_source();
+        let free = find_path(
+            &st,
+            bins[0],
+            &params,
+            &SearchShared::default(),
+            &mut scratch,
+            &mut counters,
+        )
+        .expect("path");
+        let first_hop = free.steps[1].bin;
+
+        let tabu = TabuList::from_edges(vec![(bins[0], first_hop)]);
+        assert!(tabu.contains(bins[0], first_hop));
+        assert!(!tabu.contains(first_hop, bins[0]));
+        let shared = SearchShared {
+            tabu: Some(&tabu),
+            ..Default::default()
+        };
+        scratch.begin_source();
+        let detour =
+            find_path(&st, bins[0], &params, &shared, &mut scratch, &mut counters).expect("path");
+        assert_ne!(
+            detour.steps[1].bin, first_hop,
+            "the tabu edge out of the source must not be taken"
+        );
+        assert!(detour.cost >= free.cost, "the detour cannot be cheaper");
     }
 
     #[test]

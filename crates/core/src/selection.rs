@@ -73,21 +73,30 @@ pub struct Selection {
     pub cost: f64,
 }
 
-/// Slot count of [`SelectionMemo`]: a power of two so the hash folds to
-/// an index with a mask. 1 KiB-scale — small enough to stay cache-warm
-/// per worker, large enough that one source's retry ladder rarely
-/// collides with itself.
-const MEMO_SLOTS: usize = 1024;
+/// Default slot count of [`SelectionMemo`] when neither the
+/// `memo_slots` config knob nor [`SelectionMemo::auto_slots`] sizing
+/// applies (ladder-local scratch memos, unit tests).
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
+pub const DEFAULT_MEMO_SLOTS: usize = 1024;
 
-/// One direct-mapped memo slot. `epoch == 0` marks an empty slot (the
-/// live epoch counter skips 0).
+/// Set associativity of [`SelectionMemo`]: each key probes one set of
+/// this many ways, so two hot keys that fold to the same set no longer
+/// thrash each other the way the old direct-mapped table did.
+const MEMO_WAYS: usize = 2;
+
+/// One memo slot. `epoch == 0` marks an empty slot (the live epoch
+/// counter skips 0).
 #[derive(Debug, Clone, Copy)]
 struct MemoSlot {
     epoch: u32,
     u: u32,
     v: u32,
     needed: i64,
-    generation: u64,
+    /// Content signature of the neighborhood the selection read
+    /// ([`FlowState::selection_signature`]); the validity stamp.
+    sig: u64,
+    /// Store-order stamp for pseudo-LRU eviction within a set.
+    stamp: u64,
     outcome: Option<(f64, i64)>,
 }
 
@@ -96,12 +105,32 @@ const EMPTY_SLOT: MemoSlot = MemoSlot {
     u: u32::MAX,
     v: u32::MAX,
     needed: 0,
-    generation: 0,
+    sig: 0,
+    stamp: 0,
     outcome: None,
 };
 
-/// Direct-mapped memo of [`select_moves`] outcomes for the search
-/// kernel's hot loop.
+/// One memoized `select_moves` outcome, produced by a search and merged
+/// into a shared [`SelectionMemo`] by the flow-pass coordinator at the
+/// end of each round (in deterministic source order, so the shared
+/// table's contents never depend on worker scheduling).
+#[derive(Debug, Clone, Copy)]
+// flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
+pub struct MemoWrite {
+    /// Source bin of the edge.
+    pub u: BinId,
+    /// Candidate bin of the edge.
+    pub v: BinId,
+    /// Outflow the selection was asked for.
+    pub needed: i64,
+    /// Content signature the outcome was computed against.
+    pub sig: u64,
+    /// The cached [`select_moves`] summary (`None` = edge unusable).
+    pub outcome: Option<(f64, i64)>,
+}
+
+/// Set-associative, content-addressed memo of [`select_moves`] outcomes
+/// for the search kernel's hot loop.
 ///
 /// The search consumes only two fields of a [`Selection`] — `cost` and
 /// `added_to_v` — so the memo caches that compact `Option<(f64, i64)>`
@@ -109,25 +138,32 @@ const EMPTY_SLOT: MemoSlot = MemoSlot {
 /// are worth caching too). Keys are `(u, v, needed)`; the edge kind is
 /// not part of the key because a bin pair has exactly one edge kind.
 ///
-/// Two validity stamps guard staleness:
-/// * a **generation** captured from [`FlowState::generation`], so any
-///   state mutation invalidates every entry, and
-/// * an **epoch** bumped unconditionally by
-///   [`begin_source`](Self::begin_source), scoping entries to one
-///   source's retry ladder. This keeps hit/miss telemetry a pure
-///   function of `(state, source)` — and therefore invariant under the
-///   worker count — instead of depending on which searches a worker
-///   happened to run earlier.
+/// Validity is **content-addressed**: each entry carries the
+/// [`FlowState::selection_signature`] of everything the selection read
+/// (source-bin occupancy; plus candidate usage and die headroom on
+/// cross-die edges), and a lookup only replays when the caller's
+/// current signature matches. There is no generation stamp and no
+/// replay discipline — an entry is valid exactly when the neighborhood
+/// it read still has the same contents, no matter how many mutations,
+/// ECO requests, or `commit()`s happened in between. A 64-bit signature
+/// collision would replay a wrong summary; with the splitmix64-mixed
+/// signatures the chance is ~2⁻⁶⁴ per colliding pair, and the
+/// bit-identity differential suites are the referee.
 ///
-/// Deliberately a fixed-size direct-mapped array, not a map: lookups are
-/// one multiply-xor hash and one slot probe, no allocation, no ordering
+/// Capacity is configurable (`Flow3dConfig::memo_slots`, auto-sized
+/// from the flow pass's source count by default) and the table is
+/// 2-way set-associative (`MEMO_WAYS`) with store-order (pseudo-LRU)
+/// eviction. Deliberately a flat array, not a map: lookups are one
+/// multiply-xor hash and two slot probes, no allocation, no ordering
 /// concerns (flow3d-tidy D1 bans hash maps in this crate anyway).
 #[derive(Debug, Clone)]
 // flow3d-tidy: allow(dead-pub) — facade API (flow3d::core) for embedders that drive the legalizer below the Legalizer trait
 pub struct SelectionMemo {
     slots: Vec<MemoSlot>,
+    /// Number of sets; always a power of two (index folds with a mask).
+    sets: usize,
     epoch: u32,
-    generation: u64,
+    stamp: u64,
 }
 
 impl Default for SelectionMemo {
@@ -137,104 +173,146 @@ impl Default for SelectionMemo {
 }
 
 impl SelectionMemo {
-    /// Creates an empty memo.
+    /// Creates an empty memo with [`DEFAULT_MEMO_SLOTS`] slots.
     pub fn new() -> Self {
+        Self::with_slots(DEFAULT_MEMO_SLOTS)
+    }
+
+    /// Creates an empty memo with at least `slots` slots (rounded up to
+    /// a power-of-two set count).
+    pub fn with_slots(slots: usize) -> Self {
+        let sets = (slots.max(MEMO_WAYS) / MEMO_WAYS).next_power_of_two();
         Self {
-            slots: vec![EMPTY_SLOT; MEMO_SLOTS],
+            slots: vec![EMPTY_SLOT; sets * MEMO_WAYS],
+            sets,
             epoch: 1,
-            generation: 0,
+            stamp: 0,
         }
     }
 
-    /// The [`FlowState::generation`] this memo's entries were computed
-    /// against.
+    /// Current slot capacity.
     #[inline]
-    pub fn generation(&self) -> u64 {
-        self.generation
+    pub fn slots(&self) -> usize {
+        self.slots.len()
     }
 
-    /// Opens a new memo scope: every existing entry becomes invalid and
-    /// `generation` is recorded for the entries to come. Call once per
-    /// source retry ladder (and whenever the state may have mutated
-    /// since the last search).
-    pub fn begin_source(&mut self, generation: u64) {
-        self.bump_epoch();
-        self.generation = generation;
+    /// The sizing policy for `memo_slots = 0` (auto): ~8 slots per flow
+    /// source, clamped to `[DEFAULT_MEMO_SLOTS, 2^18]`. A source probes
+    /// a handful of neighbor edges at a few distinct `needed` values per
+    /// round, so 8× keeps several rounds' working sets resident without
+    /// letting million-bin cases allocate unbounded tables.
+    pub fn auto_slots(sources: usize) -> usize {
+        (sources.saturating_mul(8)).clamp(DEFAULT_MEMO_SLOTS, 1 << 18)
     }
 
-    /// Opens a **warm** memo scope: `generation` is recorded for lookups
-    /// and stores, but the epoch is *not* bumped, so entries written in
-    /// earlier scopes stay live and replay whenever a later scope returns
-    /// to their generation.
-    ///
-    /// This is only sound under a discipline the caller must enforce: a
-    /// generation value must never denote two different state contents
-    /// within this memo's lifetime. [`crate::EcoEngine`] guarantees it by
-    /// replaying identical requests (identical mutation sequence ⇒
-    /// identical `(generation, content)` pairs) and calling
-    /// [`invalidate`](Self::invalidate) before any request that is not a
-    /// replay of the previous one. Hit/miss counts under warm scopes
-    /// depend on what the scratch served before, so they are advisory
-    /// telemetry, not a pure function of `(state, source)`.
-    pub fn warm_scope(&mut self, generation: u64) {
-        self.generation = generation;
+    /// Grows the table to at least `slots` slots, rehashing live
+    /// entries. Grow-only: a smaller request is a no-op, so a resident
+    /// engine's warmth survives later passes with fewer sources.
+    pub fn ensure_slots(&mut self, slots: usize) {
+        let sets = (slots.max(MEMO_WAYS) / MEMO_WAYS).next_power_of_two();
+        if sets <= self.sets {
+            return;
+        }
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; sets * MEMO_WAYS]);
+        self.sets = sets;
+        for s in old {
+            if s.epoch == self.epoch {
+                self.place(s);
+            }
+        }
     }
 
-    /// Invalidates every entry (epoch bump) without opening a new scope.
-    /// Warm users call this when the state lineage diverges — e.g. a new
-    /// ECO request that is not a replay of the previous one.
-    pub fn invalidate(&mut self) {
-        self.bump_epoch();
-    }
-
-    fn bump_epoch(&mut self) {
+    /// Invalidates every entry (epoch bump). Ladder-local scratch memos
+    /// call this once per source retry ladder.
+    pub fn clear(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            // Epoch wrapped: hard-reset so no 4-billion-searches-old
+            // Epoch wrapped: hard-reset so no 4-billion-clears-old
             // entry can alias the restarted counter.
             self.slots.fill(EMPTY_SLOT);
             self.epoch = 1;
         }
     }
 
-    /// Deterministic multiplicative hash of the key, folded to a slot
-    /// index.
+    /// Deterministic multiplicative hash of the key, folded to a set
+    /// index. The signature stays out of the index so a re-store of the
+    /// same key after a content change lands in the same set and evicts
+    /// its own stale entry first.
     #[inline]
-    fn slot_index(u: BinId, v: BinId, needed: i64) -> usize {
+    fn set_index(&self, u: BinId, v: BinId, needed: i64) -> usize {
         let mut h = (u.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= (v.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         h ^= (needed as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
         h ^= h >> 32;
-        (h as usize) & (MEMO_SLOTS - 1)
+        (h as usize) & (self.sets - 1)
     }
 
-    /// Looks up the memoized outcome for `(u, v, needed)`. Outer `None`
-    /// = miss; `Some(inner)` replays the exact [`select_moves`] summary
-    /// (including a cached "edge unusable" `None`).
+    /// Looks up the memoized outcome for `(u, v, needed)` computed
+    /// against content signature `sig`. Outer `None` = miss; `Some`
+    /// replays the exact [`select_moves`] summary (including a cached
+    /// "edge unusable" `None`).
     #[inline]
-    pub fn lookup(&self, u: BinId, v: BinId, needed: i64) -> Option<Option<(f64, i64)>> {
-        let s = &self.slots[Self::slot_index(u, v, needed)];
-        (s.epoch == self.epoch
-            && s.generation == self.generation
-            && s.u == u.0
-            && s.v == v.0
-            && s.needed == needed)
-            .then_some(s.outcome)
+    pub fn lookup(&self, u: BinId, v: BinId, needed: i64, sig: u64) -> Option<Option<(f64, i64)>> {
+        let base = self.set_index(u, v, needed) * MEMO_WAYS;
+        self.slots[base..base + MEMO_WAYS]
+            .iter()
+            .find(|s| {
+                s.epoch == self.epoch
+                    && s.u == u.0
+                    && s.v == v.0
+                    && s.needed == needed
+                    && s.sig == sig
+            })
+            .map(|s| s.outcome)
     }
 
     /// Stores the `(cost, added_to_v)` summary (or `None` for an
-    /// unusable edge) for `(u, v, needed)`, evicting whatever occupied
-    /// the slot.
+    /// unusable edge) for `(u, v, needed)` at content signature `sig`.
+    /// Within the key's set, a stale entry for the same key is evicted
+    /// first, then an empty way, then the oldest store.
     #[inline]
-    pub fn store(&mut self, u: BinId, v: BinId, needed: i64, outcome: Option<(f64, i64)>) {
-        self.slots[Self::slot_index(u, v, needed)] = MemoSlot {
+    pub fn store(&mut self, u: BinId, v: BinId, needed: i64, sig: u64, outcome: Option<(f64, i64)>) {
+        self.stamp = self.stamp.wrapping_add(1);
+        self.place(MemoSlot {
             epoch: self.epoch,
             u: u.0,
             v: v.0,
             needed,
-            generation: self.generation,
+            sig,
+            stamp: self.stamp,
             outcome,
-        };
+        });
+    }
+
+    /// Merges coordinator-collected writes (already in deterministic
+    /// source order) into the table.
+    pub fn absorb(&mut self, writes: &[MemoWrite]) {
+        for w in writes {
+            self.store(w.u, w.v, w.needed, w.sig, w.outcome);
+        }
+    }
+
+    fn place(&mut self, slot: MemoSlot) {
+        let base = self.set_index(BinId(slot.u), BinId(slot.v), slot.needed) * MEMO_WAYS;
+        let set = &mut self.slots[base..base + MEMO_WAYS];
+        let way = set
+            .iter()
+            .position(|s| {
+                s.epoch == self.epoch
+                    && s.u == slot.u
+                    && s.v == slot.v
+                    && s.needed == slot.needed
+            })
+            .or_else(|| set.iter().position(|s| s.epoch != self.epoch))
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.stamp)
+                    .map(|(i, _)| i)
+                    // flow3d-tidy: allow(panic-unwrap) — MEMO_WAYS ≥ 1, the set is never empty
+                    .expect("memo set is never empty")
+            });
+        set[way] = slot;
     }
 }
 
@@ -709,54 +787,70 @@ mod tests {
     }
 
     #[test]
-    fn memo_replays_hits_and_scopes_by_epoch_and_generation() {
+    fn memo_replays_by_content_signature() {
         let u = crate::grid::BinId(3);
         let v = crate::grid::BinId(4);
         let mut memo = SelectionMemo::new();
-        memo.begin_source(7);
-        assert_eq!(memo.lookup(u, v, 40), None, "fresh scope starts empty");
-        memo.store(u, v, 40, Some((1.5, 40)));
-        memo.store(u, v, 60, None); // negative result cached too
-        assert_eq!(memo.lookup(u, v, 40), Some(Some((1.5, 40))));
-        assert_eq!(memo.lookup(u, v, 60), Some(None));
-        assert_eq!(memo.lookup(v, u, 40), None, "key includes direction");
-        // A new source scope invalidates everything, even at the same
-        // state generation.
-        memo.begin_source(7);
-        assert_eq!(memo.lookup(u, v, 40), None);
-        // Entries written against one generation never validate after a
-        // mutation bumps it.
-        memo.store(u, v, 40, Some((1.5, 40)));
-        memo.begin_source(8);
-        assert_eq!(memo.lookup(u, v, 40), None);
+        assert_eq!(memo.lookup(u, v, 40, 0xABCD), None, "fresh memo is empty");
+        memo.store(u, v, 40, 0xABCD, Some((1.5, 40)));
+        memo.store(u, v, 60, 0xABCD, None); // negative result cached too
+        assert_eq!(memo.lookup(u, v, 40, 0xABCD), Some(Some((1.5, 40))));
+        assert_eq!(memo.lookup(u, v, 60, 0xABCD), Some(None));
+        assert_eq!(memo.lookup(v, u, 40, 0xABCD), None, "key includes direction");
+        // A changed neighborhood signature hides the entry: no explicit
+        // invalidation step exists or is needed.
+        assert_eq!(memo.lookup(u, v, 40, 0xBEEF), None);
+        // Re-storing the same key at the new signature evicts its own
+        // stale entry (same set, same key match), and the new content
+        // replays while the old one stays gone.
+        memo.store(u, v, 40, 0xBEEF, Some((2.5, 40)));
+        assert_eq!(memo.lookup(u, v, 40, 0xBEEF), Some(Some((2.5, 40))));
+        assert_eq!(memo.lookup(u, v, 40, 0xABCD), None);
+        // clear() (ladder scoping) kills everything at once.
+        memo.clear();
+        assert_eq!(memo.lookup(u, v, 40, 0xBEEF), None);
     }
 
     #[test]
-    fn warm_scope_replays_across_scopes_until_invalidated() {
+    fn memo_is_two_way_associative_and_grows_live() {
+        // Two distinct `needed` values for one (u, v) pair can land in
+        // different sets; force a shared set by using a minimal table:
+        // with one set, both keys coexist in the two ways.
+        let u = crate::grid::BinId(3);
+        let v = crate::grid::BinId(4);
+        let mut memo = SelectionMemo::with_slots(2);
+        assert_eq!(memo.slots(), 2);
+        memo.store(u, v, 40, 1, Some((1.5, 40)));
+        memo.store(u, v, 60, 1, Some((2.5, 60)));
+        assert_eq!(memo.lookup(u, v, 40, 1), Some(Some((1.5, 40))));
+        assert_eq!(memo.lookup(u, v, 60, 1), Some(Some((2.5, 60))));
+        // A third key evicts the oldest store (pseudo-LRU), not both.
+        memo.store(u, v, 80, 1, Some((3.5, 80)));
+        assert_eq!(memo.lookup(u, v, 40, 1), None, "oldest way evicted");
+        assert_eq!(memo.lookup(u, v, 60, 1), Some(Some((2.5, 60))));
+        assert_eq!(memo.lookup(u, v, 80, 1), Some(Some((3.5, 80))));
+        // Growing rehashes live entries instead of dropping them.
+        memo.ensure_slots(64);
+        assert!(memo.slots() >= 64);
+        assert_eq!(memo.lookup(u, v, 60, 1), Some(Some((2.5, 60))));
+        assert_eq!(memo.lookup(u, v, 80, 1), Some(Some((3.5, 80))));
+        // Grow-only: a smaller request changes nothing.
+        let before = memo.slots();
+        memo.ensure_slots(2);
+        assert_eq!(memo.slots(), before);
+    }
+
+    #[test]
+    fn memo_absorb_merges_coordinator_writes() {
         let u = crate::grid::BinId(3);
         let v = crate::grid::BinId(4);
         let mut memo = SelectionMemo::new();
-        memo.warm_scope(7);
-        memo.store(u, v, 40, Some((1.5, 40)));
-        // A warm scope at a different generation hides the entry (the
-        // per-slot generation stamp fails), but does not erase it…
-        memo.warm_scope(8);
-        assert_eq!(memo.lookup(u, v, 40), None);
-        // …so returning to the original generation replays it — this is
-        // the cross-request warmth an identical-replay ECO relies on.
-        memo.warm_scope(7);
-        assert_eq!(memo.lookup(u, v, 40), Some(Some((1.5, 40))));
-        // Storing the same key under another generation evicts the slot
-        // (direct-mapped, generation is not part of the index) …
-        memo.warm_scope(8);
-        memo.store(u, v, 40, Some((2.5, 40)));
-        memo.warm_scope(7);
-        assert_eq!(memo.lookup(u, v, 40), None);
-        // … and invalidate() kills every generation's entries at once.
-        memo.warm_scope(8);
-        assert_eq!(memo.lookup(u, v, 40), Some(Some((2.5, 40))));
-        memo.invalidate();
-        assert_eq!(memo.lookup(u, v, 40), None);
+        memo.absorb(&[
+            MemoWrite { u, v, needed: 40, sig: 7, outcome: Some((1.5, 40)) },
+            MemoWrite { u: v, v: u, needed: 10, sig: 9, outcome: None },
+        ]);
+        assert_eq!(memo.lookup(u, v, 40, 7), Some(Some((1.5, 40))));
+        assert_eq!(memo.lookup(v, u, 10, 9), Some(None));
     }
 
     #[test]

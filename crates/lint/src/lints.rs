@@ -1,6 +1,6 @@
 //! The tidy lints (D1–D5) and the per-file checking engine.
 //!
-//! Every lint operates on the flat token stream from [`crate::lexer`],
+//! Every lint operates on the flat token stream from `crate::lexer`,
 //! with `#[cfg(test)]` / `#[test]` items filtered out first — the lints
 //! guard *shipping* code; tests may unwrap and compare floats freely.
 

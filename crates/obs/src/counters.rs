@@ -37,6 +37,14 @@ pub mod keys {
     /// Flow passes executed (used to index per-pass telemetry such as
     /// heatmap snapshots).
     pub const FLOW_PASSES: &str = "flow_passes";
+    /// Directed bin edges tabooed by the flow-pass ping-pong detector
+    /// (A↔B oscillations caught before they burn the apply guard).
+    pub const PING_PONG_TABUS: &str = "ping_pong_tabus";
+    /// Resolved placement seeds refreshed by a resident engine's
+    /// `commit()` delta (cells whose base placement actually changed).
+    pub const COMMIT_RESEEDED: &str = "commit_reseeded";
+    /// Total resolved placement seeds examined by `commit()`.
+    pub const COMMIT_SEEDS: &str = "commit_seeds";
 }
 
 /// A name-sorted set of named monotonic counters.

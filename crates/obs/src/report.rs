@@ -144,19 +144,24 @@ impl RunReport {
     }
 
     /// Selection-memo hit rate `hits / (hits + misses)` over the run's
-    /// counters, or `None` when the memo saw no traffic (counters absent
-    /// or both zero — e.g. a run with `selection_memo` disabled).
-    /// `Some(0.0)` on a run with misses but no hits is the signature of
-    /// a memo that is enabled but never keyed correctly — `repro bench`
-    /// warns on it.
+    /// counters, or `None` when the memo was **disabled** (neither
+    /// counter recorded — the flow pass bumps them only with
+    /// `selection_memo` on, even for zero values). A run that had the
+    /// memo enabled but took no hits reports `Some(0.0)`, so "cold this
+    /// request" and "memo off" stay distinguishable downstream
+    /// (serve `stats`, `repro bench`).
     pub fn selection_memo_hit_rate(&self) -> Option<f64> {
-        let hits = self.counter(crate::keys::SELECTION_MEMO_HITS).unwrap_or(0);
-        let misses = self
-            .counter(crate::keys::SELECTION_MEMO_MISSES)
-            .unwrap_or(0);
-        let total = hits + misses;
-        if total == 0 {
+        let hits = self.counter(crate::keys::SELECTION_MEMO_HITS);
+        let misses = self.counter(crate::keys::SELECTION_MEMO_MISSES);
+        if hits.is_none() && misses.is_none() {
             return None;
+        }
+        let hits = hits.unwrap_or(0);
+        let total = hits + misses.unwrap_or(0);
+        if total == 0 {
+            // Enabled but no lookups ran (e.g. no overflow, so no
+            // searches): a defined 0.0, not "disabled".
+            return Some(0.0);
         }
         Some(hits as f64 / total as f64)
     }
@@ -527,6 +532,18 @@ mod tests {
             report.selection_memo_hit_rate(),
             Some(0.0),
             "all-miss runs report 0.0 so callers can warn"
+        );
+        report.counters.retain(|(k, _)| !k.contains("memo"));
+        report
+            .counters
+            .push((crate::keys::SELECTION_MEMO_HITS.to_string(), 0));
+        report
+            .counters
+            .push((crate::keys::SELECTION_MEMO_MISSES.to_string(), 0));
+        assert_eq!(
+            report.selection_memo_hit_rate(),
+            Some(0.0),
+            "enabled-but-idle (0/0 counters present) is 0.0, not None"
         );
     }
 

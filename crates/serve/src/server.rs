@@ -30,7 +30,7 @@ use flow3d_core::{CellMove, EcoEngine, Flow3dConfig, Flow3dLegalizer, LegalizeSt
 use flow3d_db::DieId;
 use flow3d_geom::Point;
 use flow3d_obs::{
-    hist_keys, log_record, peak_rss_bytes, EventLog, FlightRecorder, Json, LogLevel, Profile,
+    hist_keys, keys, log_record, peak_rss_bytes, EventLog, FlightRecorder, Json, LogLevel, Profile,
     RequestSample, RollingWindow, RunReport,
 };
 use std::collections::{BTreeMap, VecDeque};
@@ -41,9 +41,12 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Server tuning knobs. The defaults favour reproducibility: one thread
-/// per engine keeps warm-memo telemetry deterministic, and two wave
-/// workers still overlap independent cases.
+/// Server tuning knobs. The defaults favour predictability:
+/// single-threaded engines plus two wave workers that overlap
+/// independent cases. Results *and* warm-memo telemetry are
+/// bit-identical at every setting — the engines absorb shared-memo
+/// writes in deterministic source order — so these knobs trade
+/// wall-clock only.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum queued requests executed concurrently per wave (each on
@@ -53,8 +56,9 @@ pub struct ServerConfig {
     /// [`codes::OVERLOADED`] instead of buffering without limit.
     pub queue_depth: usize,
     /// Engine threads for cases loaded without an explicit `threads`
-    /// field. `1` (the default) keeps memo-hit telemetry deterministic;
-    /// results are bit-identical at any value.
+    /// field. Results and memo-hit telemetry are bit-identical at any
+    /// value; `1` (the default) avoids oversubscribing the wave
+    /// workers on small cases.
     pub default_threads: usize,
     /// JSONL event-log path (`--log` / `FLOW3D_LOG`). `None` disables
     /// structured logging; the event path then costs one branch.
@@ -509,9 +513,17 @@ impl Server {
     fn metrics_response(&self, id: u64) -> Json {
         let now = self.uptime_micros();
         let queue_depth = lock(&self.shared.queue).jobs.len();
-        let snapshot = lock(&self.shared.telemetry)
+        let mut snapshot = lock(&self.shared.telemetry)
             .window
             .snapshot(now, queue_depth);
+        // Stamp the lifetime memo hit rate from the merged counter
+        // profile: `null` only when the memo is disabled (or nothing
+        // has searched yet), `0.0` when it is on but cold.
+        snapshot.selection_memo_hit_rate = {
+            let stats = lock(&self.shared.stats);
+            RunReport::from_profile("flow3d-serve", "flow3d-serve", &stats.profile)
+                .selection_memo_hit_rate()
+        };
         ok_response(
             id,
             vec![
@@ -889,11 +901,19 @@ impl Server {
             Ok(t) => t,
             Err(e) => return fail(codes::LEGALIZE_FAILED, &e),
         };
-        if commit {
-            if let Err(e) = slot.engine.commit(outcome.placement.clone()) {
-                return fail(codes::LEGALIZE_FAILED, &e.to_string());
-            }
-        }
+        let commit_stats = if commit {
+            profile.begin("commit");
+            let cs = match slot.engine.commit(outcome.placement.clone()) {
+                Ok(cs) => cs,
+                Err(e) => return fail(codes::LEGALIZE_FAILED, &e.to_string()),
+            };
+            profile.end("commit");
+            profile.bump(keys::COMMIT_RESEEDED, cs.reseeded as u64);
+            profile.bump(keys::COMMIT_SEEDS, cs.total as u64);
+            Some(cs)
+        } else {
+            None
+        };
         let tag = format!("{name}#r{id}");
         let report = RunReport::from_profile(&tag, "flow3d-serve", &profile);
         let mut fields = vec![
@@ -902,6 +922,10 @@ impl Server {
             ("committed".into(), Json::Bool(commit)),
             ("stats".into(), stats_json(&outcome.stats)),
         ];
+        if let Some(cs) = commit_stats {
+            fields.push(("commit_reseeded".into(), Json::num(cs.reseeded as f64)));
+            fields.push(("commit_total".into(), Json::num(cs.total as f64)));
+        }
         if let Ok(json) = Json::parse(&report.to_json()) {
             self.note_report(&tag, &json);
             fields.push(("report".into(), json));
@@ -948,11 +972,19 @@ impl Server {
             Ok(t) => t,
             Err(e) => return fail(codes::LEGALIZE_FAILED, &e),
         };
-        if commit {
-            if let Err(e) = slot.engine.commit(outcome.placement.clone()) {
-                return fail(codes::LEGALIZE_FAILED, &e.to_string());
-            }
-        }
+        let commit_stats = if commit {
+            profile.begin("commit");
+            let cs = match slot.engine.commit(outcome.placement.clone()) {
+                Ok(cs) => cs,
+                Err(e) => return fail(codes::LEGALIZE_FAILED, &e.to_string()),
+            };
+            profile.end("commit");
+            profile.bump(keys::COMMIT_RESEEDED, cs.reseeded as u64);
+            profile.bump(keys::COMMIT_SEEDS, cs.total as u64);
+            Some(cs)
+        } else {
+            None
+        };
         let tag = format!("{name}#r{id}");
         let report = RunReport::from_profile(&tag, "flow3d-serve", &profile);
         let mut fields = vec![
@@ -965,6 +997,10 @@ impl Server {
                 Json::num(slot.engine.requests_served() as f64),
             ),
         ];
+        if let Some(cs) = commit_stats {
+            fields.push(("commit_reseeded".into(), Json::num(cs.reseeded as f64)));
+            fields.push(("commit_total".into(), Json::num(cs.total as f64)));
+        }
         if let Ok(json) = Json::parse(&report.to_json()) {
             self.note_report(&tag, &json);
             fields.push(("report".into(), json));
@@ -1019,6 +1055,14 @@ impl Server {
                     Some(bytes) => Json::num(bytes as f64),
                     None => Json::Null,
                 },
+            ),
+            // `null` = memo disabled (no memo counters ever touched);
+            // `0.0` = memo on, every lookup missed so far.
+            (
+                "selection_memo_hit_rate".into(),
+                report
+                    .selection_memo_hit_rate()
+                    .map_or(Json::Null, Json::num),
             ),
         ];
         if let Ok(json) = Json::parse(&report.to_json()) {

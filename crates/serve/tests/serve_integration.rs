@@ -227,14 +227,72 @@ fn eco_batch_is_bit_identical_and_memo_warm() {
         }
     }
 
+    // Warm-cache generality: return to the *first* move set after three
+    // disjoint sets (and their replays) ran in between. The
+    // content-addressed memo keeps its entries across disjoint requests,
+    // so this must be answered warm — the generation-stamped memo it
+    // replaced went cold here.
+    {
+        let expected = one_shot(&d, &base, &sets[0]);
+        let resp = client.request(&eco_request("demo", &sets[0])).unwrap();
+        let result = assert_ok(&resp);
+        assert_eq!(result_str(result, "legal"), expected);
+        let hits = report_counter(result, "selection_memo_hits");
+        assert!(
+            hits > 0,
+            "returning to a disjoint earlier set must be memo-warm, got {hits} hits"
+        );
+    }
+
+    // Commit the last outcome: the response reports the seed-cache
+    // delta, which for a small ECO refreshes only a fraction of seeds.
+    {
+        let mut req = eco_request("demo", &sets[0]);
+        if let Json::Obj(pairs) = &mut req {
+            pairs.push(("commit".into(), Json::Bool(true)));
+        }
+        let resp = client.request(&req).unwrap();
+        let result = assert_ok(&resp);
+        assert_eq!(result.get("committed"), Some(&Json::Bool(true)));
+        let reseeded = result
+            .get("commit_reseeded")
+            .and_then(Json::as_u64)
+            .expect("committed responses report the seed delta");
+        let total = result
+            .get("commit_total")
+            .and_then(Json::as_u64)
+            .expect("committed responses report the seed total");
+        assert_eq!(total, 12);
+        assert!(
+            reseeded > 0 && reseeded < total,
+            "a small ECO commit must reseed some but not all cells \
+             ({reseeded}/{total})"
+        );
+        assert!(
+            report_counter(result, "commit_reseeded") == reseeded
+                && report_counter(result, "commit_seeds") == total,
+            "the request report must carry the commit counters"
+        );
+    }
+
     let resp = client
         .request(&obj(vec![("cmd", Json::Str("stats".into()))]))
         .unwrap();
     let result = assert_ok(&resp);
-    // load + 8 ecos so far; the stats request itself is not yet counted
+    // load + 10 ecos so far; the stats request itself is not yet counted
     // at snapshot time but may be — accept either.
     let counted = result.get("requests").and_then(Json::as_u64).unwrap();
-    assert!(counted >= 9, "stats undercounts: {counted}");
+    assert!(counted >= 11, "stats undercounts: {counted}");
+    // The top-level hit-rate gauge distinguishes enabled-and-warm
+    // (a number > 0 here) from disabled (JSON null).
+    let rate = result
+        .get("selection_memo_hit_rate")
+        .and_then(Json::as_f64)
+        .expect("stats expose the memo hit rate when the memo is enabled");
+    assert!(
+        rate > 0.0 && rate <= 1.0,
+        "after warm replays the lifetime hit rate is positive: {rate}"
+    );
     let report = result.get("report").expect("stats carry a server report");
     let report = RunReport::from_json(&report.to_string()).unwrap();
     let latency = report
@@ -469,6 +527,15 @@ fn metrics_window_reports_known_request_sequence() {
         "flow3d_serve_request_latency_micros{{quantile=\"0.99\"}} {p99}"
     )));
     assert!(text.contains("flow3d_serve_requests_total 5"));
+    // The memo is enabled and the three replayed ecos were warm, so the
+    // hit-rate gauge is present (it is absent entirely when disabled)
+    // and positive.
+    let rate = window
+        .get("selection_memo_hit_rate")
+        .and_then(Json::as_f64)
+        .expect("memo enabled: the hit-rate gauge is a number, not null");
+    assert!(rate > 0.0, "replays must register hits: {rate}");
+    assert!(text.contains("flow3d_serve_selection_memo_hit_rate"));
 
     shutdown_and_join(&mut client, &server);
 }

@@ -89,7 +89,7 @@ fn params_for(design: &flow3d::db::Design, cfg: &Flow3dConfig) -> SearchParams {
         slack,
         dijkstra: false,
         use_memo: cfg.selection_memo,
-        warm_memo: false,
+        memo_slots: cfg.memo_slots,
         selection: SelectionParams {
             clamp_negative: false,
             d2d_congestion_cost: cfg.d2d_congestion_cost,
@@ -278,7 +278,7 @@ fn arb_congested_instance() -> impl Strategy<Value = (Vec<i64>, Vec<(f64, f64, f
 /// and Dijkstra modes.
 #[test]
 fn kernel_matches_naive_reference_implementation() {
-    use flow3d_core::search::{find_path_limited, SearchCounters, SearchScratch};
+    use flow3d_core::search::{find_path_limited, SearchCounters, SearchScratch, SearchShared};
 
     let mut compared = 0usize;
     proptest!(ProptestConfig::with_cases(24), |(
@@ -309,10 +309,17 @@ fn kernel_matches_naive_reference_implementation() {
                 let (want, rc) = reference_search(&state, bin, limit, &mode);
                 for use_memo in [false, true] {
                     let params = SearchParams { use_memo, ..mode };
-                    scratch.begin_source(state.generation());
+                    scratch.begin_source();
                     let mut c = SearchCounters::default();
-                    let got =
-                        find_path_limited(&state, bin, limit, &params, &mut scratch, &mut c);
+                    let got = find_path_limited(
+                        &state,
+                        bin,
+                        limit,
+                        &params,
+                        &SearchShared::default(),
+                        &mut scratch,
+                        &mut c,
+                    );
                     match (&got, &want) {
                         (Some(g), Some(w)) => {
                             prop_assert_eq!(&g.steps, &w.steps, "steps (memo={})", use_memo);
